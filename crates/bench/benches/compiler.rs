@@ -1,0 +1,94 @@
+//! Criterion benches for the retargetable VLIW compiler: front end,
+//! optimizer, and back end throughput on the paper's kernels. The paper's
+//! compiler took ~28 s per benchmark compilation (Table 3); these measure
+//! what our in-process retargeting costs instead.
+
+use cfp_kernels::Benchmark;
+use cfp_machine::{ArchSpec, MachineResources};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_frontend(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frontend");
+    for b in [Benchmark::D, Benchmark::F, Benchmark::C] {
+        g.bench_with_input(BenchmarkId::new("compile_kernel", b), &b, |bench, &b| {
+            bench.iter(|| {
+                cfp_frontend::compile_kernel(black_box(b.source()), b.consts()).unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("optimizer");
+    for b in [Benchmark::A, Benchmark::C, Benchmark::H] {
+        let kernel = b.kernel();
+        g.bench_with_input(BenchmarkId::new("optimize", b), &kernel, |bench, k| {
+            bench.iter(|| {
+                let mut kk = k.clone();
+                cfp_opt::optimize(&mut kk);
+                kk
+            });
+        });
+        let mut opt = kernel.clone();
+        cfp_opt::optimize(&mut opt);
+        g.bench_with_input(BenchmarkId::new("unroll_x4", b), &opt, |bench, k| {
+            bench.iter(|| cfp_opt::unroll::unroll(black_box(k), 4));
+        });
+    }
+    g.finish();
+}
+
+fn bench_backend(c: &mut Criterion) {
+    let mut g = c.benchmark_group("backend");
+    g.sample_size(20);
+    let archs = [
+        ("baseline", ArchSpec::baseline()),
+        ("wide", ArchSpec::new(16, 8, 512, 4, 4, 1).unwrap()),
+        ("clustered", ArchSpec::new(16, 8, 512, 4, 4, 4).unwrap()),
+    ];
+    for b in [Benchmark::D, Benchmark::A, Benchmark::H] {
+        let mut kernel = b.kernel();
+        cfp_opt::optimize(&mut kernel);
+        let kernel = cfp_opt::unroll::unroll(&kernel, 2);
+        for (name, spec) in &archs {
+            let machine = MachineResources::from_spec(spec);
+            g.bench_with_input(
+                BenchmarkId::new(format!("schedule_{b}_x2"), name),
+                &machine,
+                |bench, m| {
+                    bench.iter(|| cfp_sched::compile(black_box(&kernel), m));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_codegen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codegen");
+    g.sample_size(20);
+    let spec = ArchSpec::new(8, 4, 256, 2, 4, 2).unwrap();
+    let machine = MachineResources::from_spec(&spec);
+    for b in [Benchmark::D, Benchmark::H] {
+        let mut kernel = b.kernel();
+        cfp_opt::optimize(&mut kernel);
+        let result = cfp_sched::compile(&kernel, &machine);
+        g.bench_with_input(BenchmarkId::new("encode", b), &result, |bench, r| {
+            bench.iter(|| {
+                cfp_sched::encode(black_box(&r.assignment), &r.schedule, &machine).unwrap()
+            });
+        });
+        let ddg = cfp_sched::Ddg::build(&result.assignment.code);
+        g.bench_with_input(BenchmarkId::new("modulo_schedule", b), &result, |bench, r| {
+            bench.iter(|| {
+                cfp_sched::modulo_schedule(black_box(&r.assignment), &ddg, &machine, r.length)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_frontend, bench_optimizer, bench_backend, bench_codegen);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benches for the two executors: the reference interpreter
+//! and the cycle-accurate schedule simulator, on real benchmark
+//! workloads.
+
+use cfp_kernels::Benchmark;
+use cfp_machine::{ArchSpec, MachineResources};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_execution(c: &mut Criterion) {
+    let mut g = c.benchmark_group("execution");
+    g.sample_size(20);
+    let n = 16_u64;
+    for b in [Benchmark::D, Benchmark::F, Benchmark::H] {
+        let workload = b.workload(n, 7);
+        g.bench_with_input(BenchmarkId::new("interpreter", b), &workload, |bench, w| {
+            bench.iter(|| {
+                let mut mem = w.image();
+                cfp_ir::Interpreter::new()
+                    .run(black_box(&w.kernel), &mut mem, w.iters)
+                    .unwrap();
+                mem
+            });
+        });
+
+        let spec = ArchSpec::new(8, 4, 256, 2, 4, 2).unwrap();
+        let machine = MachineResources::from_spec(&spec);
+        let result = cfp_sched::compile(&workload.kernel, &machine);
+        g.bench_with_input(BenchmarkId::new("simulator", b), &workload, |bench, w| {
+            bench.iter(|| {
+                let mut mem = w.image();
+                cfp_sched::simulate(&w.kernel, &result, &machine, &mut mem, w.iters).unwrap();
+                mem
+            });
+        });
+
+        g.bench_with_input(BenchmarkId::new("golden", b), &workload, |bench, w| {
+            bench.iter(|| {
+                let mut mem = w.image();
+                cfp_kernels::golden::run(b, &mut mem, w.iters);
+                mem
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_execution);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion benches for the exploration layer: a single architecture
+//! evaluation (the codesign loop's inner step) and the selection and
+//! frontier machinery over a prebuilt exploration.
+
+use cfp_dse::{select, ExploreConfig, Exploration, PlanCache, Range};
+use cfp_kernels::Benchmark;
+use cfp_machine::ArchSpec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_exploration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exploration");
+    g.sample_size(10);
+
+    let cache = PlanCache::build(&[Benchmark::D, Benchmark::H], &[64, 256], &[1, 2, 4]);
+    for b in [Benchmark::D, Benchmark::H] {
+        let spec = ArchSpec::new(8, 4, 256, 2, 4, 2).unwrap();
+        g.bench_with_input(BenchmarkId::new("evaluate", b), &spec, |bench, s| {
+            bench.iter(|| cfp_dse::evaluate(black_box(s), b, &cache));
+        });
+    }
+
+    let ex = Exploration::run(&ExploreConfig::smoke());
+    g.bench_function("select/range_10pct", |b| {
+        b.iter(|| select(black_box(&ex), 0, 10.0, Range::Fraction(0.10)));
+    });
+    g.bench_function("pareto/scatter_and_frontier", |b| {
+        b.iter(|| {
+            let pts = cfp_dse::scatter(black_box(&ex), 0);
+            cfp_dse::frontier(&pts)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_exploration);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion benches for the analytic models: cost, cycle time, the
+//! least-squares calibration, and design-space enumeration.
+
+use cfp_machine::{calibrate, ArchSpec, CostModel, CycleModel, DesignSpace};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_models(c: &mut Criterion) {
+    let cost = CostModel::paper_calibrated();
+    let cycle = CycleModel::paper_calibrated();
+    let spec = ArchSpec::new(16, 8, 512, 4, 4, 4).unwrap();
+
+    c.bench_function("cost_model/evaluate", |b| {
+        b.iter(|| cost.cost(black_box(&spec)));
+    });
+    c.bench_function("cycle_model/evaluate", |b| {
+        b.iter(|| cycle.derate(black_box(&spec)));
+    });
+    c.bench_function("calibrate/fit_cost_model", |b| {
+        b.iter(calibrate::fit_cost_model);
+    });
+    c.bench_function("calibrate/fit_cycle_model", |b| {
+        b.iter(calibrate::fit_cycle_model);
+    });
+    c.bench_function("design_space/enumerate_and_expand", |b| {
+        b.iter(|| DesignSpace::paper().all_arrangements());
+    });
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```sh
+//! cargo run --release -p cfp-bench --bin exhibits -- all
+//! cargo run --release -p cfp-bench --bin exhibits -- table8 table9 --fast
+//! cargo run --release -p cfp-bench --bin exhibits -- figure3 --csv
+//! ```
+//!
+//! `--fast` explores a 1-in-8 sample of the design space (same shapes,
+//! seconds instead of minutes); `--csv` emits the figures' raw data;
+//! `--save FILE` persists the exploration and `--load FILE` replays a
+//! saved one instead of recomputing (see `cfp_dse::io`).
+
+use cfp_bench::exhibits;
+use cfp_kernels::Benchmark;
+
+const USAGE: &str =
+    "usage: exhibits [table1..table10 | figure1..figure4 | search | correction | codesize | pipelining | priority | spill | all]... [--fast] [--csv]";
+
+fn value_after(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let csv = args.iter().any(|a| a == "--csv");
+    let save = value_after(&args, "--save");
+    let load = value_after(&args, "--load");
+    let mut skip_next = false;
+    let mut wanted: Vec<String> = args
+        .iter()
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--save" || *a == "--load" {
+                skip_next = true;
+                return false;
+            }
+            !a.starts_with("--")
+        })
+        .cloned()
+        .collect();
+    if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
+        wanted = (1..=10)
+            .map(|n| format!("table{n}"))
+            .chain((1..=4).map(|n| format!("figure{n}")))
+            .chain(["search".to_owned(), "correction".to_owned(), "codesize".to_owned(), "pipelining".to_owned(), "priority".to_owned(), "spill".to_owned()])
+            .collect();
+    }
+
+    let needs_exploration = wanted.iter().any(|w| {
+        matches!(
+            w.as_str(),
+            "table3" | "table8" | "table9" | "table10" | "figure3" | "figure4" | "search"
+                | "correction"
+        )
+    });
+    let exploration = if let Some(path) = &load {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read `{path}`: {e}");
+            std::process::exit(1);
+        });
+        Some(cfp_dse::from_csv(&text).unwrap_or_else(|e| {
+            eprintln!("error: `{path}` is not a saved exploration: {e}");
+            std::process::exit(1);
+        }))
+    } else if needs_exploration {
+        eprintln!(
+            "running the {} exploration (use --fast for a sampled space)...",
+            if fast { "sampled" } else { "full 192-point" }
+        );
+        Some(exhibits::run_exploration(fast))
+    } else {
+        None
+    };
+    if let (Some(path), Some(ex)) = (&save, &exploration) {
+        if let Err(e) = std::fs::write(path, cfp_dse::to_csv(ex)) {
+            eprintln!("error: cannot write `{path}`: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("exploration saved to {path}");
+    }
+    let ex = exploration.as_ref();
+
+    for w in &wanted {
+        let out = match w.as_str() {
+            "table1" => exhibits::table1(),
+            "table2" => exhibits::table2(),
+            "table3" => exhibits::table3(ex.expect("explored")),
+            "table4" => exhibits::table4(),
+            "table5" => exhibits::table5(),
+            "table6" => exhibits::table6(),
+            "table7" => exhibits::table7(),
+            "table8" => exhibits::table8_10(ex.expect("explored"), 5.0),
+            "table9" => exhibits::table8_10(ex.expect("explored"), 10.0),
+            "table10" => exhibits::table8_10(ex.expect("explored"), 15.0),
+            "search" => exhibits::extension_search(ex.expect("explored")),
+            "correction" => exhibits::extension_correction(ex.expect("explored")),
+            "codesize" => exhibits::extension_codesize(),
+            "pipelining" => exhibits::extension_pipelining(),
+            "priority" => exhibits::extension_priority(),
+            "spill" => exhibits::extension_spill(),
+            "figure1" => exhibits::figure1(),
+            "figure2" => exhibits::figure2(),
+            "figure3" => {
+                let ex = ex.expect("explored");
+                if csv {
+                    exhibits::figure_csv(ex, &Benchmark::INDIVIDUAL)
+                } else {
+                    exhibits::figure(
+                        ex,
+                        &Benchmark::INDIVIDUAL,
+                        "Figure 3: cost/speedup scatter, individual benchmarks",
+                    )
+                }
+            }
+            "figure4" => {
+                let ex = ex.expect("explored");
+                if csv {
+                    exhibits::figure_csv(ex, &Benchmark::JAMMED)
+                } else {
+                    exhibits::figure(
+                        ex,
+                        &Benchmark::JAMMED,
+                        "Figure 4: cost/speedup scatter, jammed benchmarks",
+                    )
+                }
+            }
+            other => {
+                eprintln!("unknown exhibit `{other}`\n{USAGE}");
+                std::process::exit(2);
+            }
+        };
+        println!("{out}\n");
+    }
+}

@@ -1,0 +1,20 @@
+//! # cfp-bench — exhibit regenerators and benchmark harness
+//!
+//! One function per table and figure of the paper, each producing the
+//! text (or CSV) that corresponds to that exhibit, computed from this
+//! repository's models and experiment. The `exhibits` binary drives
+//! them:
+//!
+//! ```sh
+//! cargo run --release -p cfp-bench --bin exhibits -- all
+//! cargo run --release -p cfp-bench --bin exhibits -- table8 --fast
+//! ```
+//!
+//! Criterion benches (`benches/`) measure the toolchain itself: the
+//! retargetable compiler's throughput, the models, the interpreter and
+//! cycle-accurate simulator, and a full evaluation step.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod exhibits;

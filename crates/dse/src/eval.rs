@@ -1,0 +1,224 @@
+//! Per-architecture evaluation: the inner step of the codesign loop.
+//!
+//! For one candidate architecture and one benchmark this reproduces the
+//! paper's §2.4 discipline: compile at increasing unroll factors, stop as
+//! soon as register spilling appears, and keep the fastest non-spilling
+//! schedule (per *output unit*, so different unroll factors compare
+//! fairly). A kernel that spills even without unrolling is compiled with
+//! spill traffic and pays for it — the paper's "pathological" case.
+//!
+//! Optimization is machine-aware only through a *residency budget*
+//! (how many loop constants LICM may pin in registers — half the
+//! register file). Budgets take four distinct values across the whole
+//! space, so optimized/unrolled kernels are precomputed once per
+//! `(benchmark, budget, unroll)` in a [`PlanCache`] and shared by all
+//! architectures.
+
+use cfp_kernels::Benchmark;
+use cfp_machine::{ArchSpec, MachineResources};
+use cfp_sched::compile;
+use std::collections::HashMap;
+
+/// Unroll factors the experiment sweeps, ascending.
+pub const UNROLL_SWEEP: [u32; 5] = [1, 2, 4, 8, 16];
+
+/// Bodies larger than this are not attempted (compile-time guard; the
+/// affected points are reported as using the largest feasible unroll).
+pub const MAX_BODY_OPS: usize = 24_000;
+
+/// The residency budget LICM gets for a machine with `regs` registers.
+#[must_use]
+pub fn residency_budget(regs: u32) -> usize {
+    (regs / 2) as usize
+}
+
+/// Precomputed optimized + unrolled kernels.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: HashMap<(Benchmark, usize, u32), cfp_ir::Kernel>,
+}
+
+impl PlanCache {
+    /// Build the cache for the given benchmarks and register sizes.
+    #[must_use]
+    pub fn build(benches: &[Benchmark], reg_sizes: &[u32], unrolls: &[u32]) -> Self {
+        let mut budgets: Vec<usize> = reg_sizes.iter().map(|&r| residency_budget(r)).collect();
+        budgets.sort_unstable();
+        budgets.dedup();
+        let mut plans = HashMap::new();
+        for &b in benches {
+            let base = b.kernel();
+            for &budget in &budgets {
+                let mut opt = base.clone();
+                cfp_opt::optimize_budgeted(&mut opt, budget);
+                for &u in unrolls {
+                    if opt.body.len() * (u as usize) > MAX_BODY_OPS {
+                        continue;
+                    }
+                    let mut unrolled = cfp_opt::unroll::unroll(&opt, u);
+                    // Re-optimize across the unrolled copies: this is
+                    // where CSE turns a stencil's overlapping loads into
+                    // a register window — the paper's central
+                    // registers-for-bandwidth trade.
+                    cfp_opt::optimize_budgeted(&mut unrolled, budget);
+                    plans.insert((b, budget, u), unrolled);
+                }
+            }
+        }
+        PlanCache { plans }
+    }
+
+    /// Look up a plan.
+    #[must_use]
+    pub fn get(&self, bench: Benchmark, budget: usize, unroll: u32) -> Option<&cfp_ir::Kernel> {
+        self.plans.get(&(bench, budget, unroll))
+    }
+
+    /// Number of cached plans.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+}
+
+/// The evaluation of one `(architecture, benchmark)` pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalOutcome {
+    /// Cycles per output unit at the chosen unroll factor, including any
+    /// spill penalty (architecture cycles — multiply by the derate for
+    /// time).
+    pub cycles_per_output: f64,
+    /// The chosen unroll factor.
+    pub unroll: u32,
+    /// Whether even the un-unrolled kernel spilled (penalty applied).
+    pub spilled: bool,
+    /// Compilations performed for this pair (Table 3 accounting).
+    pub compilations: u32,
+}
+
+/// Evaluate one benchmark on one architecture.
+///
+/// # Panics
+/// Panics if the cache is missing the un-unrolled plan for the
+/// benchmark (build the cache with the same benchmarks and register
+/// sizes as the space being explored).
+#[must_use]
+pub fn evaluate(spec: &ArchSpec, bench: Benchmark, cache: &PlanCache) -> EvalOutcome {
+    let machine = MachineResources::from_spec(spec);
+    let budget = residency_budget(spec.regs);
+    let mut best: Option<EvalOutcome> = None;
+    let mut compilations = 0;
+
+    for &u in &UNROLL_SWEEP {
+        let Some(kernel) = cache.get(bench, budget, u) else {
+            break; // body cap reached; larger unrolls only grow
+        };
+        let result = compile(kernel, &machine);
+        compilations += 1;
+        let fits = result.fits();
+        if !fits && u > 1 {
+            break; // the paper's rule: spilling stops the sweep
+        }
+        let cpo = f64::from(result.cycles_per_iter()) / f64::from(kernel.outputs_per_iter);
+        let candidate = EvalOutcome {
+            cycles_per_output: cpo,
+            unroll: u,
+            spilled: !fits,
+            compilations,
+        };
+        if best
+            .as_ref()
+            .is_none_or(|b| cpo < b.cycles_per_output)
+        {
+            best = Some(EvalOutcome {
+                compilations,
+                ..candidate
+            });
+        }
+        if !fits {
+            break; // u == 1 spilled: keep the penalized result, stop
+        }
+    }
+    let mut out = best.expect("unroll sweep always evaluates u = 1");
+    out.compilations = compilations;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache() -> PlanCache {
+        PlanCache::build(&[Benchmark::D, Benchmark::A], &[64, 256], &[1, 2, 4])
+    }
+
+    #[test]
+    fn cache_holds_each_budget_and_unroll() {
+        let c = small_cache();
+        assert!(c.get(Benchmark::D, residency_budget(64), 1).is_some());
+        assert!(c.get(Benchmark::D, residency_budget(256), 4).is_some());
+        assert!(c.get(Benchmark::D, residency_budget(128), 1).is_none());
+        assert_eq!(c.len(), 2 * 2 * 3);
+    }
+
+    #[test]
+    fn baseline_evaluates_every_benchmark() {
+        let cache = PlanCache::build(&Benchmark::ALL, &[64], &[1, 2]);
+        for b in Benchmark::ALL {
+            let out = evaluate(&ArchSpec::baseline(), b, &cache);
+            assert!(out.cycles_per_output > 1.0, "{b}: {out:?}");
+            assert!(out.compilations >= 1);
+        }
+    }
+
+    #[test]
+    fn richer_machine_is_faster_per_output() {
+        let cache = PlanCache::build(&[Benchmark::D], &[64, 256], &[1, 2, 4]);
+        let base = evaluate(&ArchSpec::baseline(), Benchmark::D, &cache);
+        let big = evaluate(
+            &ArchSpec::new(8, 4, 256, 2, 4, 1).unwrap(),
+            Benchmark::D,
+            &cache,
+        );
+        assert!(big.cycles_per_output < base.cycles_per_output);
+    }
+
+    #[test]
+    fn unrolling_is_chosen_when_it_helps() {
+        let cache = PlanCache::build(&[Benchmark::G], &[256], &[1, 2, 4]);
+        let out = evaluate(
+            &ArchSpec::new(8, 4, 256, 4, 2, 1).unwrap(),
+            Benchmark::G,
+            &cache,
+        );
+        assert!(out.unroll > 1, "{out:?}");
+    }
+
+    #[test]
+    fn a_is_stuck_at_unroll_one_on_tiny_register_files() {
+        // The paper's pathology: benchmark A's unrolled 7x7 window does
+        // not fit 8 clusters x 16 registers, so the machine chosen for H
+        // cannot unroll A at all — while the same datapath with 512
+        // registers unrolls deeply and runs several times faster.
+        let cache = PlanCache::build(&[Benchmark::A], &[128, 512], &[1, 2, 4, 8]);
+        let starved = evaluate(
+            &ArchSpec::new(16, 4, 128, 1, 4, 8).unwrap(),
+            Benchmark::A,
+            &cache,
+        );
+        let roomy = evaluate(
+            &ArchSpec::new(16, 4, 512, 1, 4, 8).unwrap(),
+            Benchmark::A,
+            &cache,
+        );
+        assert_eq!(starved.unroll, 1, "{starved:?}");
+        assert!(roomy.unroll >= 4, "{roomy:?}");
+        assert!(roomy.cycles_per_output * 2.0 < starved.cycles_per_output);
+    }
+}

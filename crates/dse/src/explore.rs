@@ -1,0 +1,281 @@
+//! The exhaustive exploration loop (paper §2.2/§2.4).
+//!
+//! "Using some search method, search for a new candidate architecture;
+//! measure the cost; build a version of our compiler that generates good
+//! code for that architecture; generate the code; measure the goodness of
+//! the code; repeat until satisfied." The paper searched exhaustively;
+//! so do we, over every `(base point, cluster arrangement)` of the
+//! [`cfp_machine::DesignSpace`], in parallel worker threads, with full
+//! per-cluster scheduling instead of the paper's clustering correction
+//! factor.
+
+use crate::eval::{evaluate, EvalOutcome, PlanCache, UNROLL_SWEEP};
+use cfp_kernels::Benchmark;
+use cfp_machine::{ArchSpec, CostModel, CycleModel, DesignSpace};
+use std::time::{Duration, Instant};
+
+/// What to explore.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Candidate architectures (all cluster arrangements, clusters set).
+    pub archs: Vec<ArchSpec>,
+    /// Benchmarks to evaluate.
+    pub benches: Vec<Benchmark>,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl ExploreConfig {
+    /// The paper's full experiment: every arrangement of the 192-point
+    /// space, the ten table benchmarks.
+    #[must_use]
+    pub fn paper() -> Self {
+        ExploreConfig {
+            archs: DesignSpace::paper().all_arrangements(),
+            benches: Benchmark::TABLE_COLUMNS.to_vec(),
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
+
+    /// A reduced configuration for tests and quick demos: a handful of
+    /// representative architectures and benchmarks.
+    #[must_use]
+    pub fn smoke() -> Self {
+        let specs = [
+            (1, 1, 64, 1, 8, 1),
+            (2, 1, 64, 1, 4, 1),
+            (4, 2, 128, 1, 4, 1),
+            (4, 2, 256, 1, 4, 4),
+            (8, 2, 128, 1, 4, 4),
+            (8, 4, 256, 2, 4, 2),
+            (16, 4, 128, 1, 4, 8),
+        ];
+        ExploreConfig {
+            archs: specs
+                .into_iter()
+                .map(|(a, m, r, p2, l2, c)| {
+                    ArchSpec::new(a, m, r, p2, l2, c).expect("smoke specs are valid")
+                })
+                .collect(),
+            benches: vec![Benchmark::A, Benchmark::D, Benchmark::F, Benchmark::H],
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
+}
+
+/// Bookkeeping in the spirit of the paper's Table 3.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunStats {
+    /// Benchmark compilations performed (the paper ran 5730).
+    pub compilations: u64,
+    /// Architectures evaluated (the paper had 191 base points).
+    pub architectures: usize,
+    /// Wall-clock time of the exploration.
+    pub wall: Duration,
+}
+
+/// One evaluated architecture.
+#[derive(Debug, Clone)]
+pub struct ArchEval {
+    /// The architecture.
+    pub spec: ArchSpec,
+    /// Baseline-relative datapath cost.
+    pub cost: f64,
+    /// Cycle-time derating factor.
+    pub derate: f64,
+    /// Per-benchmark outcomes (aligned with the exploration's benches).
+    pub outcomes: Vec<EvalOutcome>,
+}
+
+/// The complete result of an exploration.
+#[derive(Debug, Clone)]
+pub struct Exploration {
+    /// Benchmarks, column order.
+    pub benches: Vec<Benchmark>,
+    /// All evaluated architectures.
+    pub archs: Vec<ArchEval>,
+    /// The baseline evaluation (speedup denominator).
+    pub baseline: ArchEval,
+    /// Run bookkeeping.
+    pub stats: RunStats,
+}
+
+impl Exploration {
+    /// Run the codesign loop.
+    ///
+    /// # Panics
+    /// Panics if `config.archs` or `config.benches` is empty.
+    #[must_use]
+    pub fn run(config: &ExploreConfig) -> Self {
+        assert!(!config.archs.is_empty() && !config.benches.is_empty());
+        let start = Instant::now();
+        let cost = CostModel::paper_calibrated();
+        let cycle = CycleModel::paper_calibrated();
+
+        let mut reg_sizes: Vec<u32> = config.archs.iter().map(|a| a.regs).collect();
+        reg_sizes.push(ArchSpec::baseline().regs);
+        let cache = PlanCache::build(&config.benches, &reg_sizes, &UNROLL_SWEEP);
+
+        // Progress reporting for minutes-long sweeps, opt-in via the
+        // CFP_PROGRESS environment variable (kept out of ExploreConfig so
+        // existing literals stay valid).
+        let progress = std::env::var_os("CFP_PROGRESS").is_some();
+        let done = std::sync::atomic::AtomicUsize::new(0);
+        let total = config.archs.len();
+        let eval_one = |spec: &ArchSpec| -> ArchEval {
+            let out = ArchEval {
+                spec: *spec,
+                cost: cost.cost(spec),
+                derate: cycle.derate(spec),
+                outcomes: config
+                    .benches
+                    .iter()
+                    .map(|&b| evaluate(spec, b, &cache))
+                    .collect(),
+            };
+            if progress {
+                let n = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+                if n % 50 == 0 || n == total {
+                    eprintln!("  evaluated {n}/{total} architectures");
+                }
+            }
+            out
+        };
+
+        let baseline = eval_one(&ArchSpec::baseline());
+        done.store(0, std::sync::atomic::Ordering::Relaxed); // don't count the baseline
+
+        let threads = config.threads.max(1);
+        let archs: Vec<ArchEval> = if threads == 1 {
+            config.archs.iter().map(eval_one).collect()
+        } else {
+            let mut slots: Vec<Option<ArchEval>> = vec![None; config.archs.len()];
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for _ in 0..threads {
+                    let next = &next;
+                    let specs = &config.archs;
+                    let eval_one = &eval_one;
+                    handles.push(scope.spawn(move || {
+                        let mut mine = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= specs.len() {
+                                return mine;
+                            }
+                            mine.push((i, eval_one(&specs[i])));
+                        }
+                    }));
+                }
+                for h in handles {
+                    for (i, e) in h.join().expect("worker panicked") {
+                        slots[i] = Some(e);
+                    }
+                }
+            });
+            slots.into_iter().map(|s| s.expect("all filled")).collect()
+        };
+
+        let compilations: u64 = archs
+            .iter()
+            .flat_map(|a| &a.outcomes)
+            .map(|o| u64::from(o.compilations))
+            .sum::<u64>()
+            + baseline
+                .outcomes
+                .iter()
+                .map(|o| u64::from(o.compilations))
+                .sum::<u64>();
+
+        Exploration {
+            benches: config.benches.clone(),
+            stats: RunStats {
+                compilations,
+                architectures: archs.len(),
+                wall: start.elapsed(),
+            },
+            archs,
+            baseline,
+        }
+    }
+
+    /// Speedup of architecture `a` on benchmark column `b`: baseline time
+    /// per output over this architecture's time per output (cycle-time
+    /// derate included, exactly like the paper's "Speedup").
+    #[must_use]
+    pub fn speedup(&self, a: usize, b: usize) -> f64 {
+        let base = self.baseline.outcomes[b].cycles_per_output; // derate 1.0
+        let arch = &self.archs[a];
+        base / (arch.outcomes[b].cycles_per_output * arch.derate)
+    }
+
+    /// All speedups of one architecture, column order.
+    #[must_use]
+    pub fn speedup_row(&self, a: usize) -> Vec<f64> {
+        (0..self.benches.len()).map(|b| self.speedup(a, b)).collect()
+    }
+
+    /// Column index of a benchmark.
+    #[must_use]
+    pub fn bench_index(&self, b: Benchmark) -> Option<usize> {
+        self.benches.iter().position(|&x| x == b)
+    }
+
+    /// Harmonic mean of a speedup row — the paper's `su` column, which
+    /// orders architectures by total running time across the suite.
+    #[must_use]
+    pub fn harmonic_mean(speedups: &[f64]) -> f64 {
+        let s: f64 = speedups.iter().map(|&v| 1.0 / v).sum();
+        speedups.len() as f64 / s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_exploration_is_sane() {
+        let mut cfg = ExploreConfig::smoke();
+        cfg.benches = vec![Benchmark::D, Benchmark::G];
+        let ex = Exploration::run(&cfg);
+        assert_eq!(ex.archs.len(), cfg.archs.len());
+        assert!(ex.stats.compilations > 0);
+        // Baseline evaluated against itself gives speedup 1.0.
+        let base_idx = ex
+            .archs
+            .iter()
+            .position(|a| a.spec == ArchSpec::baseline())
+            .expect("smoke space includes the baseline");
+        for b in 0..ex.benches.len() {
+            let su = ex.speedup(base_idx, b);
+            assert!((su - 1.0).abs() < 1e-9, "baseline speedup {su}");
+        }
+        // Every bigger machine is at least as fast in cycles (speedups
+        // can still dip below 1 from the cycle-time derate).
+        for a in 0..ex.archs.len() {
+            for b in 0..ex.benches.len() {
+                assert!(ex.speedup(a, b) > 0.05, "arch {a} bench {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn harmonic_mean_matches_hand_value() {
+        let hm = Exploration::harmonic_mean(&[1.0, 2.0, 4.0]);
+        assert!((hm - 3.0 / (1.0 + 0.5 + 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut cfg = ExploreConfig::smoke();
+        cfg.benches = vec![Benchmark::D];
+        cfg.archs.truncate(3);
+        let e1 = Exploration::run(&cfg);
+        let e2 = Exploration::run(&cfg);
+        for a in 0..e1.archs.len() {
+            assert_eq!(e1.speedup_row(a), e2.speedup_row(a));
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Persistence: save a completed exploration as CSV and load it back.
+//!
+//! The full 192-point experiment takes minutes; the selection tables,
+//! frontiers, and studies are instant. Persisting the exploration lets
+//! the analysis layers (and external plotting) re-run without
+//! recompiling anything — the same role the paper's collected
+//! measurement logs played. The format is a plain CSV, one row per
+//! `(architecture, benchmark)`, self-describing and diff-friendly.
+
+use crate::eval::EvalOutcome;
+use crate::explore::{ArchEval, Exploration, RunStats};
+use cfp_kernels::Benchmark;
+use cfp_machine::ArchSpec;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Header of the exploration CSV.
+pub const HEADER: &str =
+    "arch,bench,cost,derate,cycles_per_output,unroll,spilled,compilations,is_baseline";
+
+/// A malformed exploration CSV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+/// Serialize an exploration (lossless for everything the analysis layers
+/// read; run statistics are reduced to the compilation count).
+#[must_use]
+pub fn to_csv(ex: &Exploration) -> String {
+    let mut out = String::from(HEADER);
+    out.push('\n');
+    let row = |arch: &ArchEval, is_baseline: bool, out: &mut String| {
+        for (b, o) in ex.benches.iter().zip(&arch.outcomes) {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{}\n",
+                arch.spec.to_string().replace(' ', "/"),
+                b,
+                arch.cost,
+                arch.derate,
+                o.cycles_per_output,
+                o.unroll,
+                u8::from(o.spilled),
+                o.compilations,
+                u8::from(is_baseline),
+            ));
+        }
+    };
+    row(&ex.baseline, true, &mut out);
+    for a in &ex.archs {
+        row(a, false, &mut out);
+    }
+    out
+}
+
+/// Parse an exploration back from [`to_csv`] output.
+///
+/// # Errors
+/// Returns a [`ParseError`] naming the first malformed line.
+pub fn from_csv(text: &str) -> Result<Exploration, ParseError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.trim() == HEADER => {}
+        other => {
+            return Err(ParseError {
+                line: 1,
+                message: format!("bad header: {other:?}"),
+            })
+        }
+    }
+
+    let mut benches: Vec<Benchmark> = Vec::new();
+    // Keyed by (is_baseline, spec) preserving first-seen order via index.
+    let mut order: Vec<(bool, ArchSpec)> = Vec::new();
+    let mut rows: BTreeMap<(bool, ArchSpec), (f64, f64, Vec<EvalOutcome>)> = BTreeMap::new();
+
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let err = |message: String| ParseError { line: lineno, message };
+        let f: Vec<&str> = line.split(',').collect();
+        if f.len() != 9 {
+            return Err(err(format!("expected 9 fields, got {}", f.len())));
+        }
+        let spec = ArchSpec::parse(&f[0].replace('/', " ")).map_err(&err)?;
+        let bench = Benchmark::ALL
+            .into_iter()
+            .find(|b| b.letter() == f[1])
+            .ok_or_else(|| err(format!("unknown benchmark `{}`", f[1])))?;
+        let num = |s: &str| -> Result<f64, ParseError> {
+            s.parse().map_err(|e| err(format!("bad number `{s}`: {e}")))
+        };
+        let cost = num(f[2])?;
+        let derate = num(f[3])?;
+        let outcome = EvalOutcome {
+            cycles_per_output: num(f[4])?,
+            unroll: num(f[5])? as u32,
+            spilled: f[6] == "1",
+            compilations: num(f[7])? as u32,
+        };
+        let is_baseline = f[8] == "1";
+
+        if !benches.contains(&bench) {
+            benches.push(bench);
+        }
+        let key = (is_baseline, spec);
+        if !rows.contains_key(&key) {
+            order.push(key);
+        }
+        rows.entry(key)
+            .or_insert_with(|| (cost, derate, Vec::new()))
+            .2
+            .push(outcome);
+    }
+
+    let mut baseline: Option<ArchEval> = None;
+    let mut archs = Vec::new();
+    for key in order {
+        let (cost, derate, outcomes) = rows.remove(&key).expect("keyed above");
+        if outcomes.len() != benches.len() {
+            return Err(ParseError {
+                line: 0,
+                message: format!(
+                    "architecture {} has {} outcomes for {} benchmarks",
+                    key.1,
+                    outcomes.len(),
+                    benches.len()
+                ),
+            });
+        }
+        let eval = ArchEval {
+            spec: key.1,
+            cost,
+            derate,
+            outcomes,
+        };
+        if key.0 {
+            baseline = Some(eval);
+        } else {
+            archs.push(eval);
+        }
+    }
+    let baseline = baseline.ok_or(ParseError {
+        line: 0,
+        message: "no baseline row".to_owned(),
+    })?;
+    let compilations = archs
+        .iter()
+        .chain(std::iter::once(&baseline))
+        .flat_map(|a| &a.outcomes)
+        .map(|o| u64::from(o.compilations))
+        .sum();
+    Ok(Exploration {
+        benches,
+        stats: RunStats {
+            compilations,
+            architectures: archs.len(),
+            wall: std::time::Duration::ZERO,
+        },
+        archs,
+        baseline,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::ExploreConfig;
+
+    fn small() -> Exploration {
+        let mut cfg = ExploreConfig::smoke();
+        cfg.archs.truncate(4);
+        cfg.benches = vec![Benchmark::D, Benchmark::G];
+        Exploration::run(&cfg)
+    }
+
+    #[test]
+    fn round_trip_preserves_the_analysis_view() {
+        let ex = small();
+        let csv = to_csv(&ex);
+        let back = from_csv(&csv).expect("parses");
+        assert_eq!(back.benches, ex.benches);
+        assert_eq!(back.archs.len(), ex.archs.len());
+        for a in 0..ex.archs.len() {
+            assert_eq!(back.archs[a].spec, ex.archs[a].spec);
+            for b in 0..ex.benches.len() {
+                assert_eq!(back.speedup(a, b), ex.speedup(a, b), "({a},{b})");
+            }
+        }
+        // Analysis layers agree end to end.
+        let s1 = crate::select::select(&ex, 0, 10.0, crate::select::Range::Fraction(0.1));
+        let s2 = crate::select::select(&back, 0, 10.0, crate::select::Range::Fraction(0.1));
+        assert_eq!(s1.map(|s| s.spec), s2.map(|s| s.spec));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_csv("").is_err());
+        assert!(from_csv("not,the,header\n").is_err());
+        let ex = small();
+        let csv = to_csv(&ex);
+        // Chop a field off some row.
+        let broken: String = csv
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                if i == 2 {
+                    l.rsplit_once(',').map(|(a, _)| a.to_owned()).unwrap()
+                } else {
+                    l.to_owned()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(from_csv(&broken).is_err());
+    }
+
+    #[test]
+    fn csv_is_plain_and_headed() {
+        let csv = to_csv(&small());
+        assert!(csv.starts_with(HEADER));
+        assert!(!csv.contains(' '), "specs use `/` separators in CSV");
+    }
+}

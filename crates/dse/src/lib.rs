@@ -1,0 +1,53 @@
+//! # cfp-dse — the custom-fit design-space exploration
+//!
+//! The paper's primary contribution, assembled from the substrates: an
+//! exhaustive hardware/software codesign loop that, given an application
+//! (or a suite), finds the clustered-VLIW architecture that runs it best
+//! under a cost budget.
+//!
+//! * [`eval`] — one `(architecture, benchmark)` evaluation: optimize
+//!   with a machine-derived residency budget, sweep unroll factors until
+//!   spilling, keep the best cycles-per-output;
+//! * [`explore`] — the exhaustive parallel sweep over the design space,
+//!   with the cost and cycle-time models attached and Table 3-style run
+//!   statistics;
+//! * [`mod@select`] — COST/RANGE architecture selection (Tables 8–10);
+//! * [`pareto`] — scatter points and best-alternative frontiers
+//!   (Figures 3–4);
+//! * [`search`] — non-exhaustive search strategies over the space,
+//!   answering the paper's open question about search effectiveness;
+//! * [`correction`] — the paper's clustering correction-factor
+//!   approximation, as an ablation against our full clustered
+//!   scheduling;
+//! * [`report`], [`tables`] — plain-text/CSV renderings in the paper's
+//!   layouts.
+//!
+//! ```no_run
+//! use cfp_dse::{explore::{ExploreConfig, Exploration}, select::{select, Range}};
+//!
+//! let ex = Exploration::run(&ExploreConfig::paper());
+//! // The architecture custom-fit to benchmark A under cost 10:
+//! let sel = select(&ex, 0, 10.0, Range::Fraction(0.0)).unwrap();
+//! println!("A's machine: {} at cost {:.1}", sel.spec, sel.cost);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod correction;
+pub mod eval;
+pub mod explore;
+pub mod io;
+pub mod pareto;
+pub mod report;
+pub mod search;
+pub mod select;
+pub mod tables;
+
+pub use eval::{evaluate, EvalOutcome, PlanCache};
+pub use explore::{ArchEval, Exploration, ExploreConfig, RunStats};
+pub use pareto::{frontier, scatter, ScatterPoint};
+pub use io::{from_csv, to_csv};
+pub use search::{SearchReport, Strategy};
+pub use select::{select, Range, Selection};
+pub use tables::{paper_ranges, render, speedup_table, SpeedupTable};

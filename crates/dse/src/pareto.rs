@@ -1,0 +1,101 @@
+//! Cost/speedup scatter data and best-alternative frontiers
+//! (paper Figures 3 and 4).
+
+use crate::explore::Exploration;
+use cfp_machine::ArchSpec;
+
+/// One point of a scatter diagram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScatterPoint {
+    /// The architecture (best cluster arrangement for this benchmark).
+    pub spec: ArchSpec,
+    /// Baseline-relative cost.
+    pub cost: f64,
+    /// Speedup on the benchmark.
+    pub speedup: f64,
+}
+
+/// The scatter for one benchmark: one point per *base point* of the
+/// space, "after the best cluster arrangement had been selected"
+/// (Figure 3's caption) — the arrangement with the highest speedup,
+/// cheaper on ties.
+#[must_use]
+pub fn scatter(exploration: &Exploration, bench: usize) -> Vec<ScatterPoint> {
+    use std::collections::HashMap;
+    let mut best: HashMap<(u32, u32, u32, u32, u32), ScatterPoint> = HashMap::new();
+    for (i, arch) in exploration.archs.iter().enumerate() {
+        let s = arch.spec;
+        let key = (s.alus, s.muls, s.regs, s.l2_ports, s.l2_latency);
+        let p = ScatterPoint {
+            spec: s,
+            cost: arch.cost,
+            speedup: exploration.speedup(i, bench),
+        };
+        best.entry(key)
+            .and_modify(|cur| {
+                let better = p.speedup > cur.speedup + 1e-12
+                    || ((p.speedup - cur.speedup).abs() <= 1e-12 && p.cost < cur.cost);
+                if better {
+                    *cur = p;
+                }
+            })
+            .or_insert(p);
+    }
+    let mut points: Vec<ScatterPoint> = best.into_values().collect();
+    points.sort_by(|a, b| {
+        a.cost
+            .partial_cmp(&b.cost)
+            .expect("finite")
+            .then(a.spec.cmp(&b.spec))
+    });
+    points
+}
+
+/// Indices of the best cost/performance alternatives: the staircase of
+/// points whose speedup strictly exceeds every cheaper point's (the line
+/// the paper draws through each scatter diagram).
+#[must_use]
+pub fn frontier(points: &[ScatterPoint]) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut best = f64::NEG_INFINITY;
+    for (i, p) in points.iter().enumerate() {
+        if p.speedup > best + 1e-12 {
+            best = p.speedup;
+            out.push(i);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::ExploreConfig;
+    use cfp_kernels::Benchmark;
+
+    #[test]
+    fn scatter_has_one_point_per_base_and_frontier_is_monotone() {
+        let mut cfg = ExploreConfig::smoke();
+        cfg.benches = vec![Benchmark::D];
+        let ex = Exploration::run(&cfg);
+        let pts = scatter(&ex, 0);
+        // The smoke space has 7 distinct base configurations.
+        assert_eq!(pts.len(), 7);
+        let f = frontier(&pts);
+        assert!(!f.is_empty());
+        let mut last_cost = f64::NEG_INFINITY;
+        let mut last_su = f64::NEG_INFINITY;
+        for &i in &f {
+            assert!(pts[i].cost >= last_cost);
+            assert!(pts[i].speedup > last_su);
+            last_cost = pts[i].cost;
+            last_su = pts[i].speedup;
+        }
+        // The frontier contains the global best point.
+        let best = pts
+            .iter()
+            .map(|p| p.speedup)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!((pts[*f.last().unwrap()].speedup - best).abs() < 1e-12);
+    }
+}

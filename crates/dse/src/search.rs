@@ -1,0 +1,406 @@
+//! Search strategies over the design space.
+//!
+//! The paper searched exhaustively and noted: "we are confident that any
+//! good search technique could cut down significantly on our processing
+//! time without greatly affecting the results" (§2.2) — and lists "how
+//! effective are search methods?" among its open questions (§1.1). This
+//! module answers that question empirically: several classic strategies
+//! run against a completed [`Exploration`] used as an oracle, counting
+//! how many candidate evaluations each needs to get within a given
+//! fraction of the exhaustive optimum.
+//!
+//! The objective is the paper's design task: maximize the target
+//! benchmark's speedup subject to a cost bound.
+
+use crate::explore::Exploration;
+use cfp_machine::ArchSpec;
+use std::collections::{HashMap, HashSet};
+
+/// A deterministic, dependency-free PRNG (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Seeded constructor.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform index in `0..n`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0);
+        usize::try_from(self.next_u64() % (n as u64)).expect("fits")
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1_u64 << 53) as f64
+    }
+}
+
+/// A search strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Evaluate everything (the paper's method).
+    Exhaustive,
+    /// Evaluate `n` uniformly random candidates.
+    RandomSample {
+        /// Sample size.
+        n: usize,
+    },
+    /// Greedy hill climbing in the parameter lattice, with restarts.
+    HillClimb {
+        /// Number of random restarts.
+        restarts: usize,
+    },
+    /// Simulated annealing with a geometric cooling schedule.
+    Anneal {
+        /// Total proposal steps.
+        steps: usize,
+    },
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Strategy::Exhaustive => f.write_str("exhaustive"),
+            Strategy::RandomSample { n } => write!(f, "random({n})"),
+            Strategy::HillClimb { restarts } => write!(f, "hill-climb({restarts})"),
+            Strategy::Anneal { steps } => write!(f, "anneal({steps})"),
+        }
+    }
+}
+
+/// The outcome of one search run.
+#[derive(Debug, Clone)]
+pub struct SearchReport {
+    /// The strategy used.
+    pub strategy: Strategy,
+    /// Distinct candidates evaluated (the cost the paper wanted to cut).
+    pub evaluations: usize,
+    /// The best architecture found (cost within the bound).
+    pub best: Option<ArchSpec>,
+    /// Its target speedup.
+    pub best_speedup: f64,
+    /// `best_speedup / exhaustive_best_speedup` — 1.0 means the search
+    /// found the true optimum.
+    pub quality: f64,
+}
+
+/// The oracle: target speedups and costs precomputed by an exploration.
+struct Oracle<'a> {
+    ex: &'a Exploration,
+    target: usize,
+    cost_bound: f64,
+    index_of: HashMap<ArchSpec, usize>,
+    queried: HashSet<usize>,
+}
+
+impl<'a> Oracle<'a> {
+    fn new(ex: &'a Exploration, target: usize, cost_bound: f64) -> Self {
+        Oracle {
+            ex,
+            target,
+            cost_bound,
+            index_of: ex
+                .archs
+                .iter()
+                .enumerate()
+                .map(|(i, a)| (a.spec, i))
+                .collect(),
+            queried: HashSet::new(),
+        }
+    }
+
+    /// Objective value: target speedup, or -inf when over budget or
+    /// outside the space.
+    fn eval(&mut self, spec: &ArchSpec) -> f64 {
+        let Some(&i) = self.index_of.get(spec) else {
+            return f64::NEG_INFINITY;
+        };
+        self.queried.insert(i);
+        if self.ex.archs[i].cost > self.cost_bound {
+            return f64::NEG_INFINITY;
+        }
+        self.ex.speedup(i, self.target)
+    }
+
+    fn specs(&self) -> Vec<ArchSpec> {
+        self.ex.archs.iter().map(|a| a.spec).collect()
+    }
+}
+
+/// Lattice neighbors of a spec: one parameter moved one step along its
+/// enumerated values, keeping the spec valid.
+#[must_use]
+pub fn neighbors(spec: &ArchSpec) -> Vec<ArchSpec> {
+    let alus = [1_u32, 2, 4, 8, 16];
+    let regs = [64_u32, 128, 256, 512];
+    let ports = [1_u32, 2, 4];
+    let lats = [4_u32, 8];
+    let clusters = [1_u32, 2, 4, 8, 16];
+
+    let mut out = Vec::new();
+    let mut push = |s: ArchSpec| {
+        if s.validate().is_ok() && &s != spec {
+            out.push(s);
+        }
+    };
+    let step = |vals: &[u32], cur: u32| -> Vec<u32> {
+        vals.iter()
+            .position(|&v| v == cur)
+            .map(|i| {
+                let mut v = Vec::new();
+                if i > 0 {
+                    v.push(vals[i - 1]);
+                }
+                if i + 1 < vals.len() {
+                    v.push(vals[i + 1]);
+                }
+                v
+            })
+            .unwrap_or_default()
+    };
+
+    for a in step(&alus, spec.alus) {
+        // Keep the IMUL fraction legal for the new ALU count.
+        let m = spec.muls.clamp((a / 4).max(1), (a / 2).max(1));
+        push(ArchSpec { alus: a, muls: m, ..*spec });
+    }
+    // Toggle between the two legal IMUL fractions.
+    for m in [(spec.alus / 4).max(1), (spec.alus / 2).max(1)] {
+        push(ArchSpec { muls: m, ..*spec });
+    }
+    for r in step(&regs, spec.regs) {
+        push(ArchSpec { regs: r, ..*spec });
+    }
+    for p in step(&ports, spec.l2_ports) {
+        push(ArchSpec { l2_ports: p, ..*spec });
+    }
+    for l in step(&lats, spec.l2_latency) {
+        push(ArchSpec { l2_latency: l, ..*spec });
+    }
+    for c in step(&clusters, spec.clusters) {
+        push(ArchSpec { clusters: c, ..*spec });
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Run one strategy against the exploration oracle.
+#[must_use]
+pub fn run(
+    ex: &Exploration,
+    target: usize,
+    cost_bound: f64,
+    strategy: Strategy,
+    seed: u64,
+) -> SearchReport {
+    let mut oracle = Oracle::new(ex, target, cost_bound);
+    let specs = oracle.specs();
+    let mut rng = SplitMix64::new(seed ^ 0x5eed);
+
+    let mut best: Option<(f64, ArchSpec)> = None;
+    let consider = |v: f64, s: ArchSpec, best: &mut Option<(f64, ArchSpec)>| {
+        if v.is_finite() && best.as_ref().is_none_or(|(b, _)| v > *b) {
+            *best = Some((v, s));
+        }
+    };
+
+    match strategy {
+        Strategy::Exhaustive => {
+            for s in &specs {
+                let v = oracle.eval(s);
+                consider(v, *s, &mut best);
+            }
+        }
+        Strategy::RandomSample { n } => {
+            for _ in 0..n {
+                let s = specs[rng.below(specs.len())];
+                let v = oracle.eval(&s);
+                consider(v, s, &mut best);
+            }
+        }
+        Strategy::HillClimb { restarts } => {
+            for _ in 0..restarts.max(1) {
+                let mut cur = specs[rng.below(specs.len())];
+                let mut cur_v = oracle.eval(&cur);
+                consider(cur_v, cur, &mut best);
+                loop {
+                    let mut improved = false;
+                    for n in neighbors(&cur) {
+                        let v = oracle.eval(&n);
+                        consider(v, n, &mut best);
+                        if v > cur_v {
+                            cur = n;
+                            cur_v = v;
+                            improved = true;
+                        }
+                    }
+                    if !improved {
+                        break;
+                    }
+                }
+            }
+        }
+        Strategy::Anneal { steps } => {
+            let mut cur = specs[rng.below(specs.len())];
+            let mut cur_v = oracle.eval(&cur);
+            consider(cur_v, cur, &mut best);
+            let t0 = 2.0_f64;
+            for step in 0..steps {
+                let temp = t0 * 0.98_f64.powi(i32::try_from(step).unwrap_or(i32::MAX));
+                let ns = neighbors(&cur);
+                if ns.is_empty() {
+                    break;
+                }
+                let cand = ns[rng.below(ns.len())];
+                let v = oracle.eval(&cand);
+                consider(v, cand, &mut best);
+                let accept = v > cur_v
+                    || (v.is_finite()
+                        && rng.unit() < ((v - cur_v) / temp.max(1e-6)).exp());
+                if accept {
+                    cur = cand;
+                    cur_v = v;
+                }
+            }
+        }
+    }
+
+    let exhaustive_best = (0..ex.archs.len())
+        .filter(|&i| ex.archs[i].cost <= cost_bound)
+        .map(|i| ex.speedup(i, target))
+        .fold(f64::NEG_INFINITY, f64::max);
+    let (best_speedup, best_spec) = match best {
+        Some((v, s)) => (v, Some(s)),
+        None => (f64::NEG_INFINITY, None),
+    };
+    SearchReport {
+        strategy,
+        evaluations: oracle.queried.len(),
+        best: best_spec,
+        best_speedup,
+        quality: if exhaustive_best > 0.0 && best_speedup.is_finite() {
+            best_speedup / exhaustive_best
+        } else {
+            0.0
+        },
+    }
+}
+
+/// The study: every strategy on every benchmark column, averaged over
+/// seeds. Returns `(strategy, mean evaluations, mean quality)` rows.
+#[must_use]
+pub fn study(ex: &Exploration, cost_bound: f64, seeds: &[u64]) -> Vec<(Strategy, f64, f64)> {
+    let strategies = [
+        Strategy::Exhaustive,
+        Strategy::RandomSample { n: (ex.archs.len() / 4).max(1) },
+        Strategy::RandomSample { n: (ex.archs.len() / 16).max(1) },
+        Strategy::HillClimb { restarts: 3 },
+        Strategy::Anneal { steps: 60 },
+    ];
+    strategies
+        .into_iter()
+        .map(|st| {
+            let mut evals = 0.0;
+            let mut quality = 0.0;
+            let mut n = 0.0;
+            for t in 0..ex.benches.len() {
+                for &seed in seeds {
+                    let r = run(ex, t, cost_bound, st, seed);
+                    evals += r.evaluations as f64;
+                    quality += r.quality;
+                    n += 1.0;
+                }
+            }
+            (st, evals / n, quality / n)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::ExploreConfig;
+    use cfp_kernels::Benchmark;
+
+    fn ex() -> Exploration {
+        let mut cfg = ExploreConfig::smoke();
+        cfg.benches = vec![Benchmark::D, Benchmark::H];
+        Exploration::run(&cfg)
+    }
+
+    #[test]
+    fn exhaustive_finds_the_optimum_by_definition() {
+        let ex = ex();
+        let r = run(&ex, 0, 10.0, Strategy::Exhaustive, 1);
+        assert!((r.quality - 1.0).abs() < 1e-12, "{r:?}");
+        assert_eq!(r.evaluations, ex.archs.len());
+    }
+
+    #[test]
+    fn sampling_evaluates_fewer_and_never_exceeds_exhaustive() {
+        let ex = ex();
+        for seed in [1_u64, 2, 3] {
+            let r = run(&ex, 0, 10.0, Strategy::RandomSample { n: 3 }, seed);
+            assert!(r.evaluations <= 3);
+            assert!(r.quality <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn searches_are_deterministic_in_the_seed() {
+        let ex = ex();
+        let a = run(&ex, 1, 10.0, Strategy::Anneal { steps: 30 }, 42);
+        let b = run(&ex, 1, 10.0, Strategy::Anneal { steps: 30 }, 42);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn neighbors_step_one_parameter_and_stay_valid() {
+        let s = ArchSpec::new(8, 4, 256, 2, 4, 2).unwrap();
+        let ns = neighbors(&s);
+        assert!(!ns.is_empty());
+        for n in &ns {
+            assert!(n.validate().is_ok());
+            let diffs = usize::from(n.alus != s.alus)
+                + usize::from(n.regs != s.regs)
+                + usize::from(n.l2_ports != s.l2_ports)
+                + usize::from(n.l2_latency != s.l2_latency)
+                + usize::from(n.clusters != s.clusters);
+            // muls may co-move with alus to stay legal.
+            assert!(diffs <= 1 || (diffs == 1 && n.muls != s.muls), "{n}");
+        }
+        // Extremes have fewer neighbors but still some.
+        assert!(!neighbors(&ArchSpec::baseline()).is_empty());
+    }
+
+    #[test]
+    fn study_reports_every_strategy() {
+        let ex = ex();
+        let rows = study(&ex, 10.0, &[1, 2]);
+        assert_eq!(rows.len(), 5);
+        // Exhaustive always has quality 1.
+        assert!((rows[0].2 - 1.0).abs() < 1e-12);
+        for (_, evals, quality) in &rows {
+            assert!(*evals >= 1.0);
+            assert!(*quality >= 0.0 && *quality <= 1.0 + 1e-12);
+        }
+    }
+}

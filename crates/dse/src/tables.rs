@@ -1,0 +1,123 @@
+//! Reconstruction of the paper's Tables 8–10.
+
+use crate::explore::Exploration;
+use crate::report::TextTable;
+use crate::select::{select, Range, Selection};
+
+/// One RANGE section of a speedup table.
+#[derive(Debug, Clone)]
+pub struct TableSection {
+    /// The RANGE used.
+    pub range: Range,
+    /// `(target label, selection)` rows; the `Infinite` section has a
+    /// single `"all"` row.
+    pub rows: Vec<(String, Selection)>,
+}
+
+/// A full Tables-8/9/10-style result.
+#[derive(Debug, Clone)]
+pub struct SpeedupTable {
+    /// The cost bound (5.0 / 10.0 / 15.0 in the paper).
+    pub cost_bound: f64,
+    /// Sections in RANGE order.
+    pub sections: Vec<TableSection>,
+}
+
+/// The ranges each paper table explores at its cost bound.
+#[must_use]
+pub fn paper_ranges(cost_bound: f64) -> Vec<Range> {
+    if (cost_bound - 10.0).abs() < 1e-9 {
+        // The medium-cost table adds the instructive 50% row.
+        vec![
+            Range::Fraction(0.0),
+            Range::Fraction(0.10),
+            Range::Fraction(0.50),
+            Range::Infinite,
+        ]
+    } else {
+        vec![Range::Fraction(0.0), Range::Fraction(0.10), Range::Infinite]
+    }
+}
+
+/// Build the table for one cost bound.
+#[must_use]
+pub fn speedup_table(exploration: &Exploration, cost_bound: f64, ranges: &[Range]) -> SpeedupTable {
+    let sections = ranges
+        .iter()
+        .map(|&range| {
+            let rows = match range {
+                Range::Infinite => select(exploration, 0, cost_bound, range)
+                    .map(|sel| vec![("all".to_owned(), sel)])
+                    .unwrap_or_default(),
+                Range::Fraction(_) => (0..exploration.benches.len())
+                    .filter_map(|t| {
+                        select(exploration, t, cost_bound, range)
+                            .map(|sel| (exploration.benches[t].to_string(), sel))
+                    })
+                    .collect(),
+            };
+            TableSection { range, rows }
+        })
+        .collect();
+    SpeedupTable {
+        cost_bound,
+        sections,
+    }
+}
+
+/// Render in the paper's layout: one block per RANGE, rows
+/// `target(arch) (su, c)` followed by the per-benchmark speedups.
+#[must_use]
+pub fn render(table: &SpeedupTable, exploration: &Exploration) -> String {
+    let mut out = String::new();
+    for section in &table.sections {
+        out.push_str(&format!(
+            "Cost={:.1} Range={}\n",
+            table.cost_bound, section.range
+        ));
+        let mut header = vec!["Arch Desc".to_owned(), "(su c)".to_owned()];
+        header.extend(exploration.benches.iter().map(|b| format!("{b}.c")));
+        let mut t = TextTable::new(header);
+        for (label, sel) in &section.rows {
+            let mut cells = vec![
+                format!("{label}{}", sel.spec),
+                format!("({:.1} {:.1})", sel.su, sel.cost),
+            ];
+            cells.extend(sel.speedups.iter().map(|s| format!("{s:.2}")));
+            t.row(cells);
+        }
+        out.push_str(&t.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::ExploreConfig;
+    use cfp_kernels::Benchmark;
+
+    #[test]
+    fn table_builds_and_renders() {
+        let mut cfg = ExploreConfig::smoke();
+        cfg.benches = vec![Benchmark::A, Benchmark::H];
+        let ex = Exploration::run(&cfg);
+        let table = speedup_table(&ex, 10.0, &paper_ranges(10.0));
+        assert_eq!(table.sections.len(), 4);
+        assert_eq!(table.sections[0].rows.len(), 2, "one row per target");
+        assert_eq!(table.sections[3].rows.len(), 1, "single `all` row");
+        let text = render(&table, &ex);
+        assert!(text.contains("Cost=10.0 Range=0%"));
+        assert!(text.contains("Cost=10.0 Range=inf"));
+        assert!(text.contains("A("));
+        assert!(text.contains("all("));
+    }
+
+    #[test]
+    fn paper_ranges_differ_by_cost() {
+        assert_eq!(paper_ranges(5.0).len(), 3);
+        assert_eq!(paper_ranges(10.0).len(), 4);
+        assert_eq!(paper_ranges(15.0).len(), 3);
+    }
+}

@@ -1,0 +1,71 @@
+//! Compiler diagnostics with source locations.
+
+use crate::token::Span;
+use std::error::Error;
+use std::fmt;
+
+/// A front-end error: message plus the source span it refers to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    message: String,
+    span: Span,
+}
+
+impl CompileError {
+    /// Construct an error.
+    #[must_use]
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        CompileError {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// The error message (without location).
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The offending span.
+    #[must_use]
+    pub fn span(&self) -> Span {
+        self.span
+    }
+
+    /// Render with `line:col` and a caret line, given the original source.
+    #[must_use]
+    pub fn render(&self, src: &str) -> String {
+        let (line, col) = self.span.line_col(src);
+        let line_text = src.lines().nth(line - 1).unwrap_or("");
+        let caret = " ".repeat(col.saturating_sub(1)) + "^";
+        format!("error at {line}:{col}: {}\n  {line_text}\n  {caret}", self.message)
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (bytes {}..{})",
+            self.message, self.span.start, self.span.end
+        )
+    }
+}
+
+impl Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_points_at_the_problem() {
+        let src = "var x = 1;\nvar y = $;\n";
+        let e = CompileError::new("unrecognized character `$`", Span::new(19, 20));
+        let r = e.render(src);
+        assert!(r.contains("error at 2:9"), "{r}");
+        assert!(r.contains("var y = $;"), "{r}");
+        assert!(r.lines().last().unwrap().trim_end().ends_with('^'), "{r}");
+    }
+}

@@ -1,0 +1,258 @@
+//! Hand-written lexer for the kernel DSL.
+
+use crate::diag::CompileError;
+use crate::token::{Span, Tok, Token};
+
+/// Tokenize `src` fully.
+///
+/// # Errors
+/// Returns [`CompileError`] on an unrecognized character or malformed
+/// integer literal.
+pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let start = i;
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                let open = i;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(CompileError::new(
+                            "unterminated block comment",
+                            Span::new(open, open + 2),
+                        ));
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let (tok, next) = lex_number(src, i)?;
+                out.push(Token {
+                    tok,
+                    span: Span::new(start, next),
+                });
+                i = next;
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let mut j = i + 1;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                let word = &src[i..j];
+                out.push(Token {
+                    tok: keyword_or_ident(word),
+                    span: Span::new(i, j),
+                });
+                i = j;
+            }
+            _ => {
+                let (tok, len) = lex_operator(bytes, i)
+                    .ok_or_else(|| {
+                        CompileError::new(
+                            format!("unrecognized character `{c}`"),
+                            Span::new(i, i + 1),
+                        )
+                    })?;
+                out.push(Token {
+                    tok,
+                    span: Span::new(i, i + len),
+                });
+                i += len;
+            }
+        }
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        span: Span::new(bytes.len(), bytes.len()),
+    });
+    Ok(out)
+}
+
+fn lex_number(src: &str, start: usize) -> Result<(Tok, usize), CompileError> {
+    let bytes = src.as_bytes();
+    let (radix, digits_start) =
+        if bytes[start] == b'0' && matches!(bytes.get(start + 1), Some(b'x' | b'X')) {
+            (16, start + 2)
+        } else {
+            (10, start)
+        };
+    let mut j = digits_start;
+    while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+        j += 1;
+    }
+    let text: String = src[digits_start..j].chars().filter(|&c| c != '_').collect();
+    let value = i64::from_str_radix(&text, radix).map_err(|e| {
+        CompileError::new(
+            format!("malformed integer literal: {e}"),
+            Span::new(start, j),
+        )
+    })?;
+    Ok((Tok::Int(value), j))
+}
+
+fn keyword_or_ident(word: &str) -> Tok {
+    match word {
+        "kernel" => Tok::Kernel,
+        "in" => Tok::In,
+        "out" => Tok::Out,
+        "inout" => Tok::Inout,
+        "const" => Tok::Const,
+        "var" => Tok::Var,
+        "local" => Tok::Local,
+        "loop" => Tok::Loop,
+        "for" => Tok::For,
+        "if" => Tok::If,
+        "else" => Tok::Else,
+        "produces" => Tok::Produces,
+        "l1" => Tok::L1,
+        "l2" => Tok::L2,
+        "u8" => Tok::U8,
+        "i8" => Tok::I8,
+        "u16" => Tok::U16,
+        "i16" => Tok::I16,
+        "i32" => Tok::I32,
+        _ => Tok::Ident(word.to_owned()),
+    }
+}
+
+fn lex_operator(bytes: &[u8], i: usize) -> Option<(Tok, usize)> {
+    let pair = |o: usize| bytes.get(i + o).copied();
+    let tok3 = match (bytes[i], pair(1), pair(2)) {
+        (b'>', Some(b'>'), Some(b'>')) => Some(Tok::Ushr),
+        _ => None,
+    };
+    if let Some(t) = tok3 {
+        return Some((t, 3));
+    }
+    let tok2 = match (bytes[i], pair(1)) {
+        (b'<', Some(b'<')) => Some(Tok::Shl),
+        (b'>', Some(b'>')) => Some(Tok::Shr),
+        (b'=', Some(b'=')) => Some(Tok::EqEq),
+        (b'!', Some(b'=')) => Some(Tok::NotEq),
+        (b'<', Some(b'=')) => Some(Tok::Le),
+        (b'>', Some(b'=')) => Some(Tok::Ge),
+        (b'&', Some(b'&')) => Some(Tok::AndAnd),
+        (b'|', Some(b'|')) => Some(Tok::OrOr),
+        (b'.', Some(b'.')) => Some(Tok::DotDot),
+        _ => None,
+    };
+    if let Some(t) = tok2 {
+        return Some((t, 2));
+    }
+    let tok1 = match bytes[i] {
+        b'(' => Tok::LParen,
+        b')' => Tok::RParen,
+        b'{' => Tok::LBrace,
+        b'}' => Tok::RBrace,
+        b'[' => Tok::LBracket,
+        b']' => Tok::RBracket,
+        b',' => Tok::Comma,
+        b';' => Tok::Semi,
+        b':' => Tok::Colon,
+        b'?' => Tok::Question,
+        b'=' => Tok::Assign,
+        b'+' => Tok::Plus,
+        b'-' => Tok::Minus,
+        b'*' => Tok::Star,
+        b'&' => Tok::Amp,
+        b'|' => Tok::Pipe,
+        b'^' => Tok::Caret,
+        b'~' => Tok::Tilde,
+        b'!' => Tok::Bang,
+        b'<' => Tok::Lt,
+        b'>' => Tok::Gt,
+        _ => return None,
+    };
+    Some((tok1, 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_a_kernel_header() {
+        let toks = kinds("kernel f(in l2 u8 src[], out u8 dst[]) {}");
+        assert_eq!(toks[0], Tok::Kernel);
+        assert_eq!(toks[1], Tok::Ident("f".into()));
+        assert!(toks.contains(&Tok::LBracket));
+        assert_eq!(*toks.last().unwrap(), Tok::Eof);
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(kinds("42")[0], Tok::Int(42));
+        assert_eq!(kinds("0x80")[0], Tok::Int(128));
+        assert_eq!(kinds("1_000")[0], Tok::Int(1000));
+    }
+
+    #[test]
+    fn lexes_operators_greedily() {
+        assert_eq!(
+            kinds("a >>> b >> c >= d > e"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ushr,
+                Tok::Ident("b".into()),
+                Tok::Shr,
+                Tok::Ident("c".into()),
+                Tok::Ge,
+                Tok::Ident("d".into()),
+                Tok::Gt,
+                Tok::Ident("e".into()),
+                Tok::Eof
+            ]
+        );
+        assert_eq!(kinds("0..7")[1], Tok::DotDot);
+        assert_eq!(kinds("a && b")[1], Tok::AndAnd);
+    }
+
+    #[test]
+    fn skips_comments() {
+        let toks = kinds("a // line\nb /* block\nstill */ c");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("a $ b").is_err());
+        assert!(lex("/* unterminated").is_err());
+        assert!(lex("0xzz").is_err());
+    }
+
+    #[test]
+    fn spans_point_at_source() {
+        let toks = lex("ab cd").unwrap();
+        assert_eq!(toks[1].span, Span::new(3, 5));
+    }
+}

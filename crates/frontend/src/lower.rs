@@ -1,0 +1,1022 @@
+//! Lowering: AST → `cfp_ir::Kernel`.
+//!
+//! This stage performs, in one walk, the source-level transformations the
+//! paper applies to every benchmark before scheduling ("proper source
+//! code transformations have been applied … to expose ILP — loop
+//! transformations, if-conversion, etc.", §2.3):
+//!
+//! * **full unrolling** of constant-bound `for` loops (each copy binds
+//!   the loop variable to a constant, so indices fold);
+//! * **if-conversion**: both branches of an `if` are lowered
+//!   speculatively and every scalar they disagree on is merged with a
+//!   select; stores under an `if` are rejected (the machine has no
+//!   predicated stores);
+//! * **loop-invariant hoisting**: everything outside the single `loop`
+//!   statement lowers into the kernel preamble and stays in registers for
+//!   the whole loop;
+//! * **carried-scalar discovery**: scalars declared before the `loop`
+//!   and assigned inside it become explicit loop-carried values;
+//! * **affine index tracking**: index expressions are evaluated
+//!   symbolically as `c0 + c1·i`, producing exact affine [`MemRef`]s for
+//!   the scheduler's dependence test; a non-affine index falls back to a
+//!   dynamic register index (with conservative dependences).
+
+use crate::ast::{BinaryOp, Dir, Expr, KernelAst, Param, Stmt, UnaryOp};
+use crate::diag::CompileError;
+use crate::token::Span;
+use cfp_ir::{
+    ArrayDecl, ArrayId, ArrayKind, Carried, CarriedInit, Inst, Kernel, MemRef, Operand, Pred, Ty,
+    UnOp, Vreg,
+};
+use std::collections::HashMap;
+
+/// Lower a parsed kernel, binding each `const` parameter to a value.
+///
+/// # Errors
+/// Returns a [`CompileError`] for semantic violations: undefined or
+/// doubly-defined names, missing/extra const bindings, non-constant
+/// bounds, stores under `if`, non-affine use of the loop variable,
+/// multiple or non-top-level `loop` statements, and the like.
+pub fn lower(ast: &KernelAst, consts: &[(&str, i64)]) -> Result<Kernel, CompileError> {
+    let mut lw = Lowerer::new(ast.name.clone());
+    lw.declare_params(ast, consts)?;
+    let mut saw_loop = false;
+    for stmt in &ast.body {
+        if saw_loop {
+            return Err(CompileError::new(
+                "statements after the `loop` are not supported",
+                stmt_span(stmt),
+            ));
+        }
+        saw_loop = matches!(stmt, Stmt::Loop { .. });
+        lw.stmt(stmt)?;
+    }
+    let kernel = lw.finish();
+    debug_assert_eq!(cfp_ir::verify(&kernel), Ok(()), "lowering broke IR invariants");
+    Ok(kernel)
+}
+
+fn stmt_span(s: &Stmt) -> Span {
+    match s {
+        Stmt::Var { span, .. }
+        | Stmt::LocalArray { span, .. }
+        | Stmt::Assign { span, .. }
+        | Stmt::Store { span, .. }
+        | Stmt::For { span, .. }
+        | Stmt::Loop { span, .. }
+        | Stmt::If { span, .. } => *span,
+    }
+}
+
+/// A symbolic value during lowering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Sym {
+    /// Compile-time constant.
+    Const(i64),
+    /// `c0 + c1·i` where `i` is the loop variable (`c1 != 0`).
+    Affine { c0: i64, c1: i64 },
+    /// A runtime value in a register.
+    Reg(Vreg),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Binding {
+    sym: Sym,
+    mutable: bool,
+}
+
+struct Lowerer {
+    kernel: Kernel,
+    next_vreg: u32,
+    arrays: HashMap<String, ArrayId>,
+    /// Scope stack; lookup walks from the innermost scope outward.
+    scopes: Vec<HashMap<String, Binding>>,
+    loop_var: Option<String>,
+    in_loop: bool,
+    if_depth: u32,
+    seen_loop: bool,
+}
+
+impl Lowerer {
+    fn new(name: String) -> Self {
+        Lowerer {
+            kernel: Kernel::new(name),
+            next_vreg: 0,
+            arrays: HashMap::new(),
+            scopes: vec![HashMap::new()],
+            loop_var: None,
+            in_loop: false,
+            if_depth: 0,
+            seen_loop: false,
+        }
+    }
+
+    fn fresh(&mut self) -> Vreg {
+        let v = Vreg(self.next_vreg);
+        self.next_vreg += 1;
+        v
+    }
+
+    fn emit(&mut self, inst: Inst) {
+        if self.in_loop {
+            self.kernel.body.push(inst);
+        } else {
+            self.kernel.preamble.push(inst);
+        }
+    }
+
+    fn finish(self) -> Kernel {
+        self.kernel
+    }
+
+    // ---- name management -------------------------------------------------
+
+    fn name_in_use(&self, name: &str) -> bool {
+        self.arrays.contains_key(name)
+            || self.scopes.iter().any(|s| s.contains_key(name))
+            || self.loop_var.as_deref() == Some(name)
+    }
+
+    fn declare(&mut self, name: &str, b: Binding, span: Span) -> Result<(), CompileError> {
+        if self.name_in_use(name) {
+            return Err(CompileError::new(
+                format!("name `{name}` is already defined (shadowing is not allowed)"),
+                span,
+            ));
+        }
+        self.scopes
+            .last_mut()
+            .expect("scope stack never empty")
+            .insert(name.to_owned(), b);
+        Ok(())
+    }
+
+    fn lookup(&self, name: &str) -> Option<Binding> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(b) = scope.get(name) {
+                return Some(*b);
+            }
+        }
+        None
+    }
+
+    fn set(&mut self, name: &str, sym: Sym, span: Span) -> Result<(), CompileError> {
+        for scope in self.scopes.iter_mut().rev() {
+            if let Some(b) = scope.get_mut(name) {
+                if !b.mutable {
+                    return Err(CompileError::new(
+                        format!("`{name}` is not assignable"),
+                        span,
+                    ));
+                }
+                b.sym = sym;
+                return Ok(());
+            }
+        }
+        Err(CompileError::new(
+            format!("assignment to undefined variable `{name}`"),
+            span,
+        ))
+    }
+
+    // ---- declarations ----------------------------------------------------
+
+    fn declare_params(
+        &mut self,
+        ast: &KernelAst,
+        consts: &[(&str, i64)],
+    ) -> Result<(), CompileError> {
+        let mut unused: HashMap<&str, i64> = consts.iter().copied().collect();
+        if unused.len() != consts.len() {
+            return Err(CompileError::new(
+                "duplicate const binding supplied",
+                ast.span,
+            ));
+        }
+        for p in &ast.params {
+            match p {
+                Param::Array {
+                    name,
+                    dir,
+                    space,
+                    ty,
+                    span,
+                } => {
+                    if self.name_in_use(name) {
+                        return Err(CompileError::new(
+                            format!("parameter `{name}` duplicates another name"),
+                            *span,
+                        ));
+                    }
+                    let id = ArrayId(u32::try_from(self.kernel.arrays.len()).expect("few arrays"));
+                    self.kernel.arrays.push(ArrayDecl {
+                        name: name.clone(),
+                        ty: *ty,
+                        space: *space,
+                        kind: match dir {
+                            Dir::In => ArrayKind::In,
+                            Dir::Out => ArrayKind::Out,
+                            Dir::InOut => ArrayKind::InOut,
+                        },
+                    });
+                    self.arrays.insert(name.clone(), id);
+                }
+                Param::Const { name, span } => {
+                    let Some(v) = unused.remove(name.as_str()) else {
+                        return Err(CompileError::new(
+                            format!("no value supplied for const parameter `{name}`"),
+                            *span,
+                        ));
+                    };
+                    self.declare(
+                        name,
+                        Binding {
+                            sym: Sym::Const(v),
+                            mutable: false,
+                        },
+                        *span,
+                    )?;
+                }
+            }
+        }
+        if let Some((name, _)) = unused.into_iter().next() {
+            return Err(CompileError::new(
+                format!("const binding `{name}` does not match any parameter"),
+                ast.span,
+            ));
+        }
+        Ok(())
+    }
+
+    // ---- constant evaluation (no code emission) ----------------------------
+
+    fn const_eval(&self, e: &Expr) -> Result<i64, CompileError> {
+        match e {
+            Expr::Int(v, _) => Ok(*v),
+            Expr::Var(name, span) => match self.lookup(name) {
+                Some(Binding {
+                    sym: Sym::Const(v), ..
+                }) => Ok(v),
+                Some(_) => Err(CompileError::new(
+                    format!("`{name}` is not a compile-time constant"),
+                    *span,
+                )),
+                None => Err(CompileError::new(
+                    format!("undefined name `{name}`"),
+                    *span,
+                )),
+            },
+            Expr::Unary { op, expr, .. } => {
+                let v = self.const_eval(expr)?;
+                Ok(match op {
+                    UnaryOp::Neg => cfp_ir::wrap32(v.wrapping_neg()),
+                    UnaryOp::Not => cfp_ir::wrap32(!v),
+                    UnaryOp::LNot => i64::from(v == 0),
+                })
+            }
+            Expr::Binary { op, lhs, rhs, .. } => {
+                let a = self.const_eval(lhs)?;
+                let b = self.const_eval(rhs)?;
+                fold_binary(*op, a, b).ok_or_else(|| {
+                    CompileError::new("unsupported constant operation", e.span())
+                })
+            }
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+                ..
+            } => {
+                if self.const_eval(cond)? != 0 {
+                    self.const_eval(then_expr)
+                } else {
+                    self.const_eval(else_expr)
+                }
+            }
+            Expr::Call { func, args, span } => {
+                let vals: Vec<i64> = args
+                    .iter()
+                    .map(|a| self.const_eval(a))
+                    .collect::<Result<_, _>>()?;
+                fold_call(func, &vals).ok_or_else(|| {
+                    CompileError::new(
+                        format!("`{func}` is not usable in a constant context here"),
+                        *span,
+                    )
+                })
+            }
+            Expr::Index { span, .. } => Err(CompileError::new(
+                "array loads are not compile-time constants",
+                *span,
+            )),
+        }
+    }
+
+    // ---- expression lowering ----------------------------------------------
+
+    fn materialize(&mut self, sym: Sym, span: Span) -> Result<Operand, CompileError> {
+        match sym {
+            Sym::Const(v) => Ok(Operand::Imm(v)),
+            Sym::Reg(v) => Ok(Operand::Reg(v)),
+            Sym::Affine { .. } => Err(CompileError::new(
+                "the loop variable may only be used in affine array-index arithmetic",
+                span,
+            )),
+        }
+    }
+
+    fn eval(&mut self, e: &Expr) -> Result<Sym, CompileError> {
+        match e {
+            Expr::Int(v, _) => Ok(Sym::Const(*v)),
+            Expr::Var(name, span) => {
+                if self.loop_var.as_deref() == Some(name) {
+                    return Ok(Sym::Affine { c0: 0, c1: 1 });
+                }
+                self.lookup(name).map(|b| b.sym).ok_or_else(|| {
+                    CompileError::new(format!("undefined name `{name}`"), *span)
+                })
+            }
+            Expr::Index { array, index, span } => {
+                let id = *self.arrays.get(array).ok_or_else(|| {
+                    CompileError::new(format!("undefined array `{array}`"), *span)
+                })?;
+                if !self.kernel.arrays[id.index()].kind.readable() {
+                    return Err(CompileError::new(
+                        format!("array `{array}` is write-only (`out`)"),
+                        *span,
+                    ));
+                }
+                let mem = self.mem_ref(id, index)?;
+                let ty = self.kernel.arrays[id.index()].ty;
+                let dst = self.fresh();
+                self.emit(Inst::Ld { dst, mem, ty });
+                Ok(Sym::Reg(dst))
+            }
+            Expr::Unary { op, expr, span } => {
+                let a = self.eval(expr)?;
+                match (op, a) {
+                    (UnaryOp::Neg, Sym::Const(v)) => {
+                        Ok(Sym::Const(cfp_ir::wrap32(v.wrapping_neg())))
+                    }
+                    (UnaryOp::Neg, Sym::Affine { c0, c1 }) => Ok(Sym::Affine {
+                        c0: -c0,
+                        c1: -c1,
+                    }),
+                    (UnaryOp::Not, Sym::Const(v)) => Ok(Sym::Const(cfp_ir::wrap32(!v))),
+                    (UnaryOp::LNot, Sym::Const(v)) => Ok(Sym::Const(i64::from(v == 0))),
+                    (UnaryOp::Neg | UnaryOp::Not, _) => {
+                        let o = self.materialize(a, *span)?;
+                        let dst = self.fresh();
+                        let un = if *op == UnaryOp::Neg {
+                            UnOp::Neg
+                        } else {
+                            UnOp::Not
+                        };
+                        self.emit(Inst::Un { dst, op: un, a: o });
+                        Ok(Sym::Reg(dst))
+                    }
+                    (UnaryOp::LNot, _) => {
+                        let o = self.materialize(a, *span)?;
+                        let dst = self.fresh();
+                        self.emit(Inst::Cmp {
+                            dst,
+                            pred: Pred::Eq,
+                            a: o,
+                            b: Operand::Imm(0),
+                        });
+                        Ok(Sym::Reg(dst))
+                    }
+                }
+            }
+            Expr::Binary { op, lhs, rhs, span } => {
+                let a = self.eval(lhs)?;
+                let b = self.eval(rhs)?;
+                self.binary(*op, a, b, *span)
+            }
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+                ..
+            } => {
+                let c = self.eval(cond)?;
+                let t = self.eval(then_expr)?;
+                let f = self.eval(else_expr)?;
+                if let Sym::Const(cv) = c {
+                    return Ok(if cv != 0 { t } else { f });
+                }
+                let co = self.materialize(c, cond.span())?;
+                let to = self.materialize(t, then_expr.span())?;
+                let fo = self.materialize(f, else_expr.span())?;
+                let dst = self.fresh();
+                self.emit(Inst::Sel {
+                    dst,
+                    cond: co,
+                    on_true: to,
+                    on_false: fo,
+                });
+                Ok(Sym::Reg(dst))
+            }
+            Expr::Call { func, args, span } => self.call(func, args, *span),
+        }
+    }
+
+    fn binary(&mut self, op: BinaryOp, a: Sym, b: Sym, span: Span) -> Result<Sym, CompileError> {
+        use Sym::{Affine, Const};
+        // Constant folding and affine arithmetic first.
+        if let (Const(x), Const(y)) = (a, b) {
+            if let Some(v) = fold_binary(op, x, y) {
+                return Ok(Const(v));
+            }
+        }
+        let as_affine = |s: Sym| match s {
+            Const(v) => Some((v, 0_i64)),
+            Affine { c0, c1 } => Some((c0, c1)),
+            Sym::Reg(_) => None,
+        };
+        match op {
+            BinaryOp::Add | BinaryOp::Sub => {
+                if let (Some((a0, a1)), Some((b0, b1))) = (as_affine(a), as_affine(b)) {
+                    let (c0, c1) = if op == BinaryOp::Add {
+                        (a0 + b0, a1 + b1)
+                    } else {
+                        (a0 - b0, a1 - b1)
+                    };
+                    return Ok(if c1 == 0 { Const(c0) } else { Affine { c0, c1 } });
+                }
+            }
+            BinaryOp::Mul => {
+                if let (Some((a0, a1)), Some((b0, b1))) = (as_affine(a), as_affine(b)) {
+                    if a1 == 0 || b1 == 0 {
+                        let (k, (c0, c1)) = if a1 == 0 { (a0, (b0, b1)) } else { (b0, (a0, a1)) };
+                        let (c0, c1) = (k * c0, k * c1);
+                        return Ok(if c1 == 0 { Const(c0) } else { Affine { c0, c1 } });
+                    }
+                    return Err(CompileError::new(
+                        "the loop variable may not be multiplied by itself",
+                        span,
+                    ));
+                }
+            }
+            BinaryOp::Shl => {
+                if let (Some((c0, c1)), Some((k, 0))) = (as_affine(a), as_affine(b)) {
+                    if c1 != 0 && (0..31).contains(&k) {
+                        return Ok(Affine {
+                            c0: c0 << k,
+                            c1: c1 << k,
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+        // Logical operators normalize both sides to 0/1.
+        if matches!(op, BinaryOp::LAnd | BinaryOp::LOr) {
+            let na = self.lower_bool(a, span)?;
+            let nb = self.lower_bool(b, span)?;
+            let bin = if op == BinaryOp::LAnd {
+                cfp_ir::BinOp::And
+            } else {
+                cfp_ir::BinOp::Or
+            };
+            return self.emit_bin(bin, na, nb);
+        }
+        // Comparison → Cmp instruction.
+        if let Some(pred) = pred_of(op) {
+            let ao = self.materialize(a, span)?;
+            let bo = self.materialize(b, span)?;
+            let dst = self.fresh();
+            self.emit(Inst::Cmp {
+                dst,
+                pred,
+                a: ao,
+                b: bo,
+            });
+            return Ok(Sym::Reg(dst));
+        }
+        // Plain ALU op.
+        let bin = match op {
+            BinaryOp::Add => cfp_ir::BinOp::Add,
+            BinaryOp::Sub => cfp_ir::BinOp::Sub,
+            BinaryOp::Mul => cfp_ir::BinOp::Mul,
+            BinaryOp::And => cfp_ir::BinOp::And,
+            BinaryOp::Or => cfp_ir::BinOp::Or,
+            BinaryOp::Xor => cfp_ir::BinOp::Xor,
+            BinaryOp::Shl => cfp_ir::BinOp::Shl,
+            BinaryOp::AShr => cfp_ir::BinOp::AShr,
+            BinaryOp::LShr => cfp_ir::BinOp::LShr,
+            _ => unreachable!("comparisons and logicals handled above"),
+        };
+        let ao = self.materialize(a, span)?;
+        let bo = self.materialize(b, span)?;
+        self.emit_bin(bin, ao, bo)
+    }
+
+    fn emit_bin(
+        &mut self,
+        op: cfp_ir::BinOp,
+        a: Operand,
+        b: Operand,
+    ) -> Result<Sym, CompileError> {
+        let dst = self.fresh();
+        self.emit(Inst::Bin { dst, op, a, b });
+        Ok(Sym::Reg(dst))
+    }
+
+    fn lower_bool(&mut self, s: Sym, span: Span) -> Result<Operand, CompileError> {
+        match s {
+            Sym::Const(v) => Ok(Operand::Imm(i64::from(v != 0))),
+            _ => {
+                let o = self.materialize(s, span)?;
+                let dst = self.fresh();
+                self.emit(Inst::Cmp {
+                    dst,
+                    pred: Pred::Ne,
+                    a: o,
+                    b: Operand::Imm(0),
+                });
+                Ok(Operand::Reg(dst))
+            }
+        }
+    }
+
+    fn call(&mut self, func: &str, args: &[Expr], span: Span) -> Result<Sym, CompileError> {
+        let syms: Vec<Sym> = args
+            .iter()
+            .map(|a| self.eval(a))
+            .collect::<Result<_, _>>()?;
+        // Fully constant calls fold.
+        if let Some(consts) = syms
+            .iter()
+            .map(|s| match s {
+                Sym::Const(v) => Some(*v),
+                _ => None,
+            })
+            .collect::<Option<Vec<i64>>>()
+        {
+            if let Some(v) = fold_call(func, &consts) {
+                return Ok(Sym::Const(v));
+            }
+        }
+        let arity = |n: usize| -> Result<(), CompileError> {
+            if syms.len() == n {
+                Ok(())
+            } else {
+                Err(CompileError::new(
+                    format!("`{func}` expects {n} argument(s), got {}", syms.len()),
+                    span,
+                ))
+            }
+        };
+        match func {
+            "min" | "max" => {
+                arity(2)?;
+                let a = self.materialize(syms[0], span)?;
+                let b = self.materialize(syms[1], span)?;
+                let pred = if func == "min" { Pred::Lt } else { Pred::Gt };
+                let c = self.fresh();
+                self.emit(Inst::Cmp { dst: c, pred, a, b });
+                let dst = self.fresh();
+                self.emit(Inst::Sel {
+                    dst,
+                    cond: Operand::Reg(c),
+                    on_true: a,
+                    on_false: b,
+                });
+                Ok(Sym::Reg(dst))
+            }
+            "abs" => {
+                arity(1)?;
+                let a = self.materialize(syms[0], span)?;
+                let n = self.fresh();
+                self.emit(Inst::Un {
+                    dst: n,
+                    op: UnOp::Neg,
+                    a,
+                });
+                let c = self.fresh();
+                self.emit(Inst::Cmp {
+                    dst: c,
+                    pred: Pred::Lt,
+                    a,
+                    b: Operand::Imm(0),
+                });
+                let dst = self.fresh();
+                self.emit(Inst::Sel {
+                    dst,
+                    cond: Operand::Reg(c),
+                    on_true: Operand::Reg(n),
+                    on_false: a,
+                });
+                Ok(Sym::Reg(dst))
+            }
+            "u8" | "i8" | "u16" | "i16" | "i32" => {
+                arity(1)?;
+                if func == "i32" {
+                    return Ok(syms[0]); // registers are already 32-bit
+                }
+                let a = self.materialize(syms[0], span)?;
+                let op = match func {
+                    "u8" => UnOp::Zext8,
+                    "i8" => UnOp::Sext8,
+                    "u16" => UnOp::Zext16,
+                    _ => UnOp::Sext16,
+                };
+                let dst = self.fresh();
+                self.emit(Inst::Un { dst, op, a });
+                Ok(Sym::Reg(dst))
+            }
+            _ => Err(CompileError::new(
+                format!("unknown builtin `{func}`"),
+                span,
+            )),
+        }
+    }
+
+    fn mem_ref(&mut self, array: ArrayId, index: &Expr) -> Result<MemRef, CompileError> {
+        let sym = self.eval(index)?;
+        Ok(match sym {
+            Sym::Const(c) => MemRef::affine(array, 0, c),
+            Sym::Affine { c0, c1 } => MemRef::affine(array, c1, c0),
+            Sym::Reg(v) => MemRef {
+                array,
+                coeff: 0,
+                offset: 0,
+                dyn_index: Some(Operand::Reg(v)),
+            },
+        })
+    }
+
+    // ---- statements --------------------------------------------------------
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        match s {
+            Stmt::Var { name, init, span } => {
+                let sym = match init {
+                    Some(e) => self.eval(e)?,
+                    None => Sym::Const(0),
+                };
+                self.declare(
+                    name,
+                    Binding {
+                        sym,
+                        mutable: true,
+                    },
+                    *span,
+                )
+            }
+            Stmt::LocalArray {
+                name,
+                space,
+                ty,
+                len,
+                span,
+            } => {
+                if self.in_loop || self.if_depth > 0 {
+                    return Err(CompileError::new(
+                        "local arrays must be declared at the top level, before the `loop`",
+                        *span,
+                    ));
+                }
+                if self.name_in_use(name) {
+                    return Err(CompileError::new(
+                        format!("name `{name}` is already defined"),
+                        *span,
+                    ));
+                }
+                let n = self.const_eval(len)?;
+                let n = u32::try_from(n).map_err(|_| {
+                    CompileError::new("local array length must be non-negative", *span)
+                })?;
+                let id = ArrayId(u32::try_from(self.kernel.arrays.len()).expect("few arrays"));
+                self.kernel.arrays.push(ArrayDecl {
+                    name: name.clone(),
+                    ty: *ty,
+                    space: *space,
+                    kind: ArrayKind::Local(n),
+                });
+                self.arrays.insert(name.clone(), id);
+                Ok(())
+            }
+            Stmt::Assign { name, value, span } => {
+                let sym = self.eval(value)?;
+                self.set(name, sym, *span)
+            }
+            Stmt::Store {
+                array,
+                index,
+                value,
+                span,
+            } => {
+                if self.if_depth > 0 {
+                    return Err(CompileError::new(
+                        "stores are not allowed under `if` (no predicated stores); \
+                         compute the value with `?:` and store unconditionally",
+                        *span,
+                    ));
+                }
+                let id = *self.arrays.get(array).ok_or_else(|| {
+                    CompileError::new(format!("undefined array `{array}`"), *span)
+                })?;
+                if !self.kernel.arrays[id.index()].kind.writable() {
+                    return Err(CompileError::new(
+                        format!("array `{array}` is read-only (`in`)"),
+                        *span,
+                    ));
+                }
+                if !self.in_loop {
+                    return Err(CompileError::new(
+                        "stores are only allowed inside the `loop`",
+                        *span,
+                    ));
+                }
+                let mem = self.mem_ref(id, index)?;
+                let v = self.eval(value)?;
+                let vo = self.materialize(v, value.span())?;
+                let ty = self.kernel.arrays[id.index()].ty;
+                self.emit(Inst::St { mem, value: vo, ty });
+                Ok(())
+            }
+            Stmt::For {
+                var,
+                start,
+                end,
+                body,
+                span,
+            } => {
+                let lo = self.const_eval(start)?;
+                let hi = self.const_eval(end)?;
+                if hi - lo > 4096 {
+                    return Err(CompileError::new(
+                        format!("`for` trip count {} is unreasonably large", hi - lo),
+                        *span,
+                    ));
+                }
+                for k in lo..hi {
+                    self.scopes.push(HashMap::new());
+                    self.declare(
+                        var,
+                        Binding {
+                            sym: Sym::Const(k),
+                            mutable: false,
+                        },
+                        *span,
+                    )?;
+                    for st in body {
+                        self.stmt(st)?;
+                    }
+                    self.scopes.pop();
+                }
+                Ok(())
+            }
+            Stmt::Loop {
+                var,
+                produces,
+                body,
+                span,
+            } => self.lower_loop(var, produces.as_ref(), body, *span),
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => self.lower_if(cond, then_body, else_body),
+        }
+    }
+
+    fn lower_loop(
+        &mut self,
+        var: &str,
+        produces: Option<&Expr>,
+        body: &[Stmt],
+        span: Span,
+    ) -> Result<(), CompileError> {
+        if self.seen_loop {
+            return Err(CompileError::new("only one `loop` is allowed", span));
+        }
+        if self.if_depth > 0 || self.scopes.len() != 1 {
+            return Err(CompileError::new(
+                "`loop` must appear at the top level of the kernel",
+                span,
+            ));
+        }
+        if self.name_in_use(var) {
+            return Err(CompileError::new(
+                format!("loop variable `{var}` duplicates another name"),
+                span,
+            ));
+        }
+        self.seen_loop = true;
+        let outputs = match produces {
+            Some(e) => {
+                let v = self.const_eval(e)?;
+                u32::try_from(v)
+                    .ok()
+                    .filter(|&v| v >= 1)
+                    .ok_or_else(|| {
+                        CompileError::new("`produces` must be a positive constant", span)
+                    })?
+            }
+            None => 1,
+        };
+        self.kernel.outputs_per_iter = outputs;
+
+        // Carried scalars: outer vars assigned anywhere inside the loop.
+        let mut assigned = Vec::new();
+        collect_assigned(body, &mut assigned);
+        let mut carried: Vec<(String, Vreg, CarriedInit)> = Vec::new();
+        for name in assigned {
+            let Some(b) = self.lookup(&name) else {
+                continue; // declared inside the loop; a plain temp
+            };
+            if carried.iter().any(|(n, _, _)| *n == name) {
+                continue;
+            }
+            let init = match b.sym {
+                Sym::Const(v) => CarriedInit::Const(v),
+                Sym::Reg(v) => CarriedInit::Preamble(v),
+                Sym::Affine { .. } => unreachable!("no loop var outside the loop"),
+            };
+            let input = self.fresh();
+            self.set(&name, Sym::Reg(input), span)?;
+            carried.push((name, input, init));
+        }
+
+        self.in_loop = true;
+        self.loop_var = Some(var.to_owned());
+        self.scopes.push(HashMap::new());
+        for st in body {
+            self.stmt(st)?;
+        }
+        self.scopes.pop();
+        self.loop_var = None;
+
+        for (name, input, init) in carried {
+            let final_sym = self.lookup(&name).expect("carried var still in scope").sym;
+            let output = match final_sym {
+                Sym::Reg(v) => v,
+                Sym::Const(c) => {
+                    let v = self.fresh();
+                    self.emit(Inst::mov(v, c));
+                    v
+                }
+                Sym::Affine { .. } => {
+                    return Err(CompileError::new(
+                        format!("carried variable `{name}` ends as a non-affine loop-var value"),
+                        span,
+                    ))
+                }
+            };
+            // A carried output must be defined in the body (or equal the
+            // input). A preamble-defined register can sneak through when
+            // the loop assigns the variable back to a preamble value; copy
+            // it into a body register in that case.
+            let body_defs: std::collections::HashSet<Vreg> =
+                self.kernel.body.iter().filter_map(Inst::def).collect();
+            let output = if output == input || body_defs.contains(&output) {
+                output
+            } else {
+                let v = self.fresh();
+                self.emit(Inst::mov(v, output));
+                v
+            };
+            self.kernel.carried.push(Carried {
+                input,
+                output,
+                init,
+            });
+        }
+        self.in_loop = false;
+        Ok(())
+    }
+
+    fn lower_if(
+        &mut self,
+        cond: &Expr,
+        then_body: &[Stmt],
+        else_body: &[Stmt],
+    ) -> Result<(), CompileError> {
+        let c = self.eval(cond)?;
+        if let Sym::Const(cv) = c {
+            // Statically decided: lower only the taken branch.
+            let taken = if cv != 0 { then_body } else { else_body };
+            self.scopes.push(HashMap::new());
+            for st in taken {
+                self.stmt(st)?;
+            }
+            self.scopes.pop();
+            return Ok(());
+        }
+        let co = self.materialize(c, cond.span())?;
+
+        let snapshot: Vec<HashMap<String, Binding>> = self.scopes.clone();
+        self.if_depth += 1;
+
+        self.scopes.push(HashMap::new());
+        for st in then_body {
+            self.stmt(st)?;
+        }
+        self.scopes.pop();
+        let then_env = self.scopes.clone();
+
+        self.scopes = snapshot.clone();
+        self.scopes.push(HashMap::new());
+        for st in else_body {
+            self.stmt(st)?;
+        }
+        self.scopes.pop();
+        let else_env = std::mem::replace(&mut self.scopes, snapshot);
+        self.if_depth -= 1;
+
+        // Merge every outer binding the branches disagree on.
+        for (level, scope) in then_env.iter().enumerate() {
+            let names: Vec<String> = scope.keys().cloned().collect();
+            for name in names {
+                let t = then_env[level][&name].sym;
+                let e = else_env[level][&name].sym;
+                if t == e {
+                    self.scopes[level].get_mut(&name).expect("same shape").sym = t;
+                    continue;
+                }
+                let to = self.materialize(t, cond.span())?;
+                let eo = self.materialize(e, cond.span())?;
+                let dst = self.fresh();
+                self.emit(Inst::Sel {
+                    dst,
+                    cond: co,
+                    on_true: to,
+                    on_false: eo,
+                });
+                self.scopes[level].get_mut(&name).expect("same shape").sym = Sym::Reg(dst);
+            }
+        }
+        Ok(())
+    }
+}
+
+fn collect_assigned(body: &[Stmt], out: &mut Vec<String>) {
+    for s in body {
+        match s {
+            Stmt::Assign { name, .. } => out.push(name.clone()),
+            Stmt::For { body, .. } | Stmt::Loop { body, .. } => collect_assigned(body, out),
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                collect_assigned(then_body, out);
+                collect_assigned(else_body, out);
+            }
+            Stmt::Var { .. } | Stmt::LocalArray { .. } | Stmt::Store { .. } => {}
+        }
+    }
+}
+
+fn pred_of(op: BinaryOp) -> Option<Pred> {
+    Some(match op {
+        BinaryOp::Eq => Pred::Eq,
+        BinaryOp::Ne => Pred::Ne,
+        BinaryOp::Lt => Pred::Lt,
+        BinaryOp::Le => Pred::Le,
+        BinaryOp::Gt => Pred::Gt,
+        BinaryOp::Ge => Pred::Ge,
+        _ => return None,
+    })
+}
+
+fn fold_binary(op: BinaryOp, a: i64, b: i64) -> Option<i64> {
+    use cfp_ir::BinOp;
+    Some(match op {
+        BinaryOp::Add => BinOp::Add.eval(a, b),
+        BinaryOp::Sub => BinOp::Sub.eval(a, b),
+        BinaryOp::Mul => BinOp::Mul.eval(a, b),
+        BinaryOp::And => BinOp::And.eval(a, b),
+        BinaryOp::Or => BinOp::Or.eval(a, b),
+        BinaryOp::Xor => BinOp::Xor.eval(a, b),
+        BinaryOp::Shl => BinOp::Shl.eval(a, b),
+        BinaryOp::AShr => BinOp::AShr.eval(a, b),
+        BinaryOp::LShr => BinOp::LShr.eval(a, b),
+        BinaryOp::Eq => Pred::Eq.eval(a, b),
+        BinaryOp::Ne => Pred::Ne.eval(a, b),
+        BinaryOp::Lt => Pred::Lt.eval(a, b),
+        BinaryOp::Le => Pred::Le.eval(a, b),
+        BinaryOp::Gt => Pred::Gt.eval(a, b),
+        BinaryOp::Ge => Pred::Ge.eval(a, b),
+        BinaryOp::LAnd => i64::from(a != 0 && b != 0),
+        BinaryOp::LOr => i64::from(a != 0 || b != 0),
+    })
+}
+
+fn fold_call(func: &str, args: &[i64]) -> Option<i64> {
+    match (func, args) {
+        ("min", [a, b]) => Some(*a.min(b)),
+        ("max", [a, b]) => Some(*a.max(b)),
+        ("abs", [a]) => Some(cfp_ir::wrap32(a.wrapping_abs())),
+        ("u8", [a]) => Some(Ty::U8.truncate(*a)),
+        ("i8", [a]) => Some(Ty::I8.truncate(*a)),
+        ("u16", [a]) => Some(Ty::U16.truncate(*a)),
+        ("i16", [a]) => Some(Ty::I16.truncate(*a)),
+        ("i32", [a]) => Some(Ty::I32.truncate(*a)),
+        _ => None,
+    }
+}

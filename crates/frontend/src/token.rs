@@ -1,0 +1,249 @@
+//! Tokens and source spans.
+
+use std::fmt;
+
+/// A byte range in the source text, for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Construct a span.
+    #[must_use]
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both.
+    #[must_use]
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// 1-based (line, column) of the span start within `src`.
+    #[must_use]
+    pub fn line_col(&self, src: &str) -> (usize, usize) {
+        let mut line = 1;
+        let mut col = 1;
+        for (i, ch) in src.char_indices() {
+            if i >= self.start {
+                break;
+            }
+            if ch == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        (line, col)
+    }
+}
+
+/// Lexical token kinds of the kernel DSL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier.
+    Ident(String),
+    /// Integer literal (decimal or `0x` hexadecimal).
+    Int(i64),
+
+    // Keywords.
+    /// `kernel`
+    Kernel,
+    /// `in`
+    In,
+    /// `out`
+    Out,
+    /// `inout`
+    Inout,
+    /// `const`
+    Const,
+    /// `var`
+    Var,
+    /// `local`
+    Local,
+    /// `loop`
+    Loop,
+    /// `for`
+    For,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `produces`
+    Produces,
+    /// `l1`
+    L1,
+    /// `l2`
+    L2,
+    /// `u8`
+    U8,
+    /// `i8`
+    I8,
+    /// `u16`
+    U16,
+    /// `i16`
+    I16,
+    /// `i32`
+    I32,
+
+    // Punctuation and operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `?`
+    Question,
+    /// `..`
+    DotDot,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `~`
+    Tilde,
+    /// `!`
+    Bang,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `>>>`
+    Ushr,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(v) => write!(f, "integer `{v}`"),
+            Tok::Kernel => f.write_str("`kernel`"),
+            Tok::In => f.write_str("`in`"),
+            Tok::Out => f.write_str("`out`"),
+            Tok::Inout => f.write_str("`inout`"),
+            Tok::Const => f.write_str("`const`"),
+            Tok::Var => f.write_str("`var`"),
+            Tok::Local => f.write_str("`local`"),
+            Tok::Loop => f.write_str("`loop`"),
+            Tok::For => f.write_str("`for`"),
+            Tok::If => f.write_str("`if`"),
+            Tok::Else => f.write_str("`else`"),
+            Tok::Produces => f.write_str("`produces`"),
+            Tok::L1 => f.write_str("`l1`"),
+            Tok::L2 => f.write_str("`l2`"),
+            Tok::U8 => f.write_str("`u8`"),
+            Tok::I8 => f.write_str("`i8`"),
+            Tok::U16 => f.write_str("`u16`"),
+            Tok::I16 => f.write_str("`i16`"),
+            Tok::I32 => f.write_str("`i32`"),
+            Tok::LParen => f.write_str("`(`"),
+            Tok::RParen => f.write_str("`)`"),
+            Tok::LBrace => f.write_str("`{`"),
+            Tok::RBrace => f.write_str("`}`"),
+            Tok::LBracket => f.write_str("`[`"),
+            Tok::RBracket => f.write_str("`]`"),
+            Tok::Comma => f.write_str("`,`"),
+            Tok::Semi => f.write_str("`;`"),
+            Tok::Colon => f.write_str("`:`"),
+            Tok::Question => f.write_str("`?`"),
+            Tok::DotDot => f.write_str("`..`"),
+            Tok::Assign => f.write_str("`=`"),
+            Tok::Plus => f.write_str("`+`"),
+            Tok::Minus => f.write_str("`-`"),
+            Tok::Star => f.write_str("`*`"),
+            Tok::Amp => f.write_str("`&`"),
+            Tok::Pipe => f.write_str("`|`"),
+            Tok::Caret => f.write_str("`^`"),
+            Tok::Tilde => f.write_str("`~`"),
+            Tok::Bang => f.write_str("`!`"),
+            Tok::Shl => f.write_str("`<<`"),
+            Tok::Shr => f.write_str("`>>`"),
+            Tok::Ushr => f.write_str("`>>>`"),
+            Tok::EqEq => f.write_str("`==`"),
+            Tok::NotEq => f.write_str("`!=`"),
+            Tok::Lt => f.write_str("`<`"),
+            Tok::Le => f.write_str("`<=`"),
+            Tok::Gt => f.write_str("`>`"),
+            Tok::Ge => f.write_str("`>=`"),
+            Tok::AndAnd => f.write_str("`&&`"),
+            Tok::OrOr => f.write_str("`||`"),
+            Tok::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// A token with its source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Kind and payload.
+    pub tok: Tok,
+    /// Where it came from.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge_and_line_col() {
+        let a = Span::new(2, 5);
+        let b = Span::new(8, 9);
+        assert_eq!(a.to(b), Span::new(2, 9));
+        let src = "ab\ncd\nef";
+        assert_eq!(Span::new(0, 1).line_col(src), (1, 1));
+        assert_eq!(Span::new(3, 4).line_col(src), (2, 1));
+        assert_eq!(Span::new(7, 8).line_col(src), (3, 2));
+    }
+}

@@ -1,0 +1,328 @@
+//! Operation kinds and their evaluation semantics.
+//!
+//! Following the paper's RISC/VLIW philosophy the repertoire is small and
+//! simple: integer add/sub/logicals/shifts at 1 cycle, integer multiply at
+//! 2 cycles (pipelined), compares producing 0/1, and a select. There are
+//! deliberately no fused or "smart" operations (no min/max, no MAC): the
+//! paper matches *structures and sizes* to the application, not opcodes.
+
+use crate::wrap32;
+use std::fmt;
+
+/// Two-operand ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// 32-bit wrapping add.
+    Add,
+    /// 32-bit wrapping subtract.
+    Sub,
+    /// 32-bit wrapping multiply (2-cycle pipelined; needs an IMUL unit).
+    Mul,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Shift left (amount masked to 5 bits).
+    Shl,
+    /// Arithmetic shift right (amount masked to 5 bits).
+    AShr,
+    /// Logical shift right (amount masked to 5 bits).
+    LShr,
+}
+
+impl BinOp {
+    /// Evaluate with 32-bit register semantics.
+    #[must_use]
+    pub fn eval(self, a: i64, b: i64) -> i64 {
+        let sh = (b & 31) as u32;
+        match self {
+            BinOp::Add => wrap32(a.wrapping_add(b)),
+            BinOp::Sub => wrap32(a.wrapping_sub(b)),
+            BinOp::Mul => wrap32(a.wrapping_mul(b)),
+            BinOp::And => wrap32(a & b),
+            BinOp::Or => wrap32(a | b),
+            BinOp::Xor => wrap32(a ^ b),
+            BinOp::Shl => wrap32((a as i32).wrapping_shl(sh) as i64),
+            BinOp::AShr => i64::from((a as i32) >> sh),
+            BinOp::LShr => i64::from((a as i32 as u32) >> sh),
+        }
+    }
+
+    /// Whether this operation requires an IMUL-capable ALU.
+    #[must_use]
+    pub fn needs_mul_unit(self) -> bool {
+        matches!(self, BinOp::Mul)
+    }
+
+    /// Whether `op(a, b) == op(b, a)` for all inputs.
+    #[must_use]
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor
+        )
+    }
+
+    /// The mnemonic used by the pretty-printer.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::AShr => "ashr",
+            BinOp::LShr => "lshr",
+        }
+    }
+
+    /// All binary operations, for exhaustive property tests.
+    #[must_use]
+    pub fn all() -> &'static [BinOp] {
+        &[
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::And,
+            BinOp::Or,
+            BinOp::Xor,
+            BinOp::Shl,
+            BinOp::AShr,
+            BinOp::LShr,
+        ]
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// One-operand operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Register-to-register copy (also the op used for immediates and the
+    /// scheduler's inter-cluster moves).
+    Copy,
+    /// Two's-complement negate.
+    Neg,
+    /// Bitwise not.
+    Not,
+    /// Sign-extend the low 8 bits.
+    Sext8,
+    /// Sign-extend the low 16 bits.
+    Sext16,
+    /// Zero-extend the low 8 bits.
+    Zext8,
+    /// Zero-extend the low 16 bits.
+    Zext16,
+}
+
+impl UnOp {
+    /// Evaluate with 32-bit register semantics.
+    #[must_use]
+    pub fn eval(self, a: i64) -> i64 {
+        match self {
+            UnOp::Copy => wrap32(a),
+            UnOp::Neg => wrap32(a.wrapping_neg()),
+            UnOp::Not => wrap32(!a),
+            UnOp::Sext8 => a as i8 as i64,
+            UnOp::Sext16 => a as i16 as i64,
+            UnOp::Zext8 => a & 0xff,
+            UnOp::Zext16 => a & 0xffff,
+        }
+    }
+
+    /// The mnemonic used by the pretty-printer.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            UnOp::Copy => "mov",
+            UnOp::Neg => "neg",
+            UnOp::Not => "not",
+            UnOp::Sext8 => "sxtb",
+            UnOp::Sext16 => "sxth",
+            UnOp::Zext8 => "uxtb",
+            UnOp::Zext16 => "uxth",
+        }
+    }
+
+    /// All unary operations, for exhaustive property tests.
+    #[must_use]
+    pub fn all() -> &'static [UnOp] {
+        &[
+            UnOp::Copy,
+            UnOp::Neg,
+            UnOp::Not,
+            UnOp::Sext8,
+            UnOp::Sext16,
+            UnOp::Zext8,
+            UnOp::Zext16,
+        ]
+    }
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Comparison predicates (signed). Compares produce 0 or 1 in a register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pred {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+}
+
+impl Pred {
+    /// Evaluate to 1 (true) or 0 (false).
+    #[must_use]
+    pub fn eval(self, a: i64, b: i64) -> i64 {
+        let (a, b) = (wrap32(a), wrap32(b));
+        let t = match self {
+            Pred::Eq => a == b,
+            Pred::Ne => a != b,
+            Pred::Lt => a < b,
+            Pred::Le => a <= b,
+            Pred::Gt => a > b,
+            Pred::Ge => a >= b,
+        };
+        i64::from(t)
+    }
+
+    /// The predicate with operands swapped: `a P b == b P.swap() a`.
+    #[must_use]
+    pub fn swapped(self) -> Pred {
+        match self {
+            Pred::Eq => Pred::Eq,
+            Pred::Ne => Pred::Ne,
+            Pred::Lt => Pred::Gt,
+            Pred::Le => Pred::Ge,
+            Pred::Gt => Pred::Lt,
+            Pred::Ge => Pred::Le,
+        }
+    }
+
+    /// The logical negation: `!(a P b) == a P.negated() b`.
+    #[must_use]
+    pub fn negated(self) -> Pred {
+        match self {
+            Pred::Eq => Pred::Ne,
+            Pred::Ne => Pred::Eq,
+            Pred::Lt => Pred::Ge,
+            Pred::Le => Pred::Gt,
+            Pred::Gt => Pred::Le,
+            Pred::Ge => Pred::Lt,
+        }
+    }
+
+    /// The mnemonic used by the pretty-printer.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Pred::Eq => "eq",
+            Pred::Ne => "ne",
+            Pred::Lt => "lt",
+            Pred::Le => "le",
+            Pred::Gt => "gt",
+            Pred::Ge => "ge",
+        }
+    }
+
+    /// All predicates, for exhaustive property tests.
+    #[must_use]
+    pub fn all() -> &'static [Pred] {
+        &[Pred::Eq, Pred::Ne, Pred::Lt, Pred::Le, Pred::Gt, Pred::Ge]
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_wraps() {
+        assert_eq!(BinOp::Add.eval(i64::from(i32::MAX), 1), i64::from(i32::MIN));
+        assert_eq!(BinOp::Add.eval(2, 3), 5);
+    }
+
+    #[test]
+    fn shifts_mask_amount() {
+        assert_eq!(BinOp::Shl.eval(1, 33), 2);
+        assert_eq!(BinOp::AShr.eval(-8, 1), -4);
+        assert_eq!(BinOp::LShr.eval(-8, 1), i64::from(u32::MAX >> 1) - 3);
+        assert_eq!(BinOp::LShr.eval(-1, 24), 0xff);
+    }
+
+    #[test]
+    fn mul_wraps() {
+        assert_eq!(BinOp::Mul.eval(1 << 16, 1 << 16), 0);
+        assert_eq!(BinOp::Mul.eval(-3, 7), -21);
+    }
+
+    #[test]
+    fn commutativity_claims_hold() {
+        for &op in BinOp::all() {
+            if op.is_commutative() {
+                for a in [-7_i64, 0, 3, 1 << 30] {
+                    for b in [-1_i64, 2, 255] {
+                        assert_eq!(op.eval(a, b), op.eval(b, a), "{op}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pred_swap_and_negate() {
+        for &p in Pred::all() {
+            for a in [-2_i64, 0, 5] {
+                for b in [-2_i64, 0, 5] {
+                    assert_eq!(p.eval(a, b), p.swapped().eval(b, a), "{p} swap");
+                    assert_eq!(p.eval(a, b), 1 - p.negated().eval(a, b), "{p} neg");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unops() {
+        assert_eq!(UnOp::Neg.eval(5), -5);
+        assert_eq!(UnOp::Not.eval(0), -1);
+        assert_eq!(UnOp::Sext8.eval(0x80), -128);
+        assert_eq!(UnOp::Zext8.eval(-1), 0xff);
+        assert_eq!(UnOp::Sext16.eval(0x8000), -0x8000);
+        assert_eq!(UnOp::Zext16.eval(-1), 0xffff);
+        assert_eq!(UnOp::Copy.eval(42), 42);
+    }
+
+    #[test]
+    fn only_mul_needs_mul_unit() {
+        for &op in BinOp::all() {
+            assert_eq!(op.needs_mul_unit(), op == BinOp::Mul);
+        }
+    }
+}

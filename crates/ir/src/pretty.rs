@@ -1,0 +1,85 @@
+//! Human-readable kernel listings.
+
+use crate::kernel::{ArrayKind, CarriedInit, Kernel};
+use std::fmt;
+
+/// Wraps a [`Kernel`] to render a full listing with `{}`.
+///
+/// ```
+/// use cfp_ir::{KernelBuilder, MemSpace, Ty, pretty::Listing};
+/// let mut b = KernelBuilder::new("demo");
+/// let s = b.array_in("src", Ty::U8, MemSpace::L2);
+/// let x = b.load(s, 1, 0, Ty::U8);
+/// let _ = b.add(x, 1_i64);
+/// let text = Listing(&b.finish()).to_string();
+/// assert!(text.contains("kernel demo"));
+/// ```
+#[derive(Debug)]
+pub struct Listing<'a>(pub &'a Kernel);
+
+impl fmt::Display for Listing<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let k = self.0;
+        writeln!(f, "kernel {} {{", k.name)?;
+        for (i, a) in k.arrays.iter().enumerate() {
+            let kind = match a.kind {
+                ArrayKind::In => "in".to_owned(),
+                ArrayKind::Out => "out".to_owned(),
+                ArrayKind::InOut => "inout".to_owned(),
+                ArrayKind::Local(n) => format!("local[{n}]"),
+            };
+            writeln!(f, "  a{i}: {kind} {} {} `{}`", a.space, a.ty, a.name)?;
+        }
+        if !k.preamble.is_empty() {
+            writeln!(f, "  preamble:")?;
+            for inst in &k.preamble {
+                writeln!(f, "    {inst}")?;
+            }
+        }
+        if !k.carried.is_empty() {
+            writeln!(f, "  carried:")?;
+            for c in &k.carried {
+                let init = match c.init {
+                    CarriedInit::Const(v) => format!("#{v}"),
+                    CarriedInit::Preamble(v) => v.to_string(),
+                };
+                writeln!(f, "    {} <- {} (init {init})", c.input, c.output)?;
+            }
+        }
+        writeln!(f, "  body: // x{} output/iter", k.outputs_per_iter)?;
+        for inst in &k.body {
+            writeln!(f, "    {inst}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::KernelBuilder;
+    use crate::kernel::CarriedInit;
+    use crate::types::{MemSpace, Ty};
+
+    #[test]
+    fn listing_contains_all_sections() {
+        let mut b = KernelBuilder::new("full");
+        let src = b.array_in("src", Ty::U8, MemSpace::L2);
+        let _scr = b.array_local("scratch", Ty::I32, MemSpace::L2, 16);
+        b.in_preamble(true);
+        let c = b.mov(3_i64);
+        b.in_preamble(false);
+        let x = b.load(src, 1, 0, Ty::U8);
+        let s_in = b.fresh();
+        let s_out = b.add(s_in, x);
+        b.carry_into(s_in, s_out, CarriedInit::Preamble(c));
+        let text = Listing(&b.finish()).to_string();
+        assert!(text.contains("kernel full {"));
+        assert!(text.contains("a0: in l2 u8 `src`"));
+        assert!(text.contains("local[16]"));
+        assert!(text.contains("preamble:"));
+        assert!(text.contains("carried:"));
+        assert!(text.contains("body:"));
+        assert!(text.ends_with('}'));
+    }
+}

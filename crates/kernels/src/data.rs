@@ -1,0 +1,225 @@
+//! Deterministic workload generation.
+//!
+//! The paper's inputs were rows of a full-color RGB image; the closest
+//! synthetic equivalent that exercises the same code paths is seeded
+//! uniform pixel data (the kernels are data-independent except for the
+//! if-converted selects, which uniform data exercises on both arms). All
+//! generators are deterministic in `(benchmark, n, seed)`.
+//!
+//! Value ranges are chosen so every intermediate of every kernel fits a
+//! 32-bit register (documented per kernel in `golden.rs`), keeping plain
+//! and wrapping arithmetic identical.
+
+use crate::Benchmark;
+use cfp_ir::{ArrayKind, Kernel, MemImage};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Row pitch of benchmark A's 7-row input window (a compile-time
+/// constant of the kernel; inputs must keep `n + 6 <= FIR_STRIDE`).
+pub const FIR_STRIDE: i64 = 512;
+
+/// A ready-to-run problem instance: the compiled kernel, the iteration
+/// count, and per-array input data (`None` for local scratch).
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The compiled (unoptimized) kernel.
+    pub kernel: Kernel,
+    /// Outer-loop iterations to run.
+    pub iters: u64,
+    /// Initial contents per declared array; `None` for locals.
+    pub inputs: Vec<Option<Vec<i64>>>,
+}
+
+impl Workload {
+    /// Build a bound memory image (locals allocated, inputs copied in).
+    ///
+    /// # Panics
+    /// Panics if the workload's shapes do not match the kernel — a
+    /// construction invariant of [`Benchmark::workload`].
+    #[must_use]
+    pub fn image(&self) -> MemImage {
+        let mut mem = MemImage::for_kernel(&self.kernel);
+        for (i, data) in self.inputs.iter().enumerate() {
+            match (&self.kernel.arrays[i].kind, data) {
+                (ArrayKind::Local(_), None) => {}
+                (ArrayKind::Local(_), Some(_)) => panic!("local array bound with data"),
+                (_, Some(d)) => {
+                    mem.bind(i, d.clone());
+                }
+                (_, None) => panic!("non-local array missing data"),
+            }
+        }
+        mem
+    }
+
+    /// Indices of arrays whose final contents are observable outputs
+    /// (everything except local scratch).
+    #[must_use]
+    pub fn observable_arrays(&self) -> Vec<usize> {
+        self.kernel
+            .arrays
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| !matches!(a.kind, ArrayKind::Local(_)))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+fn u8s(rng: &mut StdRng, len: usize) -> Vec<i64> {
+    (0..len).map(|_| rng.gen_range(0..=255)).collect()
+}
+
+fn i16s(rng: &mut StdRng, len: usize, lo: i64, hi: i64) -> Vec<i64> {
+    (0..len).map(|_| rng.gen_range(lo..=hi)).collect()
+}
+
+fn zeros(len: usize) -> Vec<i64> {
+    vec![0; len]
+}
+
+impl Benchmark {
+    /// Generate a workload of `n` iterations from `seed`.
+    ///
+    /// # Panics
+    /// Panics for benchmark A if `n + 6 > FIR_STRIDE`.
+    #[must_use]
+    pub fn workload(self, n: u64, seed: u64) -> Workload {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xc0ff_ee00 ^ (n << 32));
+        let n_us = usize::try_from(n).expect("n fits usize");
+        let stride = usize::try_from(FIR_STRIDE).expect("small");
+        let inputs: Vec<Option<Vec<i64>>> = match self {
+            Benchmark::A => {
+                assert!(
+                    n_us + 6 <= stride,
+                    "benchmark A requires n + 6 <= FIR_STRIDE"
+                );
+                // Binomial 7-tap quadrant: w = [1, 6, 15, 20].
+                let w = [1_i64, 6, 15, 20];
+                let mut coef = Vec::with_capacity(16);
+                for r in 0..4 {
+                    for c in 0..4 {
+                        coef.push(w[r] * w[c]);
+                    }
+                }
+                vec![
+                    Some(u8s(&mut rng, 6 * stride + n_us + 7)),
+                    Some(coef),
+                    Some(zeros(n_us)),
+                ]
+            }
+            Benchmark::C => vec![
+                Some(i16s(&mut rng, 64 * n_us, -128, 127)),
+                Some(i16s(&mut rng, 64, 1, 16)),
+                Some(zeros(64 * n_us)),
+                None, // local t
+            ],
+            Benchmark::D | Benchmark::E => vec![
+                Some(u8s(&mut rng, 3 * n_us)),
+                Some(zeros(3 * n_us)),
+            ],
+            Benchmark::F => vec![
+                Some(u8s(&mut rng, 24 * n_us)),
+                Some(i16s(&mut rng, 24 * n_us + 8, -64, 64)),
+                Some(zeros(3 * n_us)),
+                None, // est
+                None, // ob
+            ],
+            Benchmark::G => vec![
+                Some(u8s(&mut rng, 3 * n_us)),
+                Some(u8s(&mut rng, 3 * n_us)),
+                Some(zeros(3 * n_us)),
+            ],
+            Benchmark::H => vec![
+                Some(u8s(&mut rng, 3 * (n_us + 2))),
+                Some(u8s(&mut rng, 3 * (n_us + 2))),
+                Some(u8s(&mut rng, 3 * (n_us + 2))),
+                Some(zeros(3 * n_us)),
+                None, // p
+            ],
+            Benchmark::GF => vec![
+                Some(u8s(&mut rng, 24 * n_us)),
+                Some(u8s(&mut rng, 24 * n_us)),
+                Some(i16s(&mut rng, 24 * n_us + 8, -64, 64)),
+                Some(zeros(3 * n_us)),
+                None, // est
+                None, // ob
+            ],
+            Benchmark::GEF => vec![
+                Some(u8s(&mut rng, 24 * n_us)),
+                Some(u8s(&mut rng, 24 * n_us)),
+                Some(i16s(&mut rng, 24 * n_us + 8, -64, 64)),
+                Some(zeros(3 * n_us)),
+                None, // est
+                None, // ob
+                None, // px
+            ],
+            Benchmark::DH => vec![
+                Some(u8s(&mut rng, 3 * (n_us + 2))),
+                Some(u8s(&mut rng, 3 * (n_us + 2))),
+                Some(u8s(&mut rng, 3 * (n_us + 2))),
+                Some(zeros(3 * n_us)),
+                None, // cv
+                None, // p
+            ],
+            Benchmark::DHEF => vec![
+                Some(u8s(&mut rng, 3 * (8 * n_us + 2))),
+                Some(u8s(&mut rng, 3 * (8 * n_us + 2))),
+                Some(u8s(&mut rng, 3 * (8 * n_us + 2))),
+                Some(i16s(&mut rng, 24 * n_us + 8, -64, 64)),
+                Some(zeros(3 * n_us)),
+                None, // cv
+                None, // p
+                None, // med
+                None, // est
+                None, // ob
+            ],
+        };
+        let kernel = self.kernel();
+        assert_eq!(
+            inputs.len(),
+            kernel.arrays.len(),
+            "{self}: workload shape drifted from the kernel's arrays"
+        );
+        Workload {
+            kernel,
+            iters: n,
+            inputs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfp_ir::Interpreter;
+
+    #[test]
+    fn workloads_bind_and_run_in_bounds() {
+        for b in Benchmark::ALL {
+            let w = b.workload(4, 7);
+            let mut mem = w.image();
+            Interpreter::new()
+                .run(&w.kernel, &mut mem, w.iters)
+                .unwrap_or_else(|e| panic!("{b}: {e}"));
+        }
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        for b in [Benchmark::A, Benchmark::F, Benchmark::DHEF] {
+            let w1 = b.workload(3, 42);
+            let w2 = b.workload(3, 42);
+            assert_eq!(w1.inputs, w2.inputs);
+            let w3 = b.workload(3, 43);
+            assert_ne!(w1.inputs, w3.inputs, "{b}: seed must matter");
+        }
+    }
+
+    #[test]
+    fn observable_arrays_exclude_locals() {
+        let w = Benchmark::DHEF.workload(2, 1);
+        assert_eq!(w.observable_arrays().len(), 5);
+    }
+}

@@ -1,0 +1,465 @@
+//! Golden reference implementations.
+//!
+//! Plain-Rust mirrors of each DSL kernel, statement for statement. Input
+//! ranges (see [`crate::data`]) keep every intermediate inside the i32
+//! range, so ordinary `i64` arithmetic here equals the IR's 32-bit
+//! wrapping arithmetic; casts (`u8(…)`, `i16(…)`) are applied exactly
+//! where the DSL applies them.
+
+use crate::data::FIR_STRIDE;
+use crate::Benchmark;
+use cfp_ir::{MemImage, Ty};
+
+/// Run the reference implementation of `b` for `n` iterations against
+/// `mem` (same binding layout as the compiled kernel expects).
+///
+/// # Panics
+/// Panics if `mem` was not produced by the matching
+/// [`Workload`](crate::data::Workload).
+pub fn run(b: Benchmark, mem: &mut MemImage, n: u64) {
+    match b {
+        Benchmark::A => fir7x7(mem, n),
+        Benchmark::C => idct_aan(mem, n),
+        Benchmark::D => rgb2ycc(mem, n),
+        Benchmark::E => ycc2rgb(mem, n),
+        Benchmark::F => halftone_fs(mem, n),
+        Benchmark::G => scale_bilinear(mem, n),
+        Benchmark::H => median3x3(mem, n),
+        Benchmark::GF => jam_gf(mem, n),
+        Benchmark::GEF => jam_gef(mem, n),
+        Benchmark::DH => jam_dh(mem, n),
+        Benchmark::DHEF => jam_dhef(mem, n),
+    }
+}
+
+fn clamp255(x: i64) -> i64 {
+    // min(255, max(0, x))
+    x.clamp(0, 255)
+}
+
+/// `(y, cb, cr)` of benchmark D, before clamping.
+fn d_convert(r: i64, g: i64, b: i64) -> (i64, i64, i64) {
+    (
+        (77 * r + 150 * g + 29 * b + 128) >> 8,
+        ((128 * b - 43 * r - 85 * g + 128) >> 8) + 128,
+        ((128 * r - 107 * g - 21 * b + 128) >> 8) + 128,
+    )
+}
+
+/// `(r, g, b)` of benchmark E, before clamping (`cb`/`cr` pre-biased).
+fn e_convert(y: i64, cb: i64, cr: i64) -> (i64, i64, i64) {
+    (
+        y + ((359 * cr + 128) >> 8),
+        y - ((88 * cb + 183 * cr + 128) >> 8),
+        y + ((454 * cb + 128) >> 8),
+    )
+}
+
+/// The 19-step compare-exchange network of benchmark H; median in `p[4]`.
+fn med9(p: &mut [i64; 9]) -> i64 {
+    let ce = |a: usize, b: usize, p: &mut [i64; 9]| {
+        if p[a] > p[b] {
+            p.swap(a, b);
+        }
+    };
+    ce(1, 2, p);
+    ce(4, 5, p);
+    ce(7, 8, p);
+    ce(0, 1, p);
+    ce(3, 4, p);
+    ce(6, 7, p);
+    ce(1, 2, p);
+    ce(4, 5, p);
+    ce(7, 8, p);
+    ce(0, 3, p);
+    ce(5, 8, p);
+    ce(4, 7, p);
+    ce(3, 6, p);
+    ce(1, 4, p);
+    ce(2, 5, p);
+    ce(4, 7, p);
+    ce(4, 2, p);
+    ce(6, 4, p);
+    ce(4, 2, p);
+    p[4]
+}
+
+/// Floyd–Steinberg state: running error and one-ahead errTemp, per
+/// channel (the `est[0..3]`/`est[3..6]` scalars of the DSL kernels).
+#[derive(Default)]
+struct FsState {
+    e: [i64; 3],
+    et: [i64; 3],
+}
+
+impl FsState {
+    /// Diffuse one pixel (`v` per channel) at block position `b`; `base`
+    /// is the element index of the pixel triple in `err`.
+    fn pixel(&mut self, v: [i64; 3], err: &mut [i64], base: usize, ob: &mut [i64; 3], b: u32) {
+        for k in 0..3 {
+            let mut etoff = self.et[k];
+            self.et[k] = err[base + 3 + k];
+            let old = self.e[k];
+            self.e[k] = self.et[k] + ((self.e[k] * 7 + 8) >> 4) + (v[k] << 3);
+            let hit = self.e[k] > 1024;
+            if hit {
+                ob[k] |= 128 >> b;
+                self.e[k] -= 2040;
+            }
+            etoff += (self.e[k] * 3 + 8) >> 4;
+            self.et[k] = (self.e[k] * 5 + old + 8) >> 4;
+            err[base + k] = Ty::I16.truncate(etoff);
+        }
+    }
+}
+
+fn fir7x7(mem: &mut MemImage, n: u64) {
+    let src = mem.array(0).to_vec();
+    let coef = mem.array(1).to_vec();
+    let stride = usize::try_from(FIR_STRIDE).expect("small");
+    let dst = mem.array_mut(2);
+    for i in 0..usize::try_from(n).expect("small") {
+        let mut acc = 0_i64;
+        for r in 0..4_usize {
+            for c in 0..4_usize {
+                let mut s = src[r * stride + i + c];
+                if c != 3 {
+                    s += src[r * stride + i + 6 - c];
+                }
+                if r != 3 {
+                    s += src[(6 - r) * stride + i + c];
+                    if c != 3 {
+                        s += src[(6 - r) * stride + i + 6 - c];
+                    }
+                }
+                acc += s * coef[4 * r + c];
+            }
+        }
+        dst[i] = Ty::U8.truncate(clamp255((acc + 2048) >> 12));
+    }
+}
+
+/// One AAN 8-point pass (fixed-point, 12-bit constants); mirrors the DSL
+/// butterfly exactly. Output order: `[o0, o1, …, o7]` by index.
+fn aan8(x: [i64; 8]) -> [i64; 8] {
+    let tmp10 = x[0] + x[4];
+    let tmp11 = x[0] - x[4];
+    let tmp13 = x[2] + x[6];
+    let tmp12 = (((x[2] - x[6]) * 5793) >> 12) - tmp13;
+    let e0 = tmp10 + tmp13;
+    let e3 = tmp10 - tmp13;
+    let e1 = tmp11 + tmp12;
+    let e2 = tmp11 - tmp12;
+
+    let z13 = x[5] + x[3];
+    let z10 = x[5] - x[3];
+    let z11 = x[1] + x[7];
+    let z12 = x[1] - x[7];
+    let o7 = z11 + z13;
+    let t11 = ((z11 - z13) * 5793) >> 12;
+    let z5 = ((z10 + z12) * 7568) >> 12;
+    let t10 = ((z12 * 4433) >> 12) - z5;
+    let t12 = z5 - ((z10 * 10703) >> 12);
+    let o6 = t12 - o7;
+    let o5 = t11 - o6;
+    let o4 = t10 + o5;
+
+    [
+        e0 + o7,
+        e1 + o6,
+        e2 + o5,
+        e3 - o4,
+        e3 + o4,
+        e2 - o5,
+        e1 - o6,
+        e0 - o7,
+    ]
+}
+
+fn idct_aan(mem: &mut MemImage, n: u64) {
+    let blk = mem.array(0).to_vec();
+    let qt = mem.array(1).to_vec();
+    let dst = mem.array_mut(2);
+    for i in 0..usize::try_from(n).expect("small") {
+        let mut t = [0_i64; 64];
+        for r in 0..8 {
+            let x: [i64; 8] =
+                std::array::from_fn(|c| blk[64 * i + 8 * r + c] * qt[8 * r + c]);
+            let o = aan8(x);
+            for (c, v) in o.into_iter().enumerate() {
+                t[8 * r + c] = v;
+            }
+        }
+        for c in 0..8 {
+            let x: [i64; 8] = std::array::from_fn(|k| t[c + 8 * k]);
+            let o = aan8(x);
+            for (k, v) in o.into_iter().enumerate() {
+                dst[64 * i + 8 * k + c] = Ty::U8.truncate(clamp255((v >> 6) + 128));
+            }
+        }
+    }
+}
+
+fn rgb2ycc(mem: &mut MemImage, n: u64) {
+    let src = mem.array(0).to_vec();
+    let dst = mem.array_mut(1);
+    for i in 0..usize::try_from(n).expect("small") {
+        let (y, cb, cr) = d_convert(src[3 * i], src[3 * i + 1], src[3 * i + 2]);
+        dst[3 * i] = Ty::U8.truncate(clamp255(y));
+        dst[3 * i + 1] = Ty::U8.truncate(clamp255(cb));
+        dst[3 * i + 2] = Ty::U8.truncate(clamp255(cr));
+    }
+}
+
+fn ycc2rgb(mem: &mut MemImage, n: u64) {
+    let src = mem.array(0).to_vec();
+    let dst = mem.array_mut(1);
+    for i in 0..usize::try_from(n).expect("small") {
+        let (r, g, b) = e_convert(
+            src[3 * i],
+            src[3 * i + 1] - 128,
+            src[3 * i + 2] - 128,
+        );
+        dst[3 * i] = Ty::U8.truncate(clamp255(r));
+        dst[3 * i + 1] = Ty::U8.truncate(clamp255(g));
+        dst[3 * i + 2] = Ty::U8.truncate(clamp255(b));
+    }
+}
+
+fn halftone_fs(mem: &mut MemImage, n: u64) {
+    let src = mem.array(0).to_vec();
+    let mut err = mem.array(1).to_vec();
+    let mut st = FsState::default();
+    {
+        let dst = mem.array_mut(2);
+        for i in 0..usize::try_from(n).expect("small") {
+            let mut ob = [0_i64; 3];
+            for b in 0..8_u32 {
+                let base = 24 * i + 3 * b as usize;
+                let v: [i64; 3] = std::array::from_fn(|k| src[base + k]);
+                st.pixel(v, &mut err, base, &mut ob, b);
+            }
+            for k in 0..3 {
+                dst[3 * i + k] = Ty::U8.truncate(ob[k]);
+            }
+        }
+    }
+    mem.array_mut(1).copy_from_slice(&err);
+}
+
+fn scale_bilinear(mem: &mut MemImage, n: u64) {
+    let rowa = mem.array(0).to_vec();
+    let rowb = mem.array(1).to_vec();
+    let dst = mem.array_mut(2);
+    for i in 0..usize::try_from(n).expect("small") {
+        for k in 0..3 {
+            dst[3 * i + k] = Ty::U8.truncate((rowa[3 * i + k] * 3 + rowb[3 * i + k]) >> 2);
+        }
+    }
+}
+
+fn median3x3(mem: &mut MemImage, n: u64) {
+    let r0 = mem.array(0).to_vec();
+    let r1 = mem.array(1).to_vec();
+    let r2 = mem.array(2).to_vec();
+    let dst = mem.array_mut(3);
+    for i in 0..usize::try_from(n).expect("small") {
+        for k in 0..3 {
+            let mut p = [0_i64; 9];
+            for x in 0..3 {
+                p[x] = r0[3 * (i + x) + k];
+                p[3 + x] = r1[3 * (i + x) + k];
+                p[6 + x] = r2[3 * (i + x) + k];
+            }
+            dst[3 * i + k] = Ty::U8.truncate(med9(&mut p));
+        }
+    }
+}
+
+fn jam_gf(mem: &mut MemImage, n: u64) {
+    let rowa = mem.array(0).to_vec();
+    let rowb = mem.array(1).to_vec();
+    let mut err = mem.array(2).to_vec();
+    let mut st = FsState::default();
+    {
+        let dst = mem.array_mut(3);
+        for i in 0..usize::try_from(n).expect("small") {
+            let mut ob = [0_i64; 3];
+            for b in 0..8_u32 {
+                let base = 24 * i + 3 * b as usize;
+                let v: [i64; 3] =
+                    std::array::from_fn(|k| (rowa[base + k] * 3 + rowb[base + k]) >> 2);
+                st.pixel(v, &mut err, base, &mut ob, b);
+            }
+            for k in 0..3 {
+                dst[3 * i + k] = Ty::U8.truncate(ob[k]);
+            }
+        }
+    }
+    mem.array_mut(2).copy_from_slice(&err);
+}
+
+fn jam_gef(mem: &mut MemImage, n: u64) {
+    let rowa = mem.array(0).to_vec();
+    let rowb = mem.array(1).to_vec();
+    let mut err = mem.array(2).to_vec();
+    let mut st = FsState::default();
+    {
+        let dst = mem.array_mut(3);
+        for i in 0..usize::try_from(n).expect("small") {
+            let mut ob = [0_i64; 3];
+            for b in 0..8_u32 {
+                let base = 24 * i + 3 * b as usize;
+                let y = (rowa[base] * 3 + rowb[base]) >> 2;
+                let cb = ((rowa[base + 1] * 3 + rowb[base + 1]) >> 2) - 128;
+                let cr = ((rowa[base + 2] * 3 + rowb[base + 2]) >> 2) - 128;
+                let (r, g, bch) = e_convert(y, cb, cr);
+                let v = [clamp255(r), clamp255(g), clamp255(bch)];
+                st.pixel(v, &mut err, base, &mut ob, b);
+            }
+            for k in 0..3 {
+                dst[3 * i + k] = Ty::U8.truncate(ob[k]);
+            }
+        }
+    }
+    mem.array_mut(2).copy_from_slice(&err);
+}
+
+/// Converted 3×3 neighborhood of pixel column `col` (rows `s0..s2`),
+/// laid out like the DSL's `cv[27]`.
+fn dh_neighborhood(s: [&[i64]; 3], col: usize) -> [i64; 27] {
+    let mut cv = [0_i64; 27];
+    for (r, row) in s.iter().enumerate() {
+        for x in 0..3 {
+            let rr = row[3 * (col + x)];
+            let gg = row[3 * (col + x) + 1];
+            let bb = row[3 * (col + x) + 2];
+            let (y, cb, cr) = d_convert(rr, gg, bb);
+            cv[9 * r + 3 * x] = clamp255(y);
+            cv[9 * r + 3 * x + 1] = clamp255(cb);
+            cv[9 * r + 3 * x + 2] = clamp255(cr);
+        }
+    }
+    cv
+}
+
+fn jam_dh(mem: &mut MemImage, n: u64) {
+    let s0 = mem.array(0).to_vec();
+    let s1 = mem.array(1).to_vec();
+    let s2 = mem.array(2).to_vec();
+    let dst = mem.array_mut(3);
+    for i in 0..usize::try_from(n).expect("small") {
+        let cv = dh_neighborhood([&s0, &s1, &s2], i);
+        for k in 0..3 {
+            let mut p = [0_i64; 9];
+            for r in 0..3 {
+                for x in 0..3 {
+                    p[3 * r + x] = cv[9 * r + 3 * x + k];
+                }
+            }
+            dst[3 * i + k] = Ty::U8.truncate(med9(&mut p));
+        }
+    }
+}
+
+fn jam_dhef(mem: &mut MemImage, n: u64) {
+    let s0 = mem.array(0).to_vec();
+    let s1 = mem.array(1).to_vec();
+    let s2 = mem.array(2).to_vec();
+    let mut err = mem.array(3).to_vec();
+    let mut st = FsState::default();
+    {
+        let dst = mem.array_mut(4);
+        for i in 0..usize::try_from(n).expect("small") {
+            let mut ob = [0_i64; 3];
+            for b in 0..8_u32 {
+                let col = 8 * i + b as usize;
+                let cv = dh_neighborhood([&s0, &s1, &s2], col);
+                let mut med = [0_i64; 3];
+                for (k, m) in med.iter_mut().enumerate() {
+                    let mut p = [0_i64; 9];
+                    for r in 0..3 {
+                        for x in 0..3 {
+                            p[3 * r + x] = cv[9 * r + 3 * x + k];
+                        }
+                    }
+                    *m = med9(&mut p);
+                }
+                let (r, g, bch) = e_convert(med[0], med[1] - 128, med[2] - 128);
+                let v = [clamp255(r), clamp255(g), clamp255(bch)];
+                let base = 24 * i + 3 * b as usize;
+                st.pixel(v, &mut err, base, &mut ob, b);
+            }
+            for k in 0..3 {
+                dst[3 * i + k] = Ty::U8.truncate(ob[k]);
+            }
+        }
+    }
+    mem.array_mut(3).copy_from_slice(&err);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfp_ir::Interpreter;
+
+    /// The keystone test: for every benchmark, interpreter(DSL) ==
+    /// golden Rust, element for element on every observable array.
+    #[test]
+    fn interpreter_matches_golden_on_every_benchmark() {
+        for b in Benchmark::ALL {
+            for seed in [1_u64, 99] {
+                let w = b.workload(6, seed);
+                let mut m_interp = w.image();
+                let mut m_gold = w.image();
+                Interpreter::new()
+                    .run(&w.kernel, &mut m_interp, w.iters)
+                    .unwrap_or_else(|e| panic!("{b}: {e}"));
+                run(b, &mut m_gold, w.iters);
+                for i in w.observable_arrays() {
+                    assert_eq!(
+                        m_interp.array(i),
+                        m_gold.array(i),
+                        "{b} seed {seed}: array {i} ({})",
+                        w.kernel.arrays[i].name
+                    );
+                }
+            }
+        }
+    }
+
+    /// Same keystone, but with the optimizer and unrolling applied.
+    #[test]
+    fn optimized_unrolled_kernels_still_match_golden() {
+        for b in Benchmark::ALL {
+            let w = b.workload(8, 3);
+            for unroll in [1_u32, 2, 4] {
+                let mut k = w.kernel.clone();
+                cfp_opt::optimize(&mut k);
+                let k = cfp_opt::unroll::unroll(&k, unroll);
+                let mut m = w.image();
+                Interpreter::new()
+                    .run(&k, &mut m, w.iters / u64::from(unroll))
+                    .unwrap_or_else(|e| panic!("{b} x{unroll}: {e}"));
+                let mut gold = w.image();
+                run(b, &mut gold, w.iters);
+                for i in w.observable_arrays() {
+                    assert_eq!(m.array(i), gold.array(i), "{b} x{unroll} array {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn median_network_is_a_median() {
+        // Cross-check the CE network against a sort, on many inputs.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..500 {
+            let mut p: [i64; 9] = std::array::from_fn(|_| rng.gen_range(0..256));
+            let mut sorted = p;
+            sorted.sort_unstable();
+            assert_eq!(med9(&mut p), sorted[4]);
+        }
+    }
+}

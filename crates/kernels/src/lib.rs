@@ -1,0 +1,236 @@
+//! # cfp-kernels — the paper's benchmark suite
+//!
+//! The seven individual color/image-processing kernels of the paper's
+//! Table 1 (A–H) and the four jammed combinations of Table 2 (GF, GEF,
+//! DH, DHEF), each provided three ways:
+//!
+//! * as **DSL source** (`src/dsl/*.cfk`) compiled by `cfp-frontend`;
+//! * as a **golden Rust reference** ([`golden`]) mirroring the DSL
+//!   computation exactly (32-bit wrapping arithmetic);
+//! * with a **workload generator** ([`data`]) producing deterministic
+//!   seeded inputs of the right shapes.
+//!
+//! The invariant the whole repository rests on: for every benchmark,
+//! `interpreter(kernel) == golden == cycle-accurate simulation of the
+//! scheduled code`, on every architecture (see the crate tests and
+//! `tests/` at the workspace root).
+//!
+//! ```
+//! use cfp_kernels::Benchmark;
+//!
+//! let k = Benchmark::D.kernel();
+//! assert_eq!(k.name, "rgb2ycc");
+//! assert_eq!(Benchmark::ALL.len(), 11);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod data;
+pub mod golden;
+
+use cfp_ir::Kernel;
+
+/// One benchmark of the paper's suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Benchmark {
+    /// FIR symmetrical filter, 7×7 convolution kernel.
+    A,
+    /// Inverse DCT (AAN) with dequantization.
+    C,
+    /// RGB → YCbCr color conversion (JPEG).
+    D,
+    /// YCbCr → RGB color conversion (JPEG).
+    E,
+    /// Floyd–Steinberg error-diffusion halftoning.
+    F,
+    /// 1D bilinear scaling by integral factors along columns.
+    G,
+    /// 3×3 median filter, standard algorithm.
+    H,
+    /// Jam: G followed by F.
+    GF,
+    /// Jam: G, then E, then F.
+    GEF,
+    /// Jam: D followed by H.
+    DH,
+    /// Jam: D, H, E, then F.
+    DHEF,
+}
+
+impl Benchmark {
+    /// Every benchmark, tables order.
+    pub const ALL: [Benchmark; 11] = [
+        Benchmark::A,
+        Benchmark::C,
+        Benchmark::D,
+        Benchmark::E,
+        Benchmark::F,
+        Benchmark::G,
+        Benchmark::H,
+        Benchmark::GF,
+        Benchmark::GEF,
+        Benchmark::DH,
+        Benchmark::DHEF,
+    ];
+
+    /// The individual benchmarks plotted in the paper's Figure 3.
+    pub const INDIVIDUAL: [Benchmark; 6] = [
+        Benchmark::A,
+        Benchmark::C,
+        Benchmark::D,
+        Benchmark::F,
+        Benchmark::G,
+        Benchmark::H,
+    ];
+
+    /// The jammed benchmarks plotted in the paper's Figure 4.
+    pub const JAMMED: [Benchmark; 4] =
+        [Benchmark::GF, Benchmark::GEF, Benchmark::DH, Benchmark::DHEF];
+
+    /// The ten benchmarks of the paper's Tables 8–10 (E only appears
+    /// inside jams there).
+    pub const TABLE_COLUMNS: [Benchmark; 10] = [
+        Benchmark::A,
+        Benchmark::C,
+        Benchmark::D,
+        Benchmark::F,
+        Benchmark::G,
+        Benchmark::H,
+        Benchmark::GF,
+        Benchmark::GEF,
+        Benchmark::DH,
+        Benchmark::DHEF,
+    ];
+
+    /// The paper's letter name.
+    #[must_use]
+    pub fn letter(self) -> &'static str {
+        match self {
+            Benchmark::A => "A",
+            Benchmark::C => "C",
+            Benchmark::D => "D",
+            Benchmark::E => "E",
+            Benchmark::F => "F",
+            Benchmark::G => "G",
+            Benchmark::H => "H",
+            Benchmark::GF => "GF",
+            Benchmark::GEF => "GEF",
+            Benchmark::DH => "DH",
+            Benchmark::DHEF => "DHEF",
+        }
+    }
+
+    /// The paper's one-line description (Tables 1 and 2).
+    #[must_use]
+    pub fn description(self) -> &'static str {
+        match self {
+            Benchmark::A => "FIR symmetrical filter implemented using a 7x7 convolution kernel",
+            Benchmark::C => {
+                "Inverse DCT transform with dequantization of the DCT coefficients (AAN)"
+            }
+            Benchmark::D => "Color conversion from the RGB to the YCbCr color space (JPEG)",
+            Benchmark::E => "Color conversion from the YCbCr to the RGB color space (JPEG)",
+            Benchmark::F => "Halftoning via standard Floyd-Steinberg error diffusion",
+            Benchmark::G => "1D bilinear scaling by integral factors along columns",
+            Benchmark::H => "3x3 median filter using the standard algorithm",
+            Benchmark::GF => "1D bilinear scaling followed by Floyd-Steinberg halftoning",
+            Benchmark::GEF => {
+                "1D bilinear scaling followed by E (YCbCr->RGB), followed by halftoning"
+            }
+            Benchmark::DH => "RGB->YCbCr color space conversion followed by a 3x3 median filter",
+            Benchmark::DHEF => {
+                "RGB->YCbCr conversion, 3x3 median, E (YCbCr->RGB), then halftoning"
+            }
+        }
+    }
+
+    /// The DSL source text.
+    #[must_use]
+    pub fn source(self) -> &'static str {
+        match self {
+            Benchmark::A => include_str!("dsl/fir7x7.cfk"),
+            Benchmark::C => include_str!("dsl/idct_aan.cfk"),
+            Benchmark::D => include_str!("dsl/rgb2ycc.cfk"),
+            Benchmark::E => include_str!("dsl/ycc2rgb.cfk"),
+            Benchmark::F => include_str!("dsl/halftone_fs.cfk"),
+            Benchmark::G => include_str!("dsl/scale_bilinear.cfk"),
+            Benchmark::H => include_str!("dsl/median3x3.cfk"),
+            Benchmark::GF => include_str!("dsl/jam_gf.cfk"),
+            Benchmark::GEF => include_str!("dsl/jam_gef.cfk"),
+            Benchmark::DH => include_str!("dsl/jam_dh.cfk"),
+            Benchmark::DHEF => include_str!("dsl/jam_dhef.cfk"),
+        }
+    }
+
+    /// The compile-time constant bindings this benchmark is specialized
+    /// with (scale weights, row strides).
+    #[must_use]
+    pub fn consts(self) -> &'static [(&'static str, i64)] {
+        match self {
+            Benchmark::A => &[("stride", data::FIR_STRIDE)],
+            Benchmark::G | Benchmark::GF | Benchmark::GEF => {
+                &[("w0", 3), ("w1", 1), ("sh", 2)]
+            }
+            _ => &[],
+        }
+    }
+
+    /// Compile the DSL source (unoptimized, un-unrolled).
+    ///
+    /// # Panics
+    /// Panics if the bundled source fails to compile — a build-level
+    /// invariant covered by tests.
+    #[must_use]
+    pub fn kernel(self) -> Kernel {
+        cfp_frontend::compile_kernel(self.source(), self.consts())
+            .unwrap_or_else(|e| panic!("bundled kernel {self:?} failed to compile: {e}"))
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.letter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_sources_compile_and_verify() {
+        for b in Benchmark::ALL {
+            let k = b.kernel();
+            cfp_ir::verify(&k).unwrap_or_else(|e| panic!("{b}: {e}"));
+            assert!(!k.body.is_empty(), "{b}");
+        }
+    }
+
+    #[test]
+    fn suite_partitions_match_the_paper() {
+        assert_eq!(Benchmark::INDIVIDUAL.len(), 6);
+        assert_eq!(Benchmark::JAMMED.len(), 4);
+        assert_eq!(Benchmark::TABLE_COLUMNS.len(), 10);
+        for b in Benchmark::ALL {
+            assert!(!b.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn outputs_per_iter_match_the_blocking() {
+        assert_eq!(Benchmark::C.kernel().outputs_per_iter, 64);
+        assert_eq!(Benchmark::F.kernel().outputs_per_iter, 8);
+        assert_eq!(Benchmark::D.kernel().outputs_per_iter, 1);
+        assert_eq!(Benchmark::DHEF.kernel().outputs_per_iter, 8);
+    }
+
+    #[test]
+    fn mul_mix_is_plausible() {
+        // H is pure compare/select; D and C are multiply-heavy.
+        assert_eq!(Benchmark::H.kernel().mul_count(), 0);
+        assert!(Benchmark::D.kernel().mul_count() >= 5);
+        assert!(Benchmark::C.kernel().mul_count() >= 64);
+        assert_eq!(Benchmark::A.kernel().mul_count(), 16);
+    }
+}

@@ -1,0 +1,112 @@
+//! Edge-value workloads: the uniform generators exercise typical paths;
+//! these force the extremes — saturated pixels, zero pixels, extreme
+//! error-buffer contents, negative-maximum DCT coefficients — and
+//! require interpreter/golden agreement there too (clamps, casts, and
+//! sign handling live on these paths).
+
+use cfp_ir::{ArrayKind, Interpreter, Ty};
+use cfp_kernels::{data::Workload, golden, Benchmark};
+
+/// Overwrite every input array with a constant (respecting its type's
+/// range by truncation).
+fn flood(w: &mut Workload, value: i64) {
+    for (i, slot) in w.inputs.iter_mut().enumerate() {
+        if let Some(data) = slot {
+            let ty = w.kernel.arrays[i].ty;
+            for v in data.iter_mut() {
+                *v = ty.truncate(value);
+            }
+        }
+    }
+    // Outputs start zeroed regardless.
+    for (i, slot) in w.inputs.iter_mut().enumerate() {
+        if matches!(w.kernel.arrays[i].kind, ArrayKind::Out) {
+            if let Some(data) = slot {
+                data.fill(0);
+            }
+        }
+    }
+}
+
+fn agree(bench: Benchmark, w: &Workload) {
+    let mut mi = w.image();
+    let mut mg = w.image();
+    Interpreter::new()
+        .run(&w.kernel, &mut mi, w.iters)
+        .unwrap_or_else(|e| panic!("{bench}: {e}"));
+    golden::run(bench, &mut mg, w.iters);
+    for i in w.observable_arrays() {
+        assert_eq!(
+            mi.array(i),
+            mg.array(i),
+            "{bench}: array {i} ({})",
+            w.kernel.arrays[i].name
+        );
+    }
+}
+
+#[test]
+fn all_black_and_all_white_inputs_agree() {
+    for bench in Benchmark::ALL {
+        for value in [0_i64, 255] {
+            let mut w = bench.workload(4, 11);
+            flood(&mut w, value);
+            agree(bench, &w);
+        }
+    }
+}
+
+#[test]
+fn extreme_error_buffers_agree() {
+    // The Floyd–Steinberg family reads and writes the i16 error line;
+    // saturate it both ways.
+    for bench in [Benchmark::F, Benchmark::GF, Benchmark::GEF, Benchmark::DHEF] {
+        for err_val in [-6000_i64, 6000] {
+            let mut w = bench.workload(4, 13);
+            // The error array is the `inout i16` one.
+            for (i, slot) in w.inputs.iter_mut().enumerate() {
+                if matches!(w.kernel.arrays[i].kind, ArrayKind::InOut) {
+                    if let Some(data) = slot {
+                        data.fill(Ty::I16.truncate(err_val));
+                    }
+                }
+            }
+            agree(bench, &w);
+        }
+    }
+}
+
+#[test]
+fn extreme_dct_coefficients_agree() {
+    for (blk_val, qt_val) in [(-128_i64, 16_i64), (127, 16), (-128, 1)] {
+        let mut w = Benchmark::C.workload(3, 17);
+        if let Some(blk) = &mut w.inputs[0] {
+            blk.fill(blk_val);
+        }
+        if let Some(qt) = &mut w.inputs[1] {
+            qt.fill(qt_val);
+        }
+        agree(Benchmark::C, &w);
+    }
+}
+
+#[test]
+fn alternating_extremes_exercise_both_select_arms() {
+    for bench in [Benchmark::F, Benchmark::H, Benchmark::DH] {
+        let mut w = bench.workload(4, 19);
+        for slot in w.inputs.iter_mut().flatten() {
+            for (j, v) in slot.iter_mut().enumerate() {
+                *v = if j % 2 == 0 { 0 } else { 255 };
+            }
+        }
+        // Re-zero outputs.
+        for (i, slot) in w.inputs.iter_mut().enumerate() {
+            if matches!(w.kernel.arrays[i].kind, ArrayKind::Out) {
+                if let Some(data) = slot {
+                    data.fill(0);
+                }
+            }
+        }
+        agree(bench, &w);
+    }
+}

@@ -1,0 +1,266 @@
+//! Least-squares calibration of the cost and cycle models against the
+//! paper's published tables.
+//!
+//! The paper's `k1 … k5` "fitting parameters computed from observation of
+//! existing designs" were never published; the closest observable designs
+//! are the eleven Table 6 rows and eleven Table 7 rows the paper prints.
+//! This module re-derives model constants from those rows:
+//!
+//! * the **cycle model** `T(p) = α + β·p²` fits Table 7 to within 8%
+//!   (relative, after normalizing the baseline to exactly 1.0) on every
+//!   row;
+//! * the **cost model** is fit in *relative* terms (weighted least
+//!   squares, weight `1/cost`, the baseline row pinned with extra weight
+//!   so normalization barely perturbs the fit) with three physical side
+//!   conditions that resolve degeneracies in the data: the per-register
+//!   port-independent height `k3` is constrained non-negative (the
+//!   unconstrained optimum is slightly negative, which would make cost
+//!   *decrease* with register count); a multiplier is pinned at three
+//!   ALU-heights (`k5 = 3·k4`) because every Table 6 row has `m = r/64`,
+//!   making the two coefficients unidentifiable from the data alone; and
+//!   an inter-cluster interconnect term `k6·(c−1)` is added, because the
+//!   printed formula is strictly additive over clusters while the printed
+//!   costs are sub-additive (the paper's template has "a set of global
+//!   connections" between clusters whose area the printed formula cannot
+//!   represent). Residuals stay within ~21%, consistent with the paper's
+//!   own "certainly not close to exact figures" caveat; see
+//!   `EXPERIMENTS.md` for the full residual table.
+
+use crate::arch::ArchSpec;
+use crate::cost::CostModel;
+use crate::cycle::CycleModel;
+use crate::paper;
+
+/// Solve `min ‖W(Xk − y)‖²` by normal equations with partial-pivoting
+/// Gaussian elimination. Rows are `(features, target, weight)`.
+///
+/// Returns `None` when the system is singular (collinear features).
+#[must_use]
+pub fn weighted_least_squares(rows: &[(Vec<f64>, f64, f64)]) -> Option<Vec<f64>> {
+    let n = rows.first()?.0.len();
+    if rows.iter().any(|(x, _, _)| x.len() != n) {
+        return None;
+    }
+    let mut a = vec![vec![0.0; n]; n];
+    let mut b = vec![0.0; n];
+    for (x, y, w) in rows {
+        let w2 = w * w;
+        for i in 0..n {
+            for j in 0..n {
+                a[i][j] += w2 * x[i] * x[j];
+            }
+            b[i] += w2 * x[i] * y;
+        }
+    }
+    solve(&mut a, &mut b)
+}
+
+fn solve(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<Vec<f64>> {
+    let n = b.len();
+    for i in 0..n {
+        let piv = (i..n).max_by(|&r, &s| a[r][i].abs().total_cmp(&a[s][i].abs()))?;
+        if a[piv][i].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(i, piv);
+        b.swap(i, piv);
+        for r in i + 1..n {
+            let f = a[r][i] / a[i][i];
+            let (top, rest) = a.split_at_mut(i + 1);
+            let row = &mut rest[r - i - 1];
+            for (c, v) in row.iter_mut().enumerate().skip(i) {
+                *v -= f * top[i][c];
+            }
+            b[r] -= f * b[i];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let s: f64 = (i + 1..n).map(|j| a[i][j] * x[j]).sum();
+        x[i] = (b[i] - s) / a[i][i];
+    }
+    Some(x)
+}
+
+/// The cost-model feature vector of an architecture:
+/// `(Σ r'·p², Σ r'·p, Σ a'·p, Σ m'·p)` over clusters, where `p` is each
+/// cluster's register-file port count. The cost model is linear in these
+/// with coefficients `(k2, k3, k4, k5)` (the datapath width `k1·p` is
+/// already folded into each term's factor of `p`; `k1` only sets the
+/// overall scale, which normalization to the baseline removes).
+#[must_use]
+pub fn cost_features(spec: &ArchSpec) -> [f64; 4] {
+    let mut f = [0.0; 4];
+    for sh in spec.cluster_shapes() {
+        let p = f64::from(sh.regfile_ports());
+        let (a, m, r) = (f64::from(sh.alus), f64::from(sh.muls), f64::from(sh.regs));
+        f[0] += r * p * p;
+        f[1] += r * p;
+        f[2] += a * p;
+        f[3] += m * p;
+    }
+    f
+}
+
+/// Fit the cost model to Table 6. See the module docs for the side
+/// conditions applied.
+#[must_use]
+pub fn fit_cost_model() -> CostModel {
+    let data = paper::table6();
+    // Grid over k3 with a physical floor; for each candidate fit
+    // (k2, k4, k6) by weighted LS on the residual, with k5 tied to 3·k4.
+    // The baseline row gets 30x weight so that post-fit normalization is
+    // a tiny perturbation.
+    //
+    // The floor (k3 ≥ 1e-3): the unconstrained optimum drives the
+    // port-independent per-register height to zero, which makes large
+    // register files in small clusters almost free — Table 6's samples
+    // (all with r = 64·m) cannot constrain that corner. At 1e-3 a
+    // (8 2 128 1) machine in 4 clusters prices at ≈5.1, consistent with
+    // the paper's low-cost selections, while the Table 6 relative rms
+    // moves only from 0.104 to 0.118.
+    let mut best: Option<(f64, CostModel)> = None;
+    for step in 100..400 {
+        let k3 = f64::from(step) * 1e-5;
+        let rows: Vec<(Vec<f64>, f64, f64)> = data
+            .iter()
+            .map(|(spec, cost)| {
+                let f = cost_features(spec);
+                let w = if spec.clusters == 1 && spec.alus == 1 {
+                    30.0 / cost
+                } else {
+                    1.0 / cost
+                };
+                (
+                    vec![f[0], f[2] + 3.0 * f[3], f64::from(spec.clusters - 1)],
+                    cost - k3 * f[1],
+                    w,
+                )
+            })
+            .collect();
+        let Some(sol) = weighted_least_squares(&rows) else {
+            continue;
+        };
+        let (k2, k4, k6) = (sol[0], sol[1], sol[2]);
+        if k2 <= 0.0 || k4 <= 0.0 || k6 <= 0.0 {
+            continue;
+        }
+        let model = CostModel::from_coefficients(k2, k3, k4, 3.0 * k4, k6);
+        let rms = relative_rms(&data, &model);
+        if best.as_ref().is_none_or(|(r, _)| rms < *r) {
+            best = Some((rms, model));
+        }
+    }
+    best.expect("cost fit always has a feasible point").1
+}
+
+fn relative_rms(data: &[(ArchSpec, f64)], model: &CostModel) -> f64 {
+    let s: f64 = data
+        .iter()
+        .map(|(spec, cost)| ((model.cost(spec) - cost) / cost).powi(2))
+        .sum();
+    (s / data.len() as f64).sqrt()
+}
+
+/// Fit the cycle model `T(p) = α + β·p²` to Table 7, then normalize so
+/// the baseline derates to exactly 1.0.
+#[must_use]
+pub fn fit_cycle_model() -> CycleModel {
+    let rows: Vec<(Vec<f64>, f64, f64)> = paper::table7()
+        .iter()
+        .map(|(spec, t)| {
+            let p = f64::from(spec.cycle_ports());
+            (vec![1.0, p * p], *t, 1.0)
+        })
+        .collect();
+    let sol = weighted_least_squares(&rows).expect("cycle fit is well-conditioned");
+    CycleModel::from_coefficients(sol[0], sol[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn least_squares_recovers_exact_solution() {
+        // y = 2x0 + 3x1 exactly.
+        let rows = vec![
+            (vec![1.0, 0.0], 2.0, 1.0),
+            (vec![0.0, 1.0], 3.0, 1.0),
+            (vec![1.0, 1.0], 5.0, 1.0),
+            (vec![2.0, 1.0], 7.0, 2.0),
+        ];
+        let sol = weighted_least_squares(&rows).unwrap();
+        assert!((sol[0] - 2.0).abs() < 1e-9);
+        assert!((sol[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn least_squares_rejects_singular() {
+        let rows = vec![
+            (vec![1.0, 2.0], 1.0, 1.0),
+            (vec![2.0, 4.0], 2.0, 1.0),
+        ];
+        assert!(weighted_least_squares(&rows).is_none());
+    }
+
+    #[test]
+    fn least_squares_rejects_ragged_rows() {
+        let rows = vec![(vec![1.0], 1.0, 1.0), (vec![1.0, 2.0], 2.0, 1.0)];
+        assert!(weighted_least_squares(&rows).is_none());
+    }
+
+    #[test]
+    fn cycle_fit_matches_table7_within_8_percent() {
+        let m = fit_cycle_model();
+        for (spec, t) in paper::table7() {
+            let pred = m.derate(&spec);
+            let rel = (pred - t).abs() / t;
+            assert!(rel < 0.08, "{spec}: paper {t}, model {pred:.3}");
+        }
+    }
+
+    #[test]
+    fn cost_fit_matches_table6_within_25_percent() {
+        let m = fit_cost_model();
+        for (spec, c) in paper::table6() {
+            let pred = m.cost(&spec);
+            let rel = (pred - c).abs() / c;
+            assert!(rel < 0.25, "{spec}: paper {c}, model {pred:.2}");
+        }
+    }
+
+    #[test]
+    fn cost_fit_keeps_baseline_at_one() {
+        let m = fit_cost_model();
+        let b = crate::arch::ArchSpec::baseline();
+        assert!((m.cost(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fitted_models_match_the_cached_constants() {
+        // `paper_calibrated` memoizes the fit in a `OnceLock`; this pins
+        // the cached models to a fresh fit.
+        let fit_cost = fit_cost_model();
+        let shipped_cost = CostModel::paper_calibrated();
+        for (spec, _) in paper::table6() {
+            assert!(
+                (fit_cost.cost(&spec) - shipped_cost.cost(&spec)).abs() < 1e-6,
+                "{spec}"
+            );
+        }
+        let fit_cycle = fit_cycle_model();
+        let shipped_cycle = CycleModel::paper_calibrated();
+        for (spec, _) in paper::table7() {
+            assert!((fit_cycle.derate(&spec) - shipped_cycle.derate(&spec)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cost_features_scale_with_clusters() {
+        let one = ArchSpec::new(8, 4, 256, 1, 8, 1).unwrap();
+        let four = ArchSpec::new(8, 4, 256, 1, 8, 4).unwrap();
+        // Splitting into clusters shrinks the quadratic port term.
+        assert!(cost_features(&four)[0] < cost_features(&one)[0]);
+    }
+}

@@ -1,0 +1,141 @@
+//! The datapath-area cost model (paper §3.3).
+//!
+//! ```text
+//! COST = Σ over clusters of  Xdp(p) · (Yreg(r', p) + Yalu(a') + Ymul(m'))
+//!        + k6 · (clusters − 1)          // inter-cluster interconnect
+//!
+//! Xdp(p)      = k1·p          (datapath width; k1 folds into the scale)
+//! Yreg(r', p) = r'·(k2·p + k3) (register-file height)
+//! Yalu(a')    = k4·a'          (ALU height)
+//! Ymul(m')    = k5·m'          (multiplier height)
+//! p           = 3·a' + 2·l'    (register-file ports of the cluster)
+//! ```
+//!
+//! Costs are reported relative to the baseline architecture, which costs
+//! exactly 1.0. The interconnect term is our one structural addition to
+//! the printed formula — see [`crate::calibrate`] for why it is needed
+//! and how the constants are fit to the paper's Table 6.
+
+use crate::arch::ArchSpec;
+use crate::calibrate;
+use std::sync::OnceLock;
+
+/// Computes architecture cost in baseline-relative units.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    k2: f64,
+    k3: f64,
+    k4: f64,
+    k5: f64,
+    k6: f64,
+    baseline_raw: f64,
+}
+
+impl CostModel {
+    /// Build a model from raw coefficients (`k1` is normalized away: the
+    /// model always reports cost relative to [`ArchSpec::baseline`]).
+    #[must_use]
+    pub fn from_coefficients(k2: f64, k3: f64, k4: f64, k5: f64, k6: f64) -> Self {
+        let mut m = CostModel {
+            k2,
+            k3,
+            k4,
+            k5,
+            k6,
+            baseline_raw: 1.0,
+        };
+        m.baseline_raw = m.raw_cost(&ArchSpec::baseline());
+        m
+    }
+
+    /// The model calibrated against the paper's Table 6 (cached; the fit
+    /// runs once per process).
+    #[must_use]
+    pub fn paper_calibrated() -> Self {
+        static CACHE: OnceLock<CostModel> = OnceLock::new();
+        CACHE.get_or_init(calibrate::fit_cost_model).clone()
+    }
+
+    /// The raw (un-normalized) cost.
+    #[must_use]
+    pub fn raw_cost(&self, spec: &ArchSpec) -> f64 {
+        let mut total = 0.0;
+        for sh in spec.cluster_shapes() {
+            let p = f64::from(sh.regfile_ports());
+            let y_reg = f64::from(sh.regs) * (self.k2 * p + self.k3);
+            let y_alu = self.k4 * f64::from(sh.alus);
+            let y_mul = self.k5 * f64::from(sh.muls);
+            total += p * (y_reg + y_alu + y_mul);
+        }
+        total + self.k6 * f64::from(spec.clusters - 1)
+    }
+
+    /// Cost relative to the baseline (the unit of Tables 6 and 8–10).
+    #[must_use]
+    pub fn cost(&self, spec: &ArchSpec) -> f64 {
+        self.raw_cost(spec) / self.baseline_raw
+    }
+
+    /// The fitted coefficients `(k2, k3, k4, k5, k6)`.
+    #[must_use]
+    pub fn coefficients(&self) -> (f64, f64, f64, f64, f64) {
+        (self.k2, self.k3, self.k4, self.k5, self.k6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(a: u32, m: u32, r: u32, p2: u32, c: u32) -> ArchSpec {
+        ArchSpec::new(a, m, r, p2, 8, c).unwrap()
+    }
+
+    #[test]
+    fn baseline_costs_one() {
+        let model = CostModel::paper_calibrated();
+        assert!((model.cost(&ArchSpec::baseline()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_is_monotone_in_each_resource() {
+        let model = CostModel::paper_calibrated();
+        let base = spec(4, 2, 128, 1, 2);
+        let c0 = model.cost(&base);
+        assert!(model.cost(&spec(8, 2, 128, 1, 2)) > c0, "more ALUs");
+        assert!(model.cost(&spec(4, 4, 128, 1, 2)) > c0, "more MULs");
+        assert!(model.cost(&spec(4, 2, 256, 1, 2)) > c0, "more registers");
+        assert!(model.cost(&spec(4, 2, 128, 2, 2)) > c0, "more L2 ports");
+    }
+
+    #[test]
+    fn clustering_cuts_cost_of_big_machines() {
+        // The core Table 6 phenomenon: splitting a big register file into
+        // clusters slashes area (ports enter quadratically).
+        let model = CostModel::paper_calibrated();
+        let mono = model.cost(&spec(16, 8, 512, 1, 1));
+        let quad = model.cost(&spec(16, 8, 512, 1, 4));
+        assert!(quad < mono / 3.0, "mono {mono:.1} vs 4-cluster {quad:.1}");
+    }
+
+    #[test]
+    fn coefficients_are_physical() {
+        let (k2, k3, k4, k5, k6) = CostModel::paper_calibrated().coefficients();
+        assert!(k2 > 0.0);
+        assert!(k3 >= 1e-3, "register height floor");
+        assert!(k4 > 0.0);
+        assert!((k5 - 3.0 * k4).abs() < 1e-12, "mul pinned at 3 ALU heights");
+        assert!(k6 > 0.0);
+    }
+
+    #[test]
+    fn cost_range_matches_paper_claim() {
+        // "The costs range from 1.0 … to about 100 for the most ambitious
+        // architectures (16 ALUs, 8 MULs, 512 registers, 4 memory ports,
+        // 1 cluster)."
+        let model = CostModel::paper_calibrated();
+        let ambitious = spec(16, 8, 512, 4, 1);
+        let c = model.cost(&ambitious);
+        assert!(c > 60.0 && c < 160.0, "got {c:.1}");
+    }
+}

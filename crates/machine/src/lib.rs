@@ -1,0 +1,53 @@
+//! # cfp-machine — the clustered-VLIW machine model
+//!
+//! Everything the paper calls "the architecture" lives here:
+//!
+//! * [`ArchSpec`] — the 6-tuple `(a m r p2 l2 c)` the paper uses to name
+//!   an architecture: total ALUs, IMUL-capable ALUs, total registers,
+//!   Level-2 memory ports, Level-2 latency, and cluster count — plus the
+//!   derived per-cluster quantities (register-file ports, port placement);
+//! * [`CostModel`] — the datapath-area cost
+//!   `COST = Σ_clusters Xdp(p)·(Yreg(r,p) + Yalu(a) + Ymul(m))`,
+//!   with fitting constants calibrated against the paper's Table 6;
+//! * [`CycleModel`] — the cycle-time derating factor, quadratic in the
+//!   register-file ports, calibrated against the paper's Table 7;
+//! * [`calibrate`] — the least-squares machinery that derives those
+//!   constants from the published tables (the paper fitted its constants
+//!   "from observation of existing designs"; the designs we can observe
+//!   are the table rows the paper printed);
+//! * [`DesignSpace`] — the exhaustive enumeration of candidate
+//!   architectures searched by the experiment (the paper's 191-point
+//!   space, §2.4);
+//! * [`MachineResources`] — the reservation-table view of an architecture
+//!   consumed by the `cfp-sched` list scheduler.
+//!
+//! ```
+//! use cfp_machine::{ArchSpec, CostModel, CycleModel};
+//!
+//! let arch = ArchSpec::new(8, 4, 256, 1, 4, 4).unwrap();
+//! let cost = CostModel::paper_calibrated();
+//! let cycle = CycleModel::paper_calibrated();
+//! assert!(cost.cost(&arch) > 1.0);
+//! assert!(cycle.derate(&arch) >= 1.0);
+//! assert_eq!(arch.to_string(), "(8 4 256 1 4 4)");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod arch;
+pub mod calibrate;
+pub mod cost;
+pub mod cycle;
+pub mod paper;
+pub mod resources;
+pub mod space;
+
+pub use arch::{ArchError, ArchSpec, ClusterShape};
+pub use cost::CostModel;
+pub use cycle::CycleModel;
+pub use resources::{
+    ClusterResources, MachineResources, MemLevel, ALU_LATENCY, BRANCH_LATENCY, L1_LATENCY,
+    MUL_LATENCY,
+};
+pub use space::DesignSpace;

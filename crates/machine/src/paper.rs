@@ -1,0 +1,73 @@
+//! The published calibration samples: the example rows of the paper's
+//! Table 6 (architecture costs) and Table 7 (cycle-speed derating).
+//!
+//! These are the only concrete values the paper gives for its cost and
+//! cycle models; [`crate::calibrate`] fits our model constants to them.
+
+use crate::arch::ArchSpec;
+
+fn spec(alus: u32, muls: u32, regs: u32, l2_ports: u32, l2_latency: u32, clusters: u32) -> ArchSpec {
+    ArchSpec::new(alus, muls, regs, l2_ports, l2_latency, clusters)
+        .expect("paper table rows are valid specs")
+}
+
+/// Paper Table 6: `(arch, relative cost)`. All rows use one L2 port; the
+/// L2 latency is immaterial to cost (we fill in 8).
+#[must_use]
+pub fn table6() -> Vec<(ArchSpec, f64)> {
+    vec![
+        (spec(1, 1, 64, 1, 8, 1), 1.0),
+        (spec(2, 1, 64, 1, 8, 1), 1.7),
+        (spec(4, 2, 128, 1, 8, 1), 6.5),
+        (spec(4, 2, 128, 1, 8, 2), 3.6),
+        (spec(8, 4, 256, 1, 8, 1), 28.7),
+        (spec(8, 4, 256, 1, 8, 2), 13.1),
+        (spec(8, 4, 256, 1, 8, 4), 7.4),
+        (spec(16, 8, 512, 1, 8, 1), 93.4),
+        (spec(16, 8, 512, 1, 8, 2), 38.4),
+        (spec(16, 8, 512, 1, 8, 4), 19.0),
+        (spec(16, 8, 512, 1, 8, 8), 12.2),
+    ]
+}
+
+/// Paper Table 7: `(arch, relative cycle time)`. Cycle time depends only
+/// on ALUs-per-cluster and memory ports; register/mul fields are filled
+/// with representative values.
+#[must_use]
+pub fn table7() -> Vec<(ArchSpec, f64)> {
+    vec![
+        (spec(1, 1, 64, 1, 8, 1), 1.0),
+        (spec(2, 1, 64, 1, 8, 1), 1.1),
+        (spec(4, 1, 64, 1, 8, 1), 1.5),
+        (spec(4, 1, 64, 1, 8, 2), 1.1),
+        (spec(8, 2, 512, 1, 8, 1), 2.7),
+        (spec(8, 2, 512, 1, 8, 2), 1.4),
+        (spec(8, 2, 512, 1, 8, 4), 1.1),
+        (spec(16, 4, 512, 1, 8, 1), 7.3),
+        (spec(16, 4, 512, 1, 8, 2), 2.7),
+        (spec(16, 4, 512, 1, 8, 4), 1.5),
+        (spec(16, 4, 512, 1, 8, 8), 1.1),
+    ]
+}
+
+/// The cost bounds the paper explores in Tables 8–10.
+pub const COST_BOUNDS: [f64; 3] = [5.0, 10.0, 15.0];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_are_well_formed() {
+        let t6 = table6();
+        assert_eq!(t6.len(), 11);
+        assert_eq!(t6[0].1, 1.0, "first row is the baseline");
+        let t7 = table7();
+        assert_eq!(t7.len(), 11);
+        assert_eq!(t7[0].1, 1.0);
+        for (a, v) in t6.iter().chain(&t7) {
+            assert!(a.validate().is_ok());
+            assert!(*v >= 1.0);
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! The reservation-table view of an architecture, as consumed by the
+//! list scheduler in `cfp-sched`.
+//!
+//! Latencies follow the paper's Table 4: every integer operation takes 1
+//! cycle except multiply (2 cycles, pipelined); Level-1 memory takes 3
+//! cycles non-pipelined; Level-2 memory takes the architecture's `l2`
+//! latency, non-pipelined. *Non-pipelined* means the memory port stays
+//! busy for the entire access, so a port sustains at most one access per
+//! `latency` cycles.
+
+use crate::arch::ArchSpec;
+
+/// Latency of a plain ALU operation (cycles).
+pub const ALU_LATENCY: u32 = 1;
+/// Latency of an integer multiply (cycles, pipelined).
+pub const MUL_LATENCY: u32 = 2;
+/// Latency of a Level-1 memory access (cycles, non-pipelined).
+pub const L1_LATENCY: u32 = 3;
+/// Latency of the loop-closing branch (cycles).
+pub const BRANCH_LATENCY: u32 = 1;
+
+/// Which memory level an access targets. Mirrors `cfp_ir::MemSpace`
+/// without creating a dependency between the crates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemLevel {
+    /// Level-1 (global) memory.
+    L1,
+    /// Level-2 (local) memory.
+    L2,
+}
+
+/// One cluster's schedulable resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterResources {
+    /// ALU issue slots per cycle.
+    pub alus: u32,
+    /// How many of those slots accept a multiply.
+    pub mul_capable: u32,
+    /// Register-bank capacity.
+    pub regs: u32,
+    /// Level-1 memory ports attached here.
+    pub l1_ports: u32,
+    /// Level-2 memory ports attached here.
+    pub l2_ports: u32,
+    /// Whether the (single) branch unit lives here.
+    pub has_branch: bool,
+}
+
+/// A whole machine, ready for scheduling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineResources {
+    /// Per-cluster resources; index = cluster id.
+    pub clusters: Vec<ClusterResources>,
+    /// Level-2 access latency (cycles, non-pipelined).
+    pub l2_latency: u32,
+}
+
+impl MachineResources {
+    /// Derive the resource tables from an architecture spec.
+    #[must_use]
+    pub fn from_spec(spec: &ArchSpec) -> Self {
+        let clusters = spec
+            .cluster_shapes()
+            .map(|sh| ClusterResources {
+                alus: sh.alus,
+                mul_capable: sh.muls,
+                regs: sh.regs,
+                l1_ports: sh.l1_ports,
+                l2_ports: sh.l2_ports,
+                has_branch: sh.has_branch,
+            })
+            .collect();
+        MachineResources {
+            clusters,
+            l2_latency: spec.l2_latency,
+        }
+    }
+
+    /// Number of clusters.
+    #[must_use]
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Latency of a memory access to the given level.
+    #[must_use]
+    pub fn mem_latency(&self, level: MemLevel) -> u32 {
+        match level {
+            MemLevel::L1 => L1_LATENCY,
+            MemLevel::L2 => self.l2_latency,
+        }
+    }
+
+    /// Memory ports of the given level on cluster `c`.
+    ///
+    /// # Panics
+    /// Panics if `c` is out of range.
+    #[must_use]
+    pub fn mem_ports(&self, c: usize, level: MemLevel) -> u32 {
+        match level {
+            MemLevel::L1 => self.clusters[c].l1_ports,
+            MemLevel::L2 => self.clusters[c].l2_ports,
+        }
+    }
+
+    /// Total ALU slots across the machine (the VLIW issue width, minus
+    /// memory and branch slots).
+    #[must_use]
+    pub fn total_alus(&self) -> u32 {
+        self.clusters.iter().map(|c| c.alus).sum()
+    }
+
+    /// Whether *any* cluster can issue a multiply.
+    #[must_use]
+    pub fn can_multiply(&self) -> bool {
+        self.clusters.iter().any(|c| c.mul_capable > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_resources() {
+        let r = MachineResources::from_spec(&ArchSpec::baseline());
+        assert_eq!(r.cluster_count(), 1);
+        let c = &r.clusters[0];
+        assert_eq!((c.alus, c.mul_capable, c.regs), (1, 1, 64));
+        assert_eq!((c.l1_ports, c.l2_ports), (1, 1));
+        assert!(c.has_branch);
+        assert_eq!(r.mem_latency(MemLevel::L1), 3);
+        assert_eq!(r.mem_latency(MemLevel::L2), 8);
+        assert!(r.can_multiply());
+    }
+
+    #[test]
+    fn clustered_resources_place_branch_and_ports() {
+        let spec = ArchSpec::new(8, 2, 256, 1, 4, 4).unwrap();
+        let r = MachineResources::from_spec(&spec);
+        assert_eq!(r.cluster_count(), 4);
+        assert!(r.clusters[0].has_branch);
+        assert!(!r.clusters[1].has_branch);
+        assert_eq!(r.mem_ports(0, MemLevel::L1), 1);
+        assert_eq!(r.mem_ports(1, MemLevel::L2), 1);
+        assert_eq!(r.mem_ports(2, MemLevel::L2), 0);
+        assert_eq!(r.total_alus(), 8);
+        assert_eq!(r.l2_latency, 4);
+    }
+}

@@ -1,0 +1,144 @@
+//! The design space the experiment searches exhaustively (paper §2.2/§2.4).
+//!
+//! Base points vary the resources the paper varies:
+//!
+//! * ALUs `a ∈ {1, 2, 4, 8, 16}`;
+//! * IMUL-capable ALUs `m ∈ {max(1, a/4), max(1, a/2)}` (the paper allows
+//!   between a quarter and a half of the ALUs, always at least one);
+//! * registers `r ∈ {64, 128, 256, 512}` (total across clusters);
+//! * Level-2 ports `p2 ∈ {1, 2, 4}` and latency `l2 ∈ {4, 8}`.
+//!
+//! That is 8 × 4 × 3 × 2 = 192 base points; the paper reports 191 and
+//! never spells out its enumeration, so we carry a one-point discrepancy
+//! (documented in `EXPERIMENTS.md`). For each base point the cluster
+//! arrangements `c ∈ {1, 2, 4, 8, 16}` with `c ≤ a`, even resource
+//! division, and at least 16 registers per cluster are evaluated, and the
+//! best is kept — matching the paper's "after the best cluster
+//! arrangement had been selected" (Figure 3).
+
+use crate::arch::ArchSpec;
+
+/// The enumerated space of candidate architectures.
+#[derive(Debug, Clone)]
+pub struct DesignSpace {
+    base_points: Vec<ArchSpec>,
+}
+
+impl DesignSpace {
+    /// The paper's space (see the module docs).
+    #[must_use]
+    pub fn paper() -> Self {
+        let mut base_points = Vec::new();
+        for a in [1_u32, 2, 4, 8, 16] {
+            let mut ms = vec![(a / 4).max(1), (a / 2).max(1)];
+            ms.dedup();
+            for m in ms {
+                for r in [64_u32, 128, 256, 512] {
+                    for p2 in [1_u32, 2, 4] {
+                        for l2 in [4_u32, 8] {
+                            base_points.push(
+                                ArchSpec::new(a, m, r, p2, l2, 1)
+                                    .expect("enumerated base points are valid"),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        DesignSpace { base_points }
+    }
+
+    /// The base points (all with `clusters = 1`).
+    #[must_use]
+    pub fn base_points(&self) -> &[ArchSpec] {
+        &self.base_points
+    }
+
+    /// Legal cluster counts for a base point.
+    #[must_use]
+    pub fn cluster_options(spec: &ArchSpec) -> Vec<u32> {
+        [1_u32, 2, 4, 8, 16]
+            .into_iter()
+            .filter(|&c| {
+                c <= spec.alus
+                    && spec.alus % c == 0
+                    && spec.regs % c == 0
+                    && spec.regs / c >= 16
+            })
+            .collect()
+    }
+
+    /// Every `(base point, cluster count)` combination, as full specs.
+    #[must_use]
+    pub fn all_arrangements(&self) -> Vec<ArchSpec> {
+        let mut out = Vec::new();
+        for base in &self.base_points {
+            for c in Self::cluster_options(base) {
+                let mut s = *base;
+                s.clusters = c;
+                debug_assert!(s.validate().is_ok());
+                out.push(s);
+            }
+        }
+        out
+    }
+
+    /// Number of base points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.base_points.len()
+    }
+
+    /// Whether the space is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.base_points.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_space_has_192_base_points() {
+        // One more than the paper's 191 (enumeration unspecified there).
+        let s = DesignSpace::paper();
+        assert_eq!(s.len(), 192);
+    }
+
+    #[test]
+    fn base_points_are_unique_and_valid() {
+        let s = DesignSpace::paper();
+        let mut seen = std::collections::HashSet::new();
+        for p in s.base_points() {
+            assert!(p.validate().is_ok());
+            assert!(seen.insert(*p), "duplicate {p}");
+            assert!(p.muls >= 1 && p.muls <= p.alus.div_ceil(2));
+        }
+    }
+
+    #[test]
+    fn cluster_options_respect_constraints() {
+        let a = ArchSpec::new(16, 8, 64, 1, 8, 1).unwrap();
+        // 64 regs: at most 4 clusters (16 regs each).
+        assert_eq!(DesignSpace::cluster_options(&a), vec![1, 2, 4]);
+        let b = ArchSpec::new(1, 1, 512, 1, 8, 1).unwrap();
+        assert_eq!(DesignSpace::cluster_options(&b), vec![1]);
+        let c = ArchSpec::new(16, 8, 512, 1, 8, 1).unwrap();
+        assert_eq!(DesignSpace::cluster_options(&c), vec![1, 2, 4, 8, 16]);
+    }
+
+    #[test]
+    fn arrangements_are_valid_and_cover_base_points() {
+        let s = DesignSpace::paper();
+        let all = s.all_arrangements();
+        assert!(all.len() > s.len());
+        for a in &all {
+            assert!(a.validate().is_ok());
+        }
+        // Every base point appears with clusters = 1.
+        let ones = all.iter().filter(|a| a.clusters == 1).count();
+        assert_eq!(ones, s.len());
+    }
+}

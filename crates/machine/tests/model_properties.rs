@@ -1,0 +1,110 @@
+//! Property tests for the machine model: conservation, validation
+//! totality, parse/display round-trips, and model sanity over the whole
+//! enumerable parameter lattice (not just the curated design space).
+
+use cfp_machine::{ArchSpec, CostModel, CycleModel, DesignSpace, MachineResources};
+use proptest::prelude::*;
+
+fn any_field() -> impl Strategy<Value = (u32, u32, u32, u32, u32, u32)> {
+    (
+        1_u32..=16,  // alus (any value, not just powers of two)
+        1_u32..=16,  // muls
+        16_u32..=512,
+        1_u32..=4,
+        1_u32..=8,
+        1_u32..=16,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// `ArchSpec::new` never panics, and accepted specs satisfy every
+    /// structural invariant.
+    #[test]
+    fn validation_is_total_and_sound((a, m, r, p2, l2, c) in any_field()) {
+        match ArchSpec::new(a, m, r, p2, l2, c) {
+            Ok(spec) => {
+                prop_assert!(spec.muls <= spec.alus);
+                prop_assert!(spec.clusters <= spec.alus);
+                prop_assert_eq!(spec.alus % spec.clusters, 0);
+                prop_assert_eq!(spec.regs % spec.clusters, 0);
+
+                // Conservation across cluster shapes.
+                let shapes: Vec<_> = spec.cluster_shapes().collect();
+                prop_assert_eq!(shapes.iter().map(|s| s.alus).sum::<u32>(), spec.alus);
+                prop_assert_eq!(shapes.iter().map(|s| s.muls).sum::<u32>(), spec.muls);
+                prop_assert_eq!(shapes.iter().map(|s| s.regs).sum::<u32>(), spec.regs);
+                prop_assert_eq!(
+                    shapes.iter().map(|s| s.l1_ports + s.l2_ports).sum::<u32>(),
+                    spec.total_mem_ports()
+                );
+                prop_assert_eq!(shapes.iter().filter(|s| s.has_branch).count(), 1);
+                prop_assert_eq!(shapes.iter().map(|s| s.l1_ports).sum::<u32>(), 1);
+
+                // Round-robin dealing differs by at most one across clusters.
+                let mem_counts: Vec<u32> =
+                    shapes.iter().map(|s| s.l1_ports + s.l2_ports).collect();
+                let (mn, mx) = (
+                    *mem_counts.iter().min().unwrap(),
+                    *mem_counts.iter().max().unwrap(),
+                );
+                prop_assert!(mx - mn <= 1);
+
+                // Display/parse round trip.
+                let text = spec.to_string();
+                prop_assert_eq!(ArchSpec::parse(&text).unwrap(), spec);
+
+                // Resources mirror the shapes.
+                let res = MachineResources::from_spec(&spec);
+                prop_assert_eq!(res.cluster_count(), spec.clusters as usize);
+                prop_assert_eq!(res.total_alus(), spec.alus);
+                prop_assert!(res.can_multiply());
+            }
+            Err(_) => {
+                // Rejected specs really do break an invariant.
+                let broken = m > a || c > a || a % c != 0 || r % c != 0;
+                prop_assert!(broken, "({a} {m} {r} {p2} {l2} {c}) rejected spuriously");
+            }
+        }
+    }
+
+    /// Models are finite, positive, and baseline-normalized for every
+    /// valid spec.
+    #[test]
+    fn models_are_sane_everywhere((a, m, r, p2, l2, c) in any_field()) {
+        if let Ok(spec) = ArchSpec::new(a, m, r, p2, l2, c) {
+            let cost = CostModel::paper_calibrated().cost(&spec);
+            let derate = CycleModel::paper_calibrated().derate(&spec);
+            prop_assert!(cost.is_finite() && cost > 0.0);
+            prop_assert!(derate.is_finite() && derate > 0.5);
+            // Nothing is cheaper than the baseline by more than rounding:
+            // the baseline is the minimal machine of the space.
+            if spec.alus >= 1 && spec.regs >= 64 && spec.l2_ports >= 1 {
+                prop_assert!(cost > 0.5, "{spec}: {cost}");
+            }
+        }
+    }
+}
+
+#[test]
+fn the_paper_space_is_fully_valid_and_priced() {
+    let cost = CostModel::paper_calibrated();
+    let cycle = CycleModel::paper_calibrated();
+    let space = DesignSpace::paper();
+    let all = space.all_arrangements();
+    assert!(all.len() > 500, "{}", all.len());
+    for spec in &all {
+        assert!(spec.validate().is_ok(), "{spec}");
+        let c = cost.cost(spec);
+        let d = cycle.derate(spec);
+        assert!((0.9..200.0).contains(&c), "{spec}: cost {c}");
+        assert!((0.9..10.0).contains(&d), "{spec}: derate {d}");
+    }
+    // The paper's claim: costs range from 1.0 to about 100.
+    let max = all
+        .iter()
+        .map(|s| cost.cost(s))
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(max > 60.0 && max < 160.0, "max cost {max:.1}");
+}

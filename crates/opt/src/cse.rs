@@ -1,0 +1,256 @@
+//! Common-subexpression and redundant-load elimination.
+//!
+//! Value numbering within each section (preamble and body are numbered
+//! separately; cross-section redundancy is handled by LICM + a second
+//! pipeline round). Loads participate with a per-array *store epoch*: two
+//! loads of the same access function merge only when no store to that
+//! array sits between them. Arrays never alias each other (the DSL
+//! guarantees it), so a store only bumps its own array's epoch.
+//!
+//! After unrolling, this pass is what turns a stencil's overlapping
+//! window loads into register reuse — the main reason unrolled kernels
+//! demand both registers *and* fewer memory ports.
+
+use cfp_ir::{BinOp, Inst, Kernel, MemRef, Operand, Pred, Ty, UnOp, Vreg};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Key {
+    Bin(BinOp, Operand, Operand),
+    Un(UnOp, Operand),
+    Cmp(Pred, Operand, Operand),
+    Sel(Operand, Operand, Operand),
+    Ld(MemRef, Ty, u64),
+}
+
+/// Run CSE over the kernel.
+pub fn eliminate(kernel: &mut Kernel) {
+    let subst_pre = number_section(&mut kernel.preamble, kernel.arrays.len());
+    let mut subst_body = number_section(&mut kernel.body, kernel.arrays.len());
+    for (k, v) in subst_pre {
+        subst_body.insert(k, v);
+    }
+    if subst_body.is_empty() {
+        return;
+    }
+    crate::substitute(kernel, &|o| match o {
+        Operand::Reg(v) => Operand::Reg(resolve(&subst_body, v)),
+        imm => imm,
+    });
+}
+
+fn resolve(subst: &HashMap<Vreg, Vreg>, mut v: Vreg) -> Vreg {
+    while let Some(&n) = subst.get(&v) {
+        v = n;
+    }
+    v
+}
+
+fn number_section(insts: &mut Vec<Inst>, n_arrays: usize) -> HashMap<Vreg, Vreg> {
+    let mut table: HashMap<Key, Vreg> = HashMap::new();
+    let mut subst: HashMap<Vreg, Vreg> = HashMap::new();
+    let mut epoch = vec![0_u64; n_arrays];
+    let mut kept = Vec::with_capacity(insts.len());
+    for mut inst in insts.drain(..) {
+        inst.map_operands(|o| match o {
+            Operand::Reg(v) => Operand::Reg(resolve(&subst, v)),
+            imm => imm,
+        });
+        if let Inst::St { mem, .. } = &inst {
+            epoch[mem.array.index()] += 1;
+            kept.push(inst);
+            continue;
+        }
+        let Some(key) = key_of(&inst, &epoch) else {
+            kept.push(inst);
+            continue;
+        };
+        if let Some(&existing) = table.get(&key) {
+            let dst = inst.def().expect("keyed insts define");
+            subst.insert(dst, existing);
+        } else {
+            table.insert(key, inst.def().expect("keyed insts define"));
+            kept.push(inst);
+        }
+    }
+    *insts = kept;
+    subst
+}
+
+fn key_of(inst: &Inst, epoch: &[u64]) -> Option<Key> {
+    Some(match *inst {
+        Inst::Bin { op, a, b, .. } => {
+            let (a, b) = if op.is_commutative() {
+                canonical_pair(a, b)
+            } else {
+                (a, b)
+            };
+            Key::Bin(op, a, b)
+        }
+        Inst::Un { op, a, .. } => Key::Un(op, a),
+        Inst::Cmp { pred, a, b, .. } => {
+            // `a < b` and `b > a` share a key via predicate swapping.
+            let (ca, cb) = canonical_pair(a, b);
+            if (ca, cb) == (a, b) {
+                Key::Cmp(pred, a, b)
+            } else {
+                Key::Cmp(pred.swapped(), ca, cb)
+            }
+        }
+        Inst::Sel {
+            cond,
+            on_true,
+            on_false,
+            ..
+        } => Key::Sel(cond, on_true, on_false),
+        Inst::Ld { mem, ty, .. } => Key::Ld(mem, ty, epoch[mem.array.index()]),
+        Inst::St { .. } => return None,
+    })
+}
+
+fn canonical_pair(a: Operand, b: Operand) -> (Operand, Operand) {
+    if rank(a) <= rank(b) {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+fn rank(o: Operand) -> (u8, i64) {
+    match o {
+        Operand::Imm(i) => (0, i),
+        Operand::Reg(Vreg(n)) => (1, i64::from(n)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfp_ir::{KernelBuilder, MemSpace};
+
+    #[test]
+    fn merges_identical_loads() {
+        let mut b = KernelBuilder::new("t");
+        let s = b.array_in("s", Ty::I32, MemSpace::L2);
+        let d = b.array_out("d", Ty::I32, MemSpace::L2);
+        let x = b.load(s, 1, 0, Ty::I32);
+        let y = b.load(s, 1, 0, Ty::I32);
+        let z = b.add(x, y);
+        b.store(d, 1, 0, z, Ty::I32);
+        let mut k = b.finish();
+        eliminate(&mut k);
+        let loads = k.body.iter().filter(|i| matches!(i, Inst::Ld { .. })).count();
+        assert_eq!(loads, 1);
+        // The add now reads the surviving load twice.
+        let Inst::Bin { a, b: bb, .. } = k.body[1] else {
+            panic!()
+        };
+        assert_eq!(a, bb);
+    }
+
+    #[test]
+    fn store_blocks_load_merging_for_that_array_only() {
+        let mut b = KernelBuilder::new("t");
+        let buf = b.array_inout("buf", Ty::I32, MemSpace::L2);
+        let other = b.array_in("o", Ty::I32, MemSpace::L2);
+        let d = b.array_out("d", Ty::I32, MemSpace::L2);
+        let x1 = b.load(buf, 1, 0, Ty::I32);
+        let o1 = b.load(other, 1, 0, Ty::I32);
+        b.store(buf, 1, 0, 99_i64, Ty::I32);
+        let x2 = b.load(buf, 1, 0, Ty::I32);
+        let o2 = b.load(other, 1, 0, Ty::I32);
+        let s1 = b.add(x1, x2);
+        let s2 = b.add(o1, o2);
+        let s = b.add(s1, s2);
+        b.store(d, 1, 0, s, Ty::I32);
+        let mut k = b.finish();
+        eliminate(&mut k);
+        let buf_loads = k
+            .body
+            .iter()
+            .filter(|i| matches!(i, Inst::Ld { mem, .. } if mem.array == buf))
+            .count();
+        let other_loads = k
+            .body
+            .iter()
+            .filter(|i| matches!(i, Inst::Ld { mem, .. } if mem.array == other))
+            .count();
+        assert_eq!(buf_loads, 2, "store to buf blocks merging");
+        assert_eq!(other_loads, 1, "other array is unaffected");
+    }
+
+    #[test]
+    fn commutative_ops_share_a_key() {
+        let mut b = KernelBuilder::new("t");
+        let s = b.array_in("s", Ty::I32, MemSpace::L2);
+        let d = b.array_out("d", Ty::I32, MemSpace::L2);
+        let x = b.load(s, 1, 0, Ty::I32);
+        let y = b.load(s, 1, 1, Ty::I32);
+        let p = b.add(x, y);
+        let q = b.add(y, x);
+        let z = b.mul(p, q);
+        b.store(d, 1, 0, z, Ty::I32);
+        let mut k = b.finish();
+        eliminate(&mut k);
+        let adds = k
+            .body
+            .iter()
+            .filter(|i| matches!(i, Inst::Bin { op: BinOp::Add, .. }))
+            .count();
+        assert_eq!(adds, 1);
+    }
+
+    #[test]
+    fn swapped_compares_share_a_key() {
+        let mut b = KernelBuilder::new("t");
+        let s = b.array_in("s", Ty::I32, MemSpace::L2);
+        let d = b.array_out("d", Ty::I32, MemSpace::L2);
+        let x = b.load(s, 1, 0, Ty::I32);
+        let y = b.load(s, 1, 1, Ty::I32);
+        let c1 = b.cmp(Pred::Lt, x, y);
+        let c2 = b.cmp(Pred::Gt, y, x);
+        let z = b.add(c1, c2);
+        b.store(d, 1, 0, z, Ty::I32);
+        let mut k = b.finish();
+        eliminate(&mut k);
+        let cmps = k.body.iter().filter(|i| matches!(i, Inst::Cmp { .. })).count();
+        assert_eq!(cmps, 1);
+    }
+
+    #[test]
+    fn subtraction_is_not_commuted() {
+        let mut b = KernelBuilder::new("t");
+        let s = b.array_in("s", Ty::I32, MemSpace::L2);
+        let d = b.array_out("d", Ty::I32, MemSpace::L2);
+        let x = b.load(s, 1, 0, Ty::I32);
+        let y = b.load(s, 1, 1, Ty::I32);
+        let p = b.sub(x, y);
+        let q = b.sub(y, x);
+        let z = b.add(p, q);
+        b.store(d, 1, 0, z, Ty::I32);
+        let mut k = b.finish();
+        eliminate(&mut k);
+        let subs = k
+            .body
+            .iter()
+            .filter(|i| matches!(i, Inst::Bin { op: BinOp::Sub, .. }))
+            .count();
+        assert_eq!(subs, 2);
+    }
+
+    #[test]
+    fn chains_of_duplicates_collapse_transitively() {
+        let mut b = KernelBuilder::new("t");
+        let s = b.array_in("s", Ty::I32, MemSpace::L2);
+        let d = b.array_out("d", Ty::I32, MemSpace::L2);
+        let x1 = b.load(s, 1, 0, Ty::I32);
+        let x2 = b.load(s, 1, 0, Ty::I32);
+        let a1 = b.add(x1, 1_i64);
+        let a2 = b.add(x2, 1_i64); // dup only after load merge
+        let z = b.mul(a1, a2);
+        b.store(d, 1, 0, z, Ty::I32);
+        let mut k = b.finish();
+        eliminate(&mut k);
+        assert_eq!(k.body.len(), 4, "load + add + mul + store, {:#?}", k.body);
+    }
+}

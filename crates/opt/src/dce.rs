@@ -1,0 +1,191 @@
+//! Dead-code and dead-carry elimination.
+//!
+//! An instruction is live when its value reaches a store or a *useful*
+//! loop-carried value; a carry is useful when its carried-in value feeds
+//! a store or another useful carry. The two fixed points are computed
+//! together.
+
+use cfp_ir::{CarriedInit, Kernel, Vreg};
+use std::collections::HashSet;
+
+/// Remove dead instructions (preamble + body) and useless carries.
+pub fn eliminate(kernel: &mut Kernel) {
+    // Fixed point over the set of useful carries.
+    let mut useful: Vec<bool> = vec![false; kernel.carried.len()];
+    let closure = loop {
+        let mut targets: Vec<Vreg> = Vec::new();
+        for inst in kernel.body.iter().filter(|i| i.is_store()) {
+            targets.extend(inst.uses());
+        }
+        for (c, u) in kernel.carried.iter().zip(&useful) {
+            if *u {
+                targets.push(c.output);
+                if let CarriedInit::Preamble(v) = c.init {
+                    targets.push(v);
+                }
+            }
+        }
+        let closure = backward_closure(kernel, &targets);
+        let mut changed = false;
+        for (i, c) in kernel.carried.iter().enumerate() {
+            if !useful[i] && closure.contains(&c.input) {
+                useful[i] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break closure;
+        }
+    };
+
+    kernel.body.retain(|inst| {
+        inst.is_store() || inst.def().is_some_and(|d| closure.contains(&d))
+    });
+    kernel
+        .preamble
+        .retain(|inst| inst.def().is_some_and(|d| closure.contains(&d)));
+    let mut keep = useful.iter();
+    kernel.carried.retain(|_| *keep.next().expect("aligned"));
+}
+
+/// All vregs that (transitively) feed the target set, walking both
+/// sections backwards.
+fn backward_closure(kernel: &Kernel, targets: &[Vreg]) -> HashSet<Vreg> {
+    let mut live: HashSet<Vreg> = targets.iter().copied().collect();
+    // Iterate to a fixed point; section order does not matter because we
+    // re-scan until stable.
+    loop {
+        let mut changed = false;
+        for inst in kernel.body.iter().chain(&kernel.preamble) {
+            if let Some(d) = inst.def() {
+                if live.contains(&d) {
+                    for u in inst.uses() {
+                        changed |= live.insert(u);
+                    }
+                }
+            }
+        }
+        if !changed {
+            return live;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfp_frontend::compile_kernel;
+    use cfp_ir::{KernelBuilder, MemSpace, Ty};
+
+    #[test]
+    fn removes_unused_computation() {
+        let mut b = KernelBuilder::new("t");
+        let s = b.array_in("s", Ty::I32, MemSpace::L2);
+        let d = b.array_out("d", Ty::I32, MemSpace::L2);
+        let x = b.load(s, 1, 0, Ty::I32);
+        let _dead = b.mul(x, 7_i64);
+        let y = b.add(x, 1_i64);
+        b.store(d, 1, 0, y, Ty::I32);
+        let mut k = b.finish();
+        eliminate(&mut k);
+        assert_eq!(k.body.len(), 3);
+        assert!(k.body.iter().all(|i| !i.needs_mul_unit()));
+    }
+
+    #[test]
+    fn removes_dead_preamble_values() {
+        let mut b = KernelBuilder::new("t");
+        let d = b.array_out("d", Ty::I32, MemSpace::L2);
+        b.in_preamble(true);
+        let used = b.mov(3_i64);
+        let _dead = b.mov(4_i64);
+        b.in_preamble(false);
+        let y = b.add(used, 1_i64);
+        b.store(d, 1, 0, y, Ty::I32);
+        let mut k = b.finish();
+        eliminate(&mut k);
+        assert_eq!(k.preamble.len(), 1);
+    }
+
+    #[test]
+    fn keeps_store_feeding_chains_only() {
+        let mut k = compile_kernel(
+            "kernel t(in i32 s[], out i32 d[]) {
+                loop i {
+                    var a = s[i] * 3;
+                    var unused = a * a + 17;
+                    d[i] = a;
+                }
+            }",
+            &[],
+        )
+        .unwrap();
+        eliminate(&mut k);
+        cfp_ir::verify(&k).unwrap();
+        assert_eq!(k.mul_count(), 1, "only the store-feeding multiply stays");
+    }
+
+    #[test]
+    fn drops_useless_carries_keeps_useful_ones() {
+        let mut k = compile_kernel(
+            "kernel t(in i32 s[], out i32 d[]) {
+                var keep = 0;
+                var drop_me = 0;
+                loop i {
+                    keep = keep + s[i];
+                    drop_me = drop_me + 1;
+                    d[i] = keep;
+                }
+            }",
+            &[],
+        )
+        .unwrap();
+        assert_eq!(k.carried.len(), 2);
+        eliminate(&mut k);
+        cfp_ir::verify(&k).unwrap();
+        assert_eq!(k.carried.len(), 1, "the unread accumulator dies");
+    }
+
+    #[test]
+    fn carry_chains_resolve_to_the_minimal_useful_set() {
+        // `a` is recomputed from `b` every iteration, so only `b`'s carry
+        // is genuinely loop-carried; `a`'s carry is useless and dies.
+        let mut k = compile_kernel(
+            "kernel t(in i32 s[], out i32 d[]) {
+                var a = 0;
+                var b = 0;
+                loop i {
+                    a = b + s[i];
+                    b = a;
+                    d[i] = a;
+                }
+            }",
+            &[],
+        )
+        .unwrap();
+        eliminate(&mut k);
+        cfp_ir::verify(&k).unwrap();
+        assert_eq!(k.carried.len(), 1);
+    }
+
+    #[test]
+    fn dce_preserves_semantics() {
+        crate::testutil::check_same_results(
+            "kernel t(in i32 s[], out i32 d[]) {
+                var junk = 5;
+                loop i {
+                    var dead = s[i] * 99;
+                    junk = junk + dead;
+                    d[i] = s[i] + 1;
+                }
+            }",
+            &[],
+            |k| {
+                let mut o = k.clone();
+                eliminate(&mut o);
+                o
+            },
+            1,
+        );
+    }
+}

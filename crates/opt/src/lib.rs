@@ -1,0 +1,198 @@
+//! # cfp-opt — machine-independent optimizer
+//!
+//! Classic scalar optimizations over `cfp_ir::Kernel`s, applied between
+//! the front end and the VLIW back end:
+//!
+//! * [`fold::constant_fold`] — constant propagation and folding;
+//! * [`algebraic::simplify`] — identities (`x+0`, `x*1`, …) and
+//!   power-of-two multiply strength reduction;
+//! * [`copyprop::propagate`] — copy propagation (so simplification
+//!   residue never occupies an issue slot);
+//! * [`cse::eliminate`] — common-subexpression elimination, including
+//!   redundant-load elimination with per-array store epochs (this is the
+//!   pass that turns an unrolled stencil's overlapping loads into a
+//!   register window);
+//! * [`licm::hoist`] — loop-invariant code motion into the preamble
+//!   (hoisted values then occupy registers for the whole loop, which is
+//!   exactly the register-pressure trade-off the paper's experiment
+//!   exercises);
+//! * [`scalarize::promote_locals`] — scalar promotion (mem2reg) of
+//!   constant-indexed local scratch arrays;
+//! * [`dce::eliminate`] — dead-code and dead-carry elimination;
+//! * [`unroll::unroll`] — outer-loop unrolling by a given factor (the
+//!   factor the experiment sweeps until spilling starts).
+//!
+//! [`optimize`] runs the standard pipeline to a fixed point. All passes
+//! preserve interpreter semantics — property-tested in
+//! `tests/semantics.rs`.
+//!
+//! ```
+//! use cfp_frontend::compile_kernel;
+//! use cfp_opt::{optimize, unroll::unroll};
+//!
+//! let mut k = compile_kernel(
+//!     "kernel k(in u8 s[], out u8 d[]) { loop i { d[i] = u8(s[i] * 8 + 0); } }",
+//!     &[],
+//! ).unwrap();
+//! optimize(&mut k);
+//! // *8 became <<3 and the +0 disappeared.
+//! assert_eq!(k.mul_count(), 0);
+//! let k4 = cfp_opt::unroll::unroll(&k, 4);
+//! assert_eq!(k4.outputs_per_iter, 4);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod algebraic;
+pub mod copyprop;
+pub mod cse;
+pub mod dce;
+pub mod fold;
+pub mod licm;
+pub mod scalarize;
+pub mod unroll;
+
+use cfp_ir::Kernel;
+
+/// Run the standard pipeline (scalar promotion, then fold → algebraic →
+/// CSE → LICM → DCE to a fixed point, bounded by a small iteration cap)
+/// with no limit on loop-resident values.
+pub fn optimize(kernel: &mut Kernel) {
+    optimize_budgeted(kernel, usize::MAX);
+}
+
+/// Like [`optimize`], but LICM keeps the number of loop-resident values
+/// at or below `max_resident` — the knob the design-space exploration
+/// derives from each candidate architecture's register file.
+pub fn optimize_budgeted(kernel: &mut Kernel, max_resident: usize) {
+    scalarize::promote_locals(kernel);
+    for _ in 0..8 {
+        let before = kernel.clone();
+        fold::constant_fold(kernel);
+        algebraic::simplify(kernel);
+        copyprop::propagate(kernel);
+        cse::eliminate(kernel);
+        licm::hoist_budgeted(kernel, max_resident);
+        dce::eliminate(kernel);
+        if *kernel == before {
+            break;
+        }
+    }
+    debug_assert_eq!(cfp_ir::verify(kernel), Ok(()), "optimizer broke IR");
+}
+
+/// Rewrite every operand of every instruction (preamble + body) and every
+/// carried/init register through a substitution. Shared plumbing for the
+/// passes.
+pub(crate) fn substitute(kernel: &mut Kernel, map: &dyn Fn(cfp_ir::Operand) -> cfp_ir::Operand) {
+    for inst in kernel.preamble.iter_mut().chain(kernel.body.iter_mut()) {
+        inst.map_operands(map);
+    }
+    for c in &mut kernel.carried {
+        if let cfp_ir::Operand::Reg(v) = map(cfp_ir::Operand::Reg(c.output)) {
+            c.output = v;
+        }
+        if let cfp_ir::CarriedInit::Preamble(p) = c.init {
+            if let cfp_ir::Operand::Reg(v) = map(cfp_ir::Operand::Reg(p)) {
+                c.init = cfp_ir::CarriedInit::Preamble(v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use cfp_frontend::compile_kernel;
+    use cfp_ir::{Interpreter, MemImage};
+
+    /// Compile, transform with `f`, run both versions on the same inputs
+    /// (`n_iters` base iterations = `n_iters / speedup` transformed
+    /// iterations), and require identical memory images.
+    pub fn check_same_results(
+        src: &str,
+        consts: &[(&str, i64)],
+        f: impl Fn(&cfp_ir::Kernel) -> cfp_ir::Kernel,
+        iter_ratio: u64,
+    ) {
+        let base = compile_kernel(src, consts).unwrap();
+        let xformed = f(&base);
+        cfp_ir::verify(&xformed).expect("transformed kernel verifies");
+
+        let n_iters = 8_u64;
+        let mut mem_a = MemImage::for_kernel(&base);
+        let mut mem_b = MemImage::for_kernel(&xformed);
+        for (i, a) in base.arrays.iter().enumerate() {
+            if !matches!(a.kind, cfp_ir::ArrayKind::Local(_)) {
+                let data: Vec<i64> = (0..64).map(|k| (k * 37 + 11) % 251).collect();
+                mem_a.bind(i, data.clone());
+                mem_b.bind(i, data);
+            }
+        }
+        Interpreter::new().run(&base, &mut mem_a, n_iters).unwrap();
+        Interpreter::new()
+            .run(&xformed, &mut mem_b, n_iters / iter_ratio)
+            .unwrap();
+        for i in 0..base.arrays.len() {
+            // Local arrays are scratch, not observable outputs — scalar
+            // promotion legitimately stops materializing them.
+            if matches!(base.arrays[i].kind, cfp_ir::ArrayKind::Local(_)) {
+                continue;
+            }
+            assert_eq!(mem_a.array(i), mem_b.array(i), "array {i} diverged");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::check_same_results;
+    use cfp_frontend::compile_kernel;
+
+    #[test]
+    fn pipeline_preserves_semantics_on_representative_kernels() {
+        let stencil = "kernel st(in u8 s[], out i32 d[]) {
+            loop i {
+                var acc = 0;
+                for t in 0..5 { acc = acc + s[i + t] * (t + 1); }
+                d[i] = acc >> 2;
+            }
+        }";
+        let carried = "kernel c(in i32 s[], out i32 d[]) {
+            var e = 3;
+            loop i {
+                e = (e * 7 + s[i]) >> 1;
+                if e > 100 { e = e - 100; }
+                d[i] = e;
+            }
+        }";
+        for src in [stencil, carried] {
+            for u in [1_u64, 2, 4] {
+                check_same_results(
+                    src,
+                    &[],
+                    |k| {
+                        let mut o = k.clone();
+                        optimize(&mut o);
+                        unroll::unroll(&o, u32::try_from(u).unwrap())
+                    },
+                    u,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn optimize_reaches_fixed_point() {
+        let mut k = compile_kernel(
+            "kernel k(in i32 s[], out i32 d[]) { loop i { d[i] = (s[i] + 0) * 1 + (2 + 3); } }",
+            &[],
+        )
+        .unwrap();
+        optimize(&mut k);
+        let snapshot = k.clone();
+        optimize(&mut k);
+        assert_eq!(k, snapshot, "second run must be a no-op");
+    }
+}

@@ -1,0 +1,225 @@
+//! Scalar promotion of local scratch arrays (mem2reg).
+//!
+//! A kernel-local array whose every access uses a compile-time constant
+//! element index is really a bundle of scalars; this pass promotes each
+//! element to virtual registers, turning stores into copies and loads
+//! into uses. Elements that are read before their first store in an
+//! iteration carry their value from the previous iteration (local memory
+//! persists), so the pass introduces loop-carried pairs for them —
+//! initialized to 0, matching zeroed local memory.
+//!
+//! This is what lets the IDCT and median kernels be written naturally
+//! with `local` scratch and still compile to pure register dataflow, as
+//! the paper's compiler would.
+
+use cfp_ir::{ArrayKind, Carried, CarriedInit, Inst, Kernel, Operand, Vreg};
+use std::collections::HashMap;
+
+/// Promote every eligible local array. Returns how many arrays were
+/// promoted.
+pub fn promote_locals(kernel: &mut Kernel) -> usize {
+    let eligible: Vec<u32> = kernel
+        .arrays
+        .iter()
+        .enumerate()
+        .filter(|(idx, a)| {
+            matches!(a.kind, ArrayKind::Local(_)) && all_accesses_constant(kernel, *idx)
+        })
+        .map(|(idx, _)| u32::try_from(idx).expect("few arrays"))
+        .collect();
+    for &a in &eligible {
+        promote_one(kernel, a);
+    }
+    eligible.len()
+}
+
+fn all_accesses_constant(kernel: &Kernel, array_idx: usize) -> bool {
+    let mut touched = false;
+    for inst in kernel.preamble.iter().chain(&kernel.body) {
+        if let Some(m) = inst.mem() {
+            if m.array.index() == array_idx {
+                touched = true;
+                if m.coeff != 0 || m.dyn_index.is_some() || m.offset < 0 {
+                    return false;
+                }
+                let ArrayKind::Local(len) = kernel.arrays[array_idx].kind else {
+                    return false;
+                };
+                if m.offset >= i64::from(len) {
+                    return false;
+                }
+            }
+        }
+    }
+    touched
+}
+
+fn promote_one(kernel: &mut Kernel, array_idx: u32) {
+    let mut next = kernel.vreg_count();
+    let mut fresh = || {
+        let v = Vreg(next);
+        next += 1;
+        v
+    };
+
+    // Current register for each element; elements read before any store
+    // in the body get a carried input.
+    let mut current: HashMap<i64, Vreg> = HashMap::new();
+    let mut carried_in: HashMap<i64, Vreg> = HashMap::new();
+
+    let mut new_body = Vec::with_capacity(kernel.body.len());
+    for inst in kernel.body.drain(..) {
+        match inst {
+            Inst::Ld { dst, mem, ty: lty } if mem.array.0 == array_idx => {
+                let src = *current.entry(mem.offset).or_insert_with(|| {
+                    let v = fresh();
+                    carried_in.insert(mem.offset, v);
+                    v
+                });
+                // Loads re-apply the element type's narrowing; a stored
+                // value was already truncated, so the pair of casts is
+                // what memory would have done.
+                let _ = lty;
+                new_body.push(Inst::mov(dst, src));
+            }
+            Inst::St { mem, value, ty: sty } if mem.array.0 == array_idx => {
+                // Narrow exactly like a store of this element type.
+                let v = fresh();
+                new_body.push(narrowing_inst(v, value, sty));
+                current.insert(mem.offset, v);
+            }
+            other => new_body.push(other),
+        }
+    }
+    kernel.body = new_body;
+
+    // Elements read before written carry across iterations. Sort for
+    // deterministic output.
+    let mut carried_in: Vec<(i64, Vreg)> = carried_in.into_iter().collect();
+    carried_in.sort_unstable_by_key(|&(o, _)| o);
+    for (offset, input) in carried_in {
+        let output = current.get(&offset).copied().unwrap_or(input);
+        kernel.carried.push(Carried {
+            input,
+            output,
+            init: CarriedInit::Const(0),
+        });
+    }
+}
+
+/// An instruction computing `dst = truncate_ty(value)`.
+fn narrowing_inst(dst: Vreg, value: Operand, ty: cfp_ir::Ty) -> Inst {
+    use cfp_ir::{Ty, UnOp};
+    let op = match ty {
+        Ty::U8 => UnOp::Zext8,
+        Ty::I8 => UnOp::Sext8,
+        Ty::U16 => UnOp::Zext16,
+        Ty::I16 => UnOp::Sext16,
+        Ty::I32 => UnOp::Copy,
+    };
+    Inst::Un { dst, op, a: value }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::check_same_results;
+    use cfp_frontend::compile_kernel;
+
+    #[test]
+    fn promotes_constant_indexed_scratch() {
+        let mut k = compile_kernel(
+            "kernel p(in i32 s[], out i32 d[]) {
+                local i32 t[4];
+                loop i {
+                    t[0] = s[i];
+                    t[1] = t[0] * 3;
+                    t[2] = t[1] + t[0];
+                    d[i] = t[2];
+                }
+            }",
+            &[],
+        )
+        .unwrap();
+        assert_eq!(promote_locals(&mut k), 1);
+        cfp_ir::verify(&k).unwrap();
+        assert_eq!(k.mem_counts(), (0, 2), "only the real load and store remain");
+    }
+
+    #[test]
+    fn read_before_write_becomes_carried() {
+        let mut k = compile_kernel(
+            "kernel p(in i32 s[], out i32 d[]) {
+                local i32 t[1];
+                loop i {
+                    d[i] = t[0];
+                    t[0] = s[i];
+                }
+            }",
+            &[],
+        )
+        .unwrap();
+        let carries_before = k.carried.len();
+        assert_eq!(promote_locals(&mut k), 1);
+        cfp_ir::verify(&k).unwrap();
+        assert_eq!(k.carried.len(), carries_before + 1);
+    }
+
+    #[test]
+    fn dynamic_index_blocks_promotion() {
+        let mut k = compile_kernel(
+            "kernel p(in i32 s[], out i32 d[]) {
+                local i32 t[4];
+                loop i {
+                    t[s[i] & 3] = i32(1);
+                    d[i] = t[0];
+                }
+            }",
+            &[],
+        )
+        .unwrap();
+        assert_eq!(promote_locals(&mut k), 0);
+    }
+
+    #[test]
+    fn promotion_preserves_semantics_including_narrowing() {
+        check_same_results(
+            "kernel p(in i32 s[], out i32 d[]) {
+                local u8 t[2];
+                loop i {
+                    t[0] = s[i];          // truncates to u8
+                    t[1] = t[0] + 300;    // truncates again
+                    d[i] = t[1] + t[0];
+                }
+            }",
+            &[],
+            |k| {
+                let mut o = k.clone();
+                assert_eq!(promote_locals(&mut o), 1);
+                o
+            },
+            1,
+        );
+    }
+
+    #[test]
+    fn cross_iteration_scratch_preserves_semantics() {
+        check_same_results(
+            "kernel p(in i32 s[], out i32 d[]) {
+                local i32 win[2];
+                loop i {
+                    d[i] = win[0] + win[1];
+                    win[0] = win[1];
+                    win[1] = s[i];
+                }
+            }",
+            &[],
+            |k| {
+                let mut o = k.clone();
+                assert_eq!(promote_locals(&mut o), 1);
+                o
+            },
+            1,
+        );
+    }
+}

@@ -1,0 +1,287 @@
+//! Cluster assignment (bottom-up-greedy, after Ellis' BUG as used in the
+//! Multiflow compiler) and explicit inter-cluster move insertion.
+//!
+//! Operations are placed on clusters in priority order, scoring each
+//! legal cluster by (a) how many operand values would have to travel and
+//! (b) estimated load balance. Cross-cluster reads of non-resident values
+//! then get explicit copy operations — the "explicit move in a prior
+//! instruction" of the paper's template — which consume an ALU slot in
+//! the destination cluster and one cycle of latency. Resident values
+//! (loop constants) are instead broadcast to every reading cluster at
+//! loop setup, costing register pressure there but no per-iteration move.
+
+use crate::ddg::Ddg;
+use crate::loopcode::{FuClass, LoopCode, OpOrigin, SOp};
+use cfp_ir::{Operand, Vreg};
+use cfp_machine::{MachineResources, ALU_LATENCY};
+use std::collections::{HashMap, HashSet};
+
+/// The result of cluster assignment.
+#[derive(Debug, Clone)]
+pub struct Assignment {
+    /// The loop code with move ops appended and uses rewritten.
+    pub code: LoopCode,
+    /// Cluster of each op (indexed like `code.ops`).
+    pub cluster_of_op: Vec<u32>,
+    /// Home cluster of every value (defs, live-ins, and move copies).
+    /// Resident values are homed where first read but readable anywhere.
+    pub home_of: HashMap<Vreg, u32>,
+    /// Number of inserted inter-cluster moves.
+    pub move_count: usize,
+}
+
+/// Assign `code` to the machine's clusters.
+///
+/// # Panics
+/// Panics if an op has no legal cluster (e.g. a multiply on a machine
+/// whose IMUL count is zero — excluded by `ArchSpec` validation).
+#[must_use]
+pub fn assign(code: &LoopCode, ddg: &Ddg, machine: &MachineResources) -> Assignment {
+    let nc = machine.cluster_count();
+    let n = code.ops.len();
+    let resident: HashSet<Vreg> = code.resident.iter().copied().collect();
+
+    // Priority order: critical-path height, then original position.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| ddg.height[b].cmp(&ddg.height[a]).then(a.cmp(&b)));
+
+    let mut cluster_of_op = vec![0_u32; n];
+    let mut home_of: HashMap<Vreg, u32> = HashMap::new();
+    let mut alu_load = vec![0_f64; nc];
+    let mut mem_load = vec![0_f64; nc];
+
+    if nc > 1 {
+        for &i in &order {
+            let op = &code.ops[i];
+            let mut best: Option<(f64, u32)> = None;
+            for c in 0..nc {
+                if !allowed(op, c, machine) {
+                    continue;
+                }
+                let comm: f64 = op
+                    .uses
+                    .iter()
+                    .filter(|u| !resident.contains(u))
+                    .filter(|u| {
+                        home_of
+                            .get(u)
+                            .is_some_and(|&h| h != u32::try_from(c).expect("small"))
+                    })
+                    .count() as f64;
+                let balance = match op.class {
+                    FuClass::Mem(_) => mem_load[c],
+                    _ => alu_load[c] / f64::from(machine.clusters[c].alus.max(1)),
+                };
+                let score = comm * 2.0 + balance;
+                if best.is_none_or(|(s, _)| score < s) {
+                    best = Some((score, u32::try_from(c).expect("small")));
+                }
+            }
+            let (_, c) = best.expect("every op has a legal cluster");
+            cluster_of_op[i] = c;
+            match op.class {
+                FuClass::Mem(_) => mem_load[c as usize] += 1.0,
+                _ => alu_load[c as usize] += 1.0,
+            }
+            if let Some(d) = op.def {
+                home_of.insert(d, c);
+            }
+            // Provisionally home live-in operands at their first consumer.
+            for u in &op.uses {
+                if !resident.contains(u) {
+                    home_of.entry(*u).or_insert(c);
+                }
+            }
+        }
+        // A carried value stays in the cluster that computes the carried-out
+        // register; the carried-in register therefore lives there too.
+        for &(inp, out) in &code.carried {
+            if inp != out {
+                if let Some(&h) = home_of.get(&out) {
+                    home_of.insert(inp, h);
+                }
+            }
+        }
+    } else {
+        for v in code
+            .ops
+            .iter()
+            .filter_map(|o| o.def)
+            .chain(code.live_ins.iter().copied())
+        {
+            home_of.insert(v, 0);
+        }
+    }
+    // Any live-in nobody read yet still needs a home.
+    for &v in &code.live_ins {
+        home_of.entry(v).or_insert(0);
+    }
+
+    // Insert moves for cross-cluster reads of non-resident values.
+    let mut new_code = code.clone();
+    let mut new_clusters = cluster_of_op.clone();
+    let mut move_count = 0_usize;
+    let mut copy_cache: HashMap<(Vreg, u32), Vreg> = HashMap::new();
+    if nc > 1 {
+        #[allow(clippy::needless_range_loop)] // indexes two parallel vecs
+        for i in 0..n {
+            let c = cluster_of_op[i];
+            let uses = new_code.ops[i].uses.clone();
+            for u in uses {
+                if resident.contains(&u) {
+                    continue;
+                }
+                let h = home_of[&u];
+                if h == c {
+                    continue;
+                }
+                let copy = *copy_cache.entry((u, c)).or_insert_with(|| {
+                    let v = Vreg(new_code.vreg_limit);
+                    new_code.vreg_limit += 1;
+                    new_code.ops.push(SOp {
+                        origin: OpOrigin::Move { src: u, to: c },
+                        inst: None,
+                        class: FuClass::Alu,
+                        latency: ALU_LATENCY,
+                        def: Some(v),
+                        uses: vec![u],
+                    });
+                    new_clusters.push(c);
+                    home_of.insert(v, c);
+                    move_count += 1;
+                    v
+                });
+                rewrite_use(&mut new_code.ops[i], u, copy);
+            }
+        }
+    }
+
+    Assignment {
+        code: new_code,
+        cluster_of_op: new_clusters,
+        home_of,
+        move_count,
+    }
+}
+
+fn allowed(op: &SOp, c: usize, machine: &MachineResources) -> bool {
+    let cl = &machine.clusters[c];
+    match op.class {
+        FuClass::Alu => cl.alus > 0,
+        FuClass::Mul => cl.mul_capable > 0,
+        FuClass::Mem(level) => machine.mem_ports(c, level) > 0,
+        FuClass::Branch => cl.has_branch,
+    }
+}
+
+fn rewrite_use(op: &mut SOp, from: Vreg, to: Vreg) {
+    for u in &mut op.uses {
+        if *u == from {
+            *u = to;
+        }
+    }
+    if let Some(inst) = &mut op.inst {
+        inst.map_operands(|o| match o {
+            Operand::Reg(v) if v == from => Operand::Reg(to),
+            other => other,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfp_frontend::compile_kernel;
+    use cfp_machine::ArchSpec;
+
+    fn assigned(src: &str, spec: &ArchSpec) -> Assignment {
+        let k = compile_kernel(src, &[]).unwrap();
+        let m = MachineResources::from_spec(spec);
+        let code = LoopCode::build(&k, &m);
+        let ddg = Ddg::build(&code);
+        assign(&code, &ddg, &m)
+    }
+
+    const WIDE: &str = "kernel w(in u8 s[], out i32 d[]) {
+        loop i {
+            var a = s[4*i] * 3;
+            var b = s[4*i+1] * 5;
+            var c = s[4*i+2] * 7;
+            var e = s[4*i+3] * 9;
+            d[i] = (a + b) + (c + e);
+        }
+    }";
+
+    #[test]
+    fn single_cluster_needs_no_moves() {
+        let a = assigned(WIDE, &ArchSpec::new(4, 2, 128, 1, 4, 1).unwrap());
+        assert_eq!(a.move_count, 0);
+        assert!(a.cluster_of_op.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn multi_cluster_respects_fu_placement() {
+        let spec = ArchSpec::new(4, 2, 128, 1, 4, 4).unwrap();
+        let a = assigned(WIDE, &spec);
+        let m = MachineResources::from_spec(&spec);
+        for (i, op) in a.code.ops.iter().enumerate() {
+            assert!(
+                allowed(op, a.cluster_of_op[i] as usize, &m),
+                "op {i} ({:?}) on illegal cluster {}",
+                op.class,
+                a.cluster_of_op[i]
+            );
+        }
+    }
+
+    #[test]
+    fn cross_cluster_values_get_moves() {
+        // Two clusters: the only IMUL sits on cluster 0, the only L2 port
+        // on cluster 1, so every load's value must cross to be multiplied.
+        let spec = ArchSpec::new(2, 1, 128, 1, 4, 2).unwrap();
+        let a = assigned(WIDE, &spec);
+        assert!(a.move_count > 0, "mul and memory are on different clusters");
+        // Every rewritten use must now be local or resident — except the
+        // moves themselves, which are the cross-cluster transfers.
+        let resident: HashSet<Vreg> = a.code.resident.iter().copied().collect();
+        for (i, op) in a.code.ops.iter().enumerate() {
+            if matches!(op.origin, OpOrigin::Move { .. }) {
+                continue;
+            }
+            for u in &op.uses {
+                if resident.contains(u) {
+                    continue;
+                }
+                assert_eq!(
+                    a.home_of[u], a.cluster_of_op[i],
+                    "op {i} reads {u} from another cluster"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn branch_lands_on_cluster_zero() {
+        let spec = ArchSpec::new(8, 4, 256, 1, 4, 4).unwrap();
+        let a = assigned(WIDE, &spec);
+        let bi = a.code.branch_index();
+        assert_eq!(a.cluster_of_op[bi], 0);
+    }
+
+    #[test]
+    fn carried_inputs_live_with_their_producers() {
+        let spec = ArchSpec::new(8, 4, 256, 1, 4, 2).unwrap();
+        let a = assigned(
+            "kernel c(in i32 s[], out i32 d[]) {
+                var acc = 0;
+                loop i { acc = acc + s[i]; d[i] = acc; }
+            }",
+            &spec,
+        );
+        for &(inp, out) in &a.code.carried {
+            if inp != out {
+                assert_eq!(a.home_of[&inp], a.home_of[&out], "{inp}/{out}");
+            }
+        }
+    }
+}

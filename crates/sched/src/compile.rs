@@ -1,0 +1,154 @@
+//! The retargetable back end: kernel + machine → scheduled loop.
+//!
+//! This is the paper's "build a version of our compiler that generates
+//! good code for that architecture" step, minus the 50-second relink: the
+//! machine description is a runtime value.
+
+use crate::cluster::{assign, Assignment};
+use crate::ddg::Ddg;
+use crate::list::{self, Schedule};
+use crate::loopcode::LoopCode;
+use crate::regalloc::{pressure, PressureReport};
+use cfp_ir::Kernel;
+use cfp_machine::MachineResources;
+
+/// Everything the middle end and the design-space exploration need to
+/// know about one compilation.
+#[derive(Debug, Clone)]
+pub struct CompileResult {
+    /// The scheduled iteration.
+    pub schedule: Schedule,
+    /// The assigned loop code (moves included).
+    pub assignment: Assignment,
+    /// Register pressure versus capacity.
+    pub pressure: PressureReport,
+    /// Schedule length in cycles (no spill traffic).
+    pub length: u32,
+    /// Extra cycles per iteration paid for spill traffic (0 when the
+    /// kernel fits).
+    pub spill_penalty: u32,
+    /// Inter-cluster moves inserted.
+    pub move_count: usize,
+    /// The dependence-graph lower bound on the iteration.
+    pub critical_path: u32,
+}
+
+impl CompileResult {
+    /// Whether the kernel fit in the register files.
+    #[must_use]
+    pub fn fits(&self) -> bool {
+        self.pressure.fits()
+    }
+
+    /// Effective cycles per iteration, including spill traffic.
+    #[must_use]
+    pub fn cycles_per_iter(&self) -> u32 {
+        self.length + self.spill_penalty
+    }
+}
+
+/// Compile one kernel for one machine.
+#[must_use]
+pub fn compile(kernel: &Kernel, machine: &MachineResources) -> CompileResult {
+    let code = LoopCode::build(kernel, machine);
+    let pre_ddg = Ddg::build(&code);
+    let assignment = assign(&code, &pre_ddg, machine);
+    let ddg = Ddg::build(&assignment.code);
+    let schedule = list::schedule(&assignment, &ddg, machine);
+    let pressure = pressure(&assignment, &schedule, machine);
+    let spill_penalty = spill_penalty_cycles(pressure.spill_excess(), machine);
+    CompileResult {
+        length: schedule.length,
+        critical_path: ddg.critical_path(),
+        move_count: assignment.move_count,
+        schedule,
+        assignment,
+        pressure,
+        spill_penalty,
+    }
+}
+
+/// Cycles of spill traffic per iteration when `excess` values do not fit.
+///
+/// Each excess value costs one store and one reload per iteration. The
+/// traffic flows through the Level-2 ports (non-pipelined, so each access
+/// holds a port for the full latency), and the reload's latency lands on
+/// the critical path once. This deliberately simple model reproduces the
+/// qualitative cliff the paper describes — "the compiler gets greedy and
+/// gets into trouble" — without re-running the scheduler on spill code.
+#[must_use]
+pub fn spill_penalty_cycles(excess: u32, machine: &MachineResources) -> u32 {
+    if excess == 0 {
+        return 0;
+    }
+    let l2_ports: u32 = machine
+        .clusters
+        .iter()
+        .map(|c| c.l2_ports)
+        .sum::<u32>()
+        .max(1);
+    let traffic = (2 * excess * machine.l2_latency).div_ceil(l2_ports);
+    traffic + machine.l2_latency
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfp_frontend::compile_kernel;
+    use cfp_machine::ArchSpec;
+
+    fn res(src: &str, spec: &ArchSpec) -> CompileResult {
+        let k = compile_kernel(src, &[]).unwrap();
+        compile(&k, &MachineResources::from_spec(spec))
+    }
+
+    const STENCIL: &str = "kernel st(in u8 s[], out i32 d[]) {
+        loop i {
+            var acc = 0;
+            for t in 0..7 { acc = acc + s[i + t] * (2*t + 1); }
+            d[i] = acc;
+        }
+    }";
+
+    #[test]
+    fn richer_machines_run_faster() {
+        let small = res(STENCIL, &ArchSpec::baseline());
+        let big = res(STENCIL, &ArchSpec::new(8, 4, 256, 4, 4, 1).unwrap());
+        assert!(big.cycles_per_iter() < small.cycles_per_iter());
+        assert!(big.fits() && small.fits());
+    }
+
+    #[test]
+    fn length_never_beats_the_critical_path() {
+        for spec in [
+            ArchSpec::baseline(),
+            ArchSpec::new(16, 8, 512, 4, 2, 1).unwrap(),
+            ArchSpec::new(16, 8, 512, 4, 2, 4).unwrap(),
+        ] {
+            let r = res(STENCIL, &spec);
+            assert!(
+                r.length >= r.critical_path,
+                "{spec}: {} < {}",
+                r.length,
+                r.critical_path
+            );
+        }
+    }
+
+    #[test]
+    fn spill_penalty_scales_with_excess() {
+        let m = MachineResources::from_spec(&ArchSpec::baseline());
+        assert_eq!(spill_penalty_cycles(0, &m), 0);
+        let one = spill_penalty_cycles(1, &m);
+        let ten = spill_penalty_cycles(10, &m);
+        assert!(one > 0 && ten > one);
+    }
+
+    #[test]
+    fn clustered_compile_is_consistent() {
+        let r = res(STENCIL, &ArchSpec::new(8, 4, 256, 2, 4, 4).unwrap());
+        assert_eq!(r.assignment.cluster_of_op.len(), r.assignment.code.ops.len());
+        assert_eq!(r.schedule.placements.len(), r.assignment.code.ops.len());
+        assert!(r.fits());
+    }
+}

@@ -1,0 +1,313 @@
+//! Data-dependence graph over a [`LoopCode`].
+//!
+//! Register dependences are pure RAW (the IR is single-assignment within
+//! an iteration). Memory dependences use the affine access functions:
+//! two references to the *same array* conflict within an iteration only
+//! if their access functions can name the same element at the same
+//! iteration index — for equal strides that means equal offsets; for
+//! unequal strides or any dynamic index we are conservative. Arrays never
+//! alias each other. Cross-iteration memory ordering is guaranteed by the
+//! loop barrier (iterations do not overlap in the non-pipelined schedule).
+
+use crate::loopcode::LoopCode;
+use cfp_ir::{Inst, Vreg};
+use std::collections::HashMap;
+
+/// Why an edge exists (affects its latency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepKind {
+    /// Register read-after-write: consumer waits for the full latency.
+    RegRaw,
+    /// Memory read-after-write (same element): load waits for the store
+    /// to complete.
+    MemRaw,
+    /// Memory write-after-read: the store may issue in the cycle after
+    /// the load samples memory.
+    MemWar,
+    /// Memory write-after-write (same element): order preserved.
+    MemWaw,
+}
+
+/// One dependence edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dep {
+    /// Producer op index.
+    pub from: usize,
+    /// Consumer op index.
+    pub to: usize,
+    /// Minimum issue-cycle separation: `issue(to) ≥ issue(from) + lat`.
+    pub lat: u32,
+    /// Classification.
+    pub kind: DepKind,
+}
+
+/// The dependence graph.
+#[derive(Debug, Clone)]
+pub struct Ddg {
+    /// Edges grouped by consumer.
+    pub preds: Vec<Vec<Dep>>,
+    /// Edges grouped by producer.
+    pub succs: Vec<Vec<Dep>>,
+    /// Critical-path height of each op (its latency plus the longest
+    /// path below it); the list scheduler's priority.
+    pub height: Vec<u32>,
+}
+
+impl Ddg {
+    /// Build the graph.
+    #[must_use]
+    pub fn build(code: &LoopCode) -> Self {
+        let n = code.ops.len();
+        let mut preds: Vec<Vec<Dep>> = vec![Vec::new(); n];
+        let mut succs: Vec<Vec<Dep>> = vec![Vec::new(); n];
+        let push = |d: Dep, preds: &mut Vec<Vec<Dep>>, succs: &mut Vec<Vec<Dep>>| {
+            preds[d.to].push(d);
+            succs[d.from].push(d);
+        };
+
+        // Register RAW edges.
+        let mut def_of: HashMap<Vreg, usize> = HashMap::new();
+        for (i, op) in code.ops.iter().enumerate() {
+            if let Some(d) = op.def {
+                def_of.insert(d, i);
+            }
+        }
+        for (i, op) in code.ops.iter().enumerate() {
+            for u in &op.uses {
+                if let Some(&p) = def_of.get(u) {
+                    push(
+                        Dep {
+                            from: p,
+                            to: i,
+                            lat: code.ops[p].latency,
+                            kind: DepKind::RegRaw,
+                        },
+                        &mut preds,
+                        &mut succs,
+                    );
+                }
+            }
+        }
+
+        // Memory ordering edges, pairwise per array, program order.
+        let mems = code.mem_ops();
+        for (ai, &a) in mems.iter().enumerate() {
+            for &b in &mems[ai + 1..] {
+                let (ia, ib) = (
+                    code.ops[a].inst.expect("mem ops are body ops"),
+                    code.ops[b].inst.expect("mem ops are body ops"),
+                );
+                let Some(kind) = mem_dep_kind(&ia, &ib) else {
+                    continue;
+                };
+                let lat = match kind {
+                    DepKind::MemRaw => code.ops[a].latency,
+                    DepKind::MemWar => 1,
+                    DepKind::MemWaw => 1,
+                    DepKind::RegRaw => unreachable!(),
+                };
+                push(
+                    Dep {
+                        from: a,
+                        to: b,
+                        lat,
+                        kind,
+                    },
+                    &mut preds,
+                    &mut succs,
+                );
+            }
+        }
+
+        // Critical-path heights (the graph is acyclic: register RAW edges
+        // follow single-assignment order and memory edges follow program
+        // order).
+        let mut height = vec![0_u32; n];
+        let order = topo_order(n, &succs);
+        for &i in order.iter().rev() {
+            let below = succs[i]
+                .iter()
+                .map(|d| d.lat + height[d.to])
+                .max()
+                .unwrap_or(0);
+            // Edge latencies already include the producer's latency, so a
+            // node's height is the longest chain hanging below it — or its
+            // own completion time if it is a sink.
+            height[i] = code.ops[i].latency.max(1).max(below);
+        }
+
+        Ddg {
+            preds,
+            succs,
+            height,
+        }
+    }
+
+    /// The length in cycles of the longest dependence chain — a lower
+    /// bound on any schedule, regardless of resources.
+    #[must_use]
+    pub fn critical_path(&self) -> u32 {
+        self.height.iter().copied().max().unwrap_or(0)
+    }
+}
+
+fn topo_order(n: usize, succs: &[Vec<Dep>]) -> Vec<usize> {
+    let mut indeg = vec![0_usize; n];
+    for edges in succs {
+        for d in edges {
+            indeg[d.to] += 1;
+        }
+    }
+    let mut stack: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(i) = stack.pop() {
+        order.push(i);
+        for d in &succs[i] {
+            indeg[d.to] -= 1;
+            if indeg[d.to] == 0 {
+                stack.push(d.to);
+            }
+        }
+    }
+    assert_eq!(order.len(), n, "dependence graph must be acyclic");
+    order
+}
+
+/// Dependence between two memory ops in program order (`a` before `b`),
+/// or `None` when they provably never touch the same element in the same
+/// iteration.
+fn mem_dep_kind(a: &Inst, b: &Inst) -> Option<DepKind> {
+    let (ma, mb) = (a.mem()?, b.mem()?);
+    if ma.array != mb.array {
+        return None;
+    }
+    let kind = match (a.is_store(), b.is_store()) {
+        (false, false) => return None,
+        (true, false) => DepKind::MemRaw,
+        (false, true) => DepKind::MemWar,
+        (true, true) => DepKind::MemWaw,
+    };
+    let may_conflict = if !ma.is_affine() || !mb.is_affine() {
+        true
+    } else if ma.coeff == mb.coeff {
+        ma.offset == mb.offset
+    } else {
+        // Different strides on the same array: `c1·i + o1 = c2·i + o2`
+        // has a solution for some iteration; be conservative.
+        true
+    };
+    may_conflict.then_some(kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loopcode::{FuClass, LoopCode};
+    use cfp_frontend::compile_kernel;
+    use cfp_machine::{ArchSpec, MachineResources};
+
+    fn code_for(src: &str) -> LoopCode {
+        let k = compile_kernel(src, &[]).unwrap();
+        LoopCode::build(&k, &MachineResources::from_spec(&ArchSpec::baseline()))
+    }
+
+    #[test]
+    fn raw_edges_carry_producer_latency() {
+        let lc = code_for(
+            "kernel k(in u8 s[], out i32 d[]) { loop i { d[i] = s[i] * 3; } }",
+        );
+        let g = Ddg::build(&lc);
+        // Find the multiply; its predecessor is the load (latency 8 on the
+        // baseline's L2).
+        let mul = lc.ops.iter().position(|o| o.class == FuClass::Mul).unwrap();
+        let raw: Vec<_> = g.preds[mul]
+            .iter()
+            .filter(|d| d.kind == DepKind::RegRaw)
+            .collect();
+        assert_eq!(raw.len(), 1);
+        assert_eq!(raw[0].lat, 8);
+    }
+
+    #[test]
+    fn independent_elements_have_no_memory_edges() {
+        let lc = code_for(
+            "kernel k(inout i32 b[], out i32 d[]) {
+                loop i {
+                    var x = b[2*i];
+                    b[2*i + 1] = x;
+                    d[i] = x;
+                }
+            }",
+        );
+        let g = Ddg::build(&lc);
+        let mem_edges: usize = g
+            .preds
+            .iter()
+            .flatten()
+            .filter(|d| d.kind != DepKind::RegRaw)
+            .count();
+        assert_eq!(mem_edges, 0, "offsets 0 and 1 never collide");
+    }
+
+    #[test]
+    fn same_element_store_then_load_is_raw() {
+        let lc = code_for(
+            "kernel k(inout i32 b[], out i32 d[]) {
+                loop i {
+                    b[i] = 7;
+                    d[i] = b[i];
+                }
+            }",
+        );
+        let g = Ddg::build(&lc);
+        let raw = g
+            .preds
+            .iter()
+            .flatten()
+            .any(|d| d.kind == DepKind::MemRaw && d.lat == 8);
+        assert!(raw);
+    }
+
+    #[test]
+    fn load_then_store_same_element_is_war() {
+        let lc = code_for(
+            "kernel k(inout i32 b[], out i32 d[]) {
+                loop i {
+                    var x = b[i];
+                    b[i] = x + 1;
+                    d[i] = x;
+                }
+            }",
+        );
+        let g = Ddg::build(&lc);
+        assert!(g
+            .preds
+            .iter()
+            .flatten()
+            .any(|d| d.kind == DepKind::MemWar && d.lat == 1));
+    }
+
+    #[test]
+    fn dynamic_index_is_conservative() {
+        let lc = code_for(
+            "kernel k(in i32 idx[], inout i32 b[], out i32 d[]) {
+                loop i {
+                    b[idx[i] & 3] = i32(1);
+                    d[i] = b[0];
+                }
+            }",
+        );
+        let g = Ddg::build(&lc);
+        assert!(g.preds.iter().flatten().any(|d| d.kind == DepKind::MemRaw));
+    }
+
+    #[test]
+    fn critical_path_is_a_lower_bound() {
+        let lc = code_for(
+            "kernel k(in u8 s[], out i32 d[]) { loop i { d[i] = (s[i] * 3 + 1) * 5; } }",
+        );
+        let g = Ddg::build(&lc);
+        // ld(8) + mul(2) + add(1) + mul(2) + st issues → ≥ 13.
+        assert!(g.critical_path() >= 13, "{}", g.critical_path());
+    }
+}

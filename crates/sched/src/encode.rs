@@ -1,0 +1,486 @@
+//! VLIW instruction-word encoding.
+//!
+//! A schedule is an abstract placement; this module lowers it to the
+//! bit-level long-instruction words a program ROM would hold, in the
+//! style of the Multiflow encodings the paper's machines descend from:
+//!
+//! * every cycle is one *instruction word* made of fixed-width
+//!   **operation slots** — one per ALU, memory port, and branch unit of
+//!   each cluster, in cluster order;
+//! * each slot packs `opcode(6) | dst(9) | src1(10) | src2(10) |
+//!   src3(10)` into 45 bits (stored in a `u64`; the third source exists
+//!   for the select operation). A source field holds either a register
+//!   number or an index into the word's **immediate pool** (32-bit
+//!   literals appended to the word — the "long immediates" VLIWs are
+//!   named for);
+//! * empty slots are NOPs. Because wide machines are mostly empty, words
+//!   are stored **compressed**: a slot-occupancy mask plus only the
+//!   occupied slots (the classic VLIW NOP-compression scheme);
+//! * the encoder reports code size both raw and compressed — the code
+//!   bloat of a given architecture is itself a design-space observable.
+//!
+//! [`decode`] inverts [`encode`] exactly; the round trip is tested here
+//! and property-tested at the workspace level.
+
+use crate::cluster::Assignment;
+use crate::list::Schedule;
+use crate::loopcode::{FuClass, OpOrigin, SOp};
+use crate::regalloc::{allocate, AllocError};
+use cfp_ir::{BinOp, Inst, Operand, Pred, UnOp, Vreg};
+use cfp_machine::{MachineResources, MemLevel};
+use std::error::Error;
+use std::fmt;
+
+/// Bits per operation slot.
+pub const SLOT_BITS: u32 = 45;
+/// Register-number field width (up to 512 registers).
+pub const REG_BITS: u32 = 9;
+/// Source-operand field width (register or immediate-pool index + tag).
+pub const SRC_BITS: u32 = 10;
+/// Opcode field width.
+pub const OPCODE_BITS: u32 = 6;
+
+/// One operation slot's decoded form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodedOp {
+    /// Opcode number (see [`opcode_of`]).
+    pub opcode: u8,
+    /// Destination register (0 when none).
+    pub dst: u16,
+    /// First source field.
+    pub src1: SrcField,
+    /// Second source field.
+    pub src2: SrcField,
+    /// Third source field (selects only).
+    pub src3: SrcField,
+}
+
+/// A source field: register or immediate-pool reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SrcField {
+    /// Read a register.
+    Reg(u16),
+    /// Read the word's immediate pool at this index.
+    Imm(u8),
+    /// Unused.
+    None,
+}
+
+/// One long-instruction word.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct InstWord {
+    /// Slot occupancy (bit `i` = slot `i` holds an op), LSB first.
+    pub mask: u64,
+    /// The occupied slots' encodings, in slot order.
+    pub ops: Vec<u64>,
+    /// The 32-bit immediate pool.
+    pub imms: Vec<i32>,
+}
+
+/// A fully encoded loop body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// One word per cycle of the schedule.
+    pub words: Vec<InstWord>,
+    /// Slots per word on this machine.
+    pub slots_per_word: usize,
+}
+
+impl Program {
+    /// Raw size in bytes: every slot materialized (no compression),
+    /// plus immediates.
+    #[must_use]
+    pub fn raw_bytes(&self) -> usize {
+        self.words
+            .iter()
+            .map(|w| {
+                (self.slots_per_word * SLOT_BITS as usize).div_ceil(8) + 4 * w.imms.len()
+            })
+            .sum()
+    }
+
+    /// Compressed size in bytes: mask word + occupied slots + pool.
+    #[must_use]
+    pub fn compressed_bytes(&self) -> usize {
+        self.words
+            .iter()
+            .map(|w| 8 + (w.ops.len() * SLOT_BITS as usize).div_ceil(8) + 4 * w.imms.len())
+            .sum()
+    }
+}
+
+/// Encoding failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// Register allocation failed (the kernel spills on this machine; the
+    /// experiment rejects such unroll factors before encoding).
+    Alloc(AllocError),
+    /// A value had no allocated register (internal invariant).
+    Unallocated(Vreg),
+    /// A register number exceeds the field width.
+    RegisterTooLarge(Vreg),
+    /// More than 256 immediates in one word.
+    ImmPoolOverflow {
+        /// Offending cycle.
+        cycle: u32,
+    },
+    /// An op landed on a slot the machine does not have.
+    NoSlot {
+        /// Offending op index.
+        op: usize,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::Alloc(e) => write!(f, "{e}"),
+            EncodeError::Unallocated(v) => write!(f, "no physical register for {v}"),
+            EncodeError::RegisterTooLarge(v) => {
+                write!(f, "virtual register {v} exceeds the {REG_BITS}-bit field")
+            }
+            EncodeError::ImmPoolOverflow { cycle } => {
+                write!(f, "immediate pool overflow in cycle {cycle}")
+            }
+            EncodeError::NoSlot { op } => write!(f, "no hardware slot for op {op}"),
+        }
+    }
+}
+
+impl Error for EncodeError {}
+
+impl From<AllocError> for EncodeError {
+    fn from(e: AllocError) -> Self {
+        EncodeError::Alloc(e)
+    }
+}
+
+/// Opcode numbers. 0 is reserved (NOP).
+#[must_use]
+pub fn opcode_of(op: &SOp) -> u8 {
+    match (&op.inst, op.origin) {
+        (Some(Inst::Bin { op, .. }), _) => match op {
+            BinOp::Add => 1,
+            BinOp::Sub => 2,
+            BinOp::Mul => 3,
+            BinOp::And => 4,
+            BinOp::Or => 5,
+            BinOp::Xor => 6,
+            BinOp::Shl => 7,
+            BinOp::AShr => 8,
+            BinOp::LShr => 9,
+        },
+        (Some(Inst::Un { op, .. }), _) => match op {
+            UnOp::Copy => 10,
+            UnOp::Neg => 11,
+            UnOp::Not => 12,
+            UnOp::Sext8 => 13,
+            UnOp::Sext16 => 14,
+            UnOp::Zext8 => 15,
+            UnOp::Zext16 => 16,
+        },
+        (Some(Inst::Cmp { pred, .. }), _) => match pred {
+            Pred::Eq => 17,
+            Pred::Ne => 18,
+            Pred::Lt => 19,
+            Pred::Le => 20,
+            Pred::Gt => 21,
+            Pred::Ge => 22,
+        },
+        (Some(Inst::Sel { .. }), _) => 23,
+        (Some(Inst::Ld { .. }), _) => 24,
+        (Some(Inst::St { .. }), _) => 25,
+        (None, OpOrigin::Move { .. }) => 26,
+        (None, OpOrigin::StreamBump(_)) => 27,
+        (None, OpOrigin::Induction) => 28,
+        (None, OpOrigin::LoopTest) => 29,
+        (None, OpOrigin::LoopBranch) => 30,
+        (None, OpOrigin::Body(_)) => unreachable!("body ops carry insts"),
+    }
+}
+
+/// Slot layout: for each cluster, `alus` ALU slots, then its memory
+/// ports (L1 then L2), then the branch unit if present. Returns the base
+/// slot index of each cluster region and the total slot count.
+fn slot_layout(machine: &MachineResources) -> (Vec<usize>, usize) {
+    let mut bases = Vec::with_capacity(machine.cluster_count());
+    let mut next = 0_usize;
+    for cl in &machine.clusters {
+        bases.push(next);
+        next += cl.alus as usize
+            + cl.l1_ports as usize
+            + cl.l2_ports as usize
+            + usize::from(cl.has_branch);
+    }
+    (bases, next)
+}
+
+fn pack(op: EncodedOp) -> u64 {
+    // Source encoding: 0 = unused; tag bit set = register; tag bit clear
+    // (but nonzero via the used-flag bit 8) = immediate-pool index. To
+    // distinguish "unused" from "pool index 0" the immediate encoding
+    // sets bit 8: `0b01_iiiiiiii`.
+    let src = |s: SrcField| -> u64 {
+        match s {
+            SrcField::None => 0,
+            SrcField::Reg(r) => (1 << (SRC_BITS - 1)) | u64::from(r),
+            SrcField::Imm(i) => (1 << 8) | u64::from(i),
+        }
+    };
+    (u64::from(op.opcode) << 39)
+        | (u64::from(op.dst) << 30)
+        | (src(op.src1) << 20)
+        | (src(op.src2) << 10)
+        | src(op.src3)
+}
+
+fn unpack(raw: u64) -> EncodedOp {
+    let src = |bits: u64| -> SrcField {
+        if bits & (1 << (SRC_BITS - 1)) != 0 {
+            SrcField::Reg(u16::try_from(bits & 0x1ff).expect("9 bits"))
+        } else if bits & (1 << 8) != 0 {
+            SrcField::Imm(u8::try_from(bits & 0xff).expect("8 bits"))
+        } else {
+            SrcField::None
+        }
+    };
+    EncodedOp {
+        opcode: u8::try_from((raw >> 39) & 0x3f).expect("6 bits"),
+        dst: u16::try_from((raw >> 30) & 0x1ff).expect("9 bits"),
+        src1: src((raw >> 20) & 0x3ff),
+        src2: src((raw >> 10) & 0x3ff),
+        src3: src(raw & 0x3ff),
+    }
+}
+
+/// Encode a compiled loop into long-instruction words. Physical
+/// registers are assigned by [`allocate`] (linear scan over the
+/// scheduled intervals), so register fields are real bank indexes.
+///
+/// # Errors
+/// See [`EncodeError`]; in particular, kernels that spill on this
+/// machine fail with [`EncodeError::Alloc`].
+pub fn encode(
+    assignment: &Assignment,
+    schedule: &Schedule,
+    machine: &MachineResources,
+) -> Result<Program, EncodeError> {
+    let phys = allocate(assignment, schedule, machine)?;
+    let resolve = |v: Vreg, cluster: u32| -> Result<u16, EncodeError> {
+        // Local first; a move reads its source from the owning cluster's
+        // bank over the global connection.
+        phys.get(v, cluster)
+            .or_else(|| {
+                assignment
+                    .home_of
+                    .get(&v)
+                    .and_then(|&h| phys.get(v, h))
+            })
+            .ok_or(EncodeError::Unallocated(v))
+    };
+    let (bases, total_slots) = slot_layout(machine);
+    let mut words = vec![InstWord::default(); schedule.length as usize];
+    // Occupied slot bookkeeping per (cycle, slot).
+    let mut raw_slots: Vec<Vec<Option<u64>>> =
+        vec![vec![None; total_slots]; schedule.length as usize];
+
+    for (i, op) in assignment.code.ops.iter().enumerate() {
+        let p = schedule.placements[i];
+        let cl = p.cluster as usize;
+        let cluster = &machine.clusters[cl];
+        let base = bases[cl];
+        // Region offsets within the cluster.
+        let (lo, hi) = match op.class {
+            FuClass::Alu | FuClass::Mul => (0, cluster.alus as usize),
+            FuClass::Mem(MemLevel::L1) => (
+                cluster.alus as usize,
+                cluster.alus as usize + cluster.l1_ports as usize,
+            ),
+            FuClass::Mem(MemLevel::L2) => (
+                cluster.alus as usize + cluster.l1_ports as usize,
+                cluster.alus as usize + cluster.l1_ports as usize + cluster.l2_ports as usize,
+            ),
+            FuClass::Branch => {
+                let b = cluster.alus as usize
+                    + cluster.l1_ports as usize
+                    + cluster.l2_ports as usize;
+                (b, b + usize::from(cluster.has_branch))
+            }
+        };
+        let word = &mut words[p.cycle as usize];
+        let slot = (lo..hi)
+            .find(|&s| raw_slots[p.cycle as usize][base + s].is_none())
+            .ok_or(EncodeError::NoSlot { op: i })?;
+
+        let mut fields = [SrcField::None, SrcField::None, SrcField::None];
+        let mut n = 0;
+        let add_field = |o: Operand,
+                             word: &mut InstWord,
+                             fields: &mut [SrcField; 3],
+                             n: &mut usize,
+                             cycle: u32|
+         -> Result<(), EncodeError> {
+            debug_assert!(*n < 3, "no op reads more than three values");
+            fields[*n] = match o {
+                Operand::Reg(v) => {
+                    let r = resolve(v, p.cluster)?;
+                    if u32::from(r) >= (1 << REG_BITS) {
+                        return Err(EncodeError::RegisterTooLarge(v));
+                    }
+                    SrcField::Reg(r)
+                }
+                Operand::Imm(k) => {
+                    let idx = word.imms.len();
+                    if idx >= 256 {
+                        return Err(EncodeError::ImmPoolOverflow { cycle });
+                    }
+                    word.imms.push(k as i32);
+                    SrcField::Imm(u8::try_from(idx).expect("checked"))
+                }
+            };
+            *n += 1;
+            Ok(())
+        };
+        let mut operands = Vec::new();
+        if let Some(inst) = &op.inst {
+            inst.for_each_operand(|o| operands.push(o));
+        } else {
+            operands.extend(op.uses.iter().map(|&u| Operand::Reg(u)));
+        }
+        for o in operands {
+            add_field(o, word, &mut fields, &mut n, p.cycle)?;
+        }
+
+        let dst = match op.def {
+            Some(v) => {
+                let r = resolve(v, p.cluster)?;
+                if u32::from(r) >= (1 << REG_BITS) {
+                    return Err(EncodeError::RegisterTooLarge(v));
+                }
+                r
+            }
+            None => 0,
+        };
+        raw_slots[p.cycle as usize][base + slot] = Some(pack(EncodedOp {
+            opcode: opcode_of(op),
+            dst,
+            src1: fields[0],
+            src2: fields[1],
+            src3: fields[2],
+        }));
+    }
+
+    for (t, slots) in raw_slots.into_iter().enumerate() {
+        for (s, raw) in slots.into_iter().enumerate() {
+            if let Some(r) = raw {
+                words[t].mask |= 1 << s;
+                words[t].ops.push(r);
+            }
+        }
+    }
+    Ok(Program {
+        words,
+        slots_per_word: total_slots,
+    })
+}
+
+/// Decode a program back into per-cycle op lists.
+#[must_use]
+pub fn decode(program: &Program) -> Vec<Vec<(usize, EncodedOp)>> {
+    program
+        .words
+        .iter()
+        .map(|w| {
+            let mut out = Vec::with_capacity(w.ops.len());
+            let mut op_iter = w.ops.iter();
+            for slot in 0..64 {
+                if w.mask & (1 << slot) != 0 {
+                    let raw = op_iter.next().expect("mask matches ops");
+                    out.push((slot, unpack(*raw)));
+                }
+            }
+            out
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use cfp_frontend::compile_kernel;
+    use cfp_machine::ArchSpec;
+
+    fn program_for(src: &str, spec: &ArchSpec) -> (Program, crate::compile::CompileResult, MachineResources) {
+        let k = compile_kernel(src, &[]).unwrap();
+        let m = MachineResources::from_spec(spec);
+        let r = compile(&k, &m);
+        let p = encode(&r.assignment, &r.schedule, &m).expect("encodes");
+        (p, r, m)
+    }
+
+    const SRC: &str = "kernel k(in u8 s[], out i32 d[]) {
+        loop i {
+            var a = s[3*i] * 5;
+            var b = s[3*i + 1] * 7;
+            var c = s[3*i + 2];
+            d[i] = (a + b) + (c > 100 ? c : 0);
+        }
+    }";
+
+    #[test]
+    fn one_word_per_cycle_and_all_ops_present() {
+        let (p, r, _) = program_for(SRC, &ArchSpec::new(4, 2, 128, 2, 4, 1).unwrap());
+        assert_eq!(p.words.len(), r.schedule.length as usize);
+        let encoded: usize = p.words.iter().map(|w| w.ops.len()).sum();
+        assert_eq!(encoded, r.assignment.code.ops.len());
+        for w in &p.words {
+            assert_eq!(w.mask.count_ones() as usize, w.ops.len());
+        }
+    }
+
+    #[test]
+    fn decode_inverts_encode() {
+        let (p, r, _) = program_for(SRC, &ArchSpec::new(8, 4, 256, 2, 4, 2).unwrap());
+        let decoded = decode(&p);
+        assert_eq!(decoded.len(), p.words.len());
+        let total: usize = decoded.iter().map(Vec::len).sum();
+        assert_eq!(total, r.assignment.code.ops.len());
+        // Every decoded opcode is a real opcode.
+        for word in &decoded {
+            for (_, op) in word {
+                assert!((1..=30).contains(&op.opcode), "{op:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn compression_wins_on_wide_machines() {
+        let (p, ..) = program_for(SRC, &ArchSpec::new(16, 8, 512, 4, 4, 1).unwrap());
+        assert!(
+            p.compressed_bytes() < p.raw_bytes(),
+            "compressed {} raw {}",
+            p.compressed_bytes(),
+            p.raw_bytes()
+        );
+        // A 16-wide machine running narrow code is mostly NOPs.
+        assert!(p.compressed_bytes() * 2 < p.raw_bytes());
+    }
+
+    #[test]
+    fn baseline_words_are_narrow() {
+        let (p, ..) = program_for(SRC, &ArchSpec::baseline());
+        // 1 ALU + 1 L1 + 1 L2 + 1 branch = 4 slots.
+        assert_eq!(p.slots_per_word, 4);
+        for w in &p.words {
+            assert!(w.ops.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn immediates_land_in_the_pool() {
+        let (p, ..) = program_for(SRC, &ArchSpec::baseline());
+        let imm_total: usize = p.words.iter().map(|w| w.imms.len()).sum();
+        assert!(imm_total >= 2, "the multiplies' constants live in pools");
+    }
+}

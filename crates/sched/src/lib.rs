@@ -1,0 +1,62 @@
+//! # cfp-sched — the retargetable VLIW back end
+//!
+//! The machine-dependent half of the compiler, corresponding to the
+//! paper's "build a version of our compiler that generates good code for
+//! that architecture" step:
+//!
+//! 1. [`loopcode`] flattens a kernel body into schedulable operations,
+//!    materializing the address-stream and loop-control overhead;
+//! 2. [`ddg`] builds the data-dependence graph (register RAW plus affine
+//!    memory disambiguation);
+//! 3. [`cluster`] performs BUG-style cluster assignment and inserts the
+//!    explicit inter-cluster moves of the paper's template;
+//! 4. [`list`] runs a resource-constrained list scheduler (per-cluster
+//!    ALU/IMUL slots, non-pipelined memory ports, the single branch
+//!    unit);
+//! 5. [`regalloc`] measures per-cluster register pressure and detects
+//!    spilling — the signal the experiment's unroll sweep stops on;
+//! 6. [`mod@simulate`] executes the schedule cycle-accurately and must
+//!    reproduce the reference interpreter bit for bit;
+//! 7. [`mod@encode`] lowers schedules to bit-level long-instruction words
+//!    (with the classic VLIW NOP-compression) and back;
+//! 8. [`modulo`] is an ablation scheduler: software pipelining, to
+//!    quantify what the paper's loop-barrier discipline costs.
+//!
+//! [`compile`](compile::compile) glues the pipeline together.
+//!
+//! ```
+//! use cfp_frontend::compile_kernel;
+//! use cfp_machine::{ArchSpec, MachineResources};
+//!
+//! let kernel = compile_kernel(
+//!     "kernel k(in u8 s[], out i32 d[]) { loop i { d[i] = s[i] * 5 + 7; } }",
+//!     &[],
+//! ).unwrap();
+//! let machine = MachineResources::from_spec(&ArchSpec::baseline());
+//! let out = cfp_sched::compile::compile(&kernel, &machine);
+//! assert!(out.fits());
+//! assert!(u64::from(out.cycles_per_iter()) >= u64::from(out.critical_path));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cluster;
+pub mod compile;
+pub mod ddg;
+pub mod encode;
+pub mod list;
+pub mod loopcode;
+pub mod modulo;
+pub mod regalloc;
+pub mod simulate;
+
+pub use cluster::Assignment;
+pub use encode::{decode, encode, EncodeError, Program};
+pub use compile::{compile, CompileResult};
+pub use ddg::{Ddg, Dep, DepKind};
+pub use list::{render, schedule, schedule_with, Placement, Priority, Schedule};
+pub use modulo::{modulo_schedule, ModuloSchedule, OmegaDep};
+pub use loopcode::{FuClass, LoopCode, OpOrigin, SOp};
+pub use regalloc::{pressure, PressureReport};
+pub use simulate::{simulate, SimError, SimStats};

@@ -1,0 +1,393 @@
+//! Resource-constrained list scheduling.
+//!
+//! A classic cycle-driven list scheduler with critical-path priority:
+//!
+//! * each cluster issues at most `alus` ALU-class ops per cycle, of which
+//!   at most `mul_capable` may be multiplies;
+//! * each memory port is *non-pipelined*: once an access issues the port
+//!   stays busy for the full latency;
+//! * the single branch unit lives on cluster 0, and the loop-closing
+//!   branch is placed in the last instruction word;
+//! * the loop is a barrier: the next iteration starts once every result
+//!   of this one is complete (no software pipelining — matching the
+//!   unroll-and-list-schedule discipline of the Multiflow line).
+
+use crate::cluster::Assignment;
+use crate::ddg::Ddg;
+use crate::loopcode::{FuClass, OpOrigin};
+use cfp_machine::MachineResources;
+
+/// Where one op landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Issue cycle.
+    pub cycle: u32,
+    /// Cluster.
+    pub cluster: u32,
+}
+
+/// A complete schedule of one loop iteration.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Placement of each op (indexed like the assigned loop code).
+    pub placements: Vec<Placement>,
+    /// Iteration length in cycles (the initiation interval of the
+    /// non-overlapped loop).
+    pub length: u32,
+}
+
+impl Schedule {
+    /// Ops grouped by cycle, for display and the simulator.
+    #[must_use]
+    pub fn by_cycle(&self) -> Vec<Vec<usize>> {
+        let mut words = vec![Vec::new(); self.length as usize];
+        for (i, p) in self.placements.iter().enumerate() {
+            words[p.cycle as usize].push(i);
+        }
+        words
+    }
+}
+
+/// Hard cap so a scheduler bug cannot spin forever.
+const MAX_CYCLES: u32 = 1 << 20;
+
+/// Ready-list priority function — an ablation knob. Critical-path
+/// priority is the classic choice (and this back end's default); source
+/// order is the naive baseline that quantifies what the heuristic buys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Longest dependence chain below the op (default).
+    #[default]
+    CriticalPath,
+    /// Original program order.
+    SourceOrder,
+}
+
+/// Schedule assigned loop code on the machine: a two-heuristic
+/// portfolio. Critical-path priority wins on latency-bound code; source
+/// order often wins on non-pipelined-port-bound code (it interleaves
+/// accesses with their consumers instead of front-loading the longest
+/// chains). The shorter schedule is kept — see the `priority` exhibit
+/// for per-benchmark numbers.
+///
+/// # Panics
+/// Panics if the schedule exceeds an internal cycle cap (indicates a
+/// resource the code needs but the machine lacks entirely — prevented by
+/// `ArchSpec` validation and cluster assignment).
+#[must_use]
+pub fn schedule(assignment: &Assignment, ddg: &Ddg, machine: &MachineResources) -> Schedule {
+    let cp = schedule_with(assignment, ddg, machine, Priority::CriticalPath);
+    let so = schedule_with(assignment, ddg, machine, Priority::SourceOrder);
+    if so.length < cp.length {
+        so
+    } else {
+        cp
+    }
+}
+
+/// [`schedule`] with an explicit priority function.
+///
+/// # Panics
+/// As [`schedule`].
+#[must_use]
+pub fn schedule_with(
+    assignment: &Assignment,
+    ddg: &Ddg,
+    machine: &MachineResources,
+    priority: Priority,
+) -> Schedule {
+    let code = &assignment.code;
+    let n = code.ops.len();
+    let branch = code.branch_index();
+
+    // Dependence bookkeeping.
+    let mut pending = vec![0_usize; n];
+    for (i, preds) in ddg.preds.iter().enumerate() {
+        pending[i] = preds.len();
+    }
+    let mut earliest = vec![0_u32; n];
+    let mut issue = vec![u32::MAX; n];
+
+    // Per-cluster resource state.
+    let nc = machine.cluster_count();
+    let mut l1_ports: Vec<Vec<u32>> = (0..nc)
+        .map(|c| vec![0; machine.clusters[c].l1_ports as usize])
+        .collect();
+    let mut l2_ports: Vec<Vec<u32>> = (0..nc)
+        .map(|c| vec![0; machine.clusters[c].l2_ports as usize])
+        .collect();
+
+    let mut ready: Vec<usize> = (0..n).filter(|&i| pending[i] == 0 && i != branch).collect();
+    let mut scheduled = 0_usize;
+    let total_non_branch = n - 1;
+
+    let mut t = 0_u32;
+    while scheduled < total_non_branch {
+        assert!(t < MAX_CYCLES, "scheduler exceeded cycle cap");
+        // Ops that can legally issue this cycle, best priority first.
+        match priority {
+            Priority::CriticalPath => {
+                ready.sort_by(|&a, &b| ddg.height[b].cmp(&ddg.height[a]).then(a.cmp(&b)));
+            }
+            Priority::SourceOrder => ready.sort_unstable(),
+        }
+        let mut alu_used = vec![0_u32; nc];
+        let mut mul_used = vec![0_u32; nc];
+        let mut issued_any = true;
+        while issued_any {
+            issued_any = false;
+            let mut next_ready = Vec::with_capacity(ready.len());
+            for &i in &ready {
+                if issue[i] != u32::MAX {
+                    continue;
+                }
+                if earliest[i] > t {
+                    next_ready.push(i);
+                    continue;
+                }
+                let c = assignment.cluster_of_op[i] as usize;
+                let ok = match code.ops[i].class {
+                    FuClass::Alu => {
+                        if alu_used[c] < machine.clusters[c].alus {
+                            alu_used[c] += 1;
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    FuClass::Mul => {
+                        if alu_used[c] < machine.clusters[c].alus
+                            && mul_used[c] < machine.clusters[c].mul_capable
+                        {
+                            alu_used[c] += 1;
+                            mul_used[c] += 1;
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    FuClass::Mem(level) => {
+                        let ports = match level {
+                            cfp_machine::MemLevel::L1 => &mut l1_ports[c],
+                            cfp_machine::MemLevel::L2 => &mut l2_ports[c],
+                        };
+                        match ports.iter_mut().find(|free_at| **free_at <= t) {
+                            Some(slot) => {
+                                *slot = t + code.ops[i].latency;
+                                true
+                            }
+                            None => false,
+                        }
+                    }
+                    FuClass::Branch => false, // placed separately
+                };
+                if ok {
+                    issue[i] = t;
+                    scheduled += 1;
+                    issued_any = true;
+                    for d in &ddg.succs[i] {
+                        pending[d.to] -= 1;
+                        earliest[d.to] = earliest[d.to].max(t + d.lat);
+                        if pending[d.to] == 0 && d.to != branch {
+                            next_ready.push(d.to);
+                        }
+                    }
+                } else {
+                    next_ready.push(i);
+                }
+            }
+            ready = next_ready;
+        }
+        t += 1;
+    }
+
+    // Branch in the last word (or later if its own operand is not ready).
+    let last_issue = issue
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != branch)
+        .map(|(_, &v)| v)
+        .max()
+        .unwrap_or(0);
+    issue[branch] = last_issue.max(earliest[branch]);
+
+    let mut length = issue[branch] + 1;
+    for (i, op) in code.ops.iter().enumerate() {
+        length = length.max(issue[i] + op.latency.max(1));
+    }
+
+    let placements = (0..n)
+        .map(|i| Placement {
+            cycle: issue[i],
+            cluster: assignment.cluster_of_op[i],
+        })
+        .collect();
+    Schedule { placements, length }
+}
+
+/// Pretty-print a schedule as one line per cycle (used by examples and
+/// the quickstart).
+#[must_use]
+pub fn render(schedule: &Schedule, assignment: &Assignment) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (t, word) in schedule.by_cycle().iter().enumerate() {
+        let _ = write!(out, "{t:4}: ");
+        if word.is_empty() {
+            out.push_str("(stall)");
+        }
+        for &i in word {
+            let op = &assignment.code.ops[i];
+            let desc = match (&op.inst, op.origin) {
+                (Some(inst), _) => inst.to_string(),
+                (None, OpOrigin::Move { src, to }) => format!("mov.x {src}->cl{to}"),
+                (None, OpOrigin::StreamBump(a)) => format!("bump {a}"),
+                (None, OpOrigin::Induction) => "i += U".to_owned(),
+                (None, OpOrigin::LoopTest) => "cmp i, n".to_owned(),
+                (None, OpOrigin::LoopBranch) => "br loop".to_owned(),
+                (None, OpOrigin::Body(_)) => unreachable!("body ops carry insts"),
+            };
+            let _ = write!(out, "[c{} {desc}]  ", assignment.cluster_of_op[i]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::assign;
+    use crate::loopcode::LoopCode;
+    use cfp_frontend::compile_kernel;
+    use cfp_machine::ArchSpec;
+
+    fn sched_for(src: &str, spec: &ArchSpec) -> (Schedule, Assignment, Ddg, MachineResources) {
+        let k = compile_kernel(src, &[]).unwrap();
+        let m = MachineResources::from_spec(spec);
+        let code = LoopCode::build(&k, &m);
+        let pre = Ddg::build(&code);
+        let a = assign(&code, &pre, &m);
+        let ddg = Ddg::build(&a.code);
+        let s = schedule(&a, &ddg, &m);
+        (s, a, ddg, m)
+    }
+
+    const WIDE: &str = "kernel w(in u8 s[], out i32 d[]) {
+        loop i {
+            var a = s[4*i] * 3;
+            var b = s[4*i+1] * 5;
+            var c = s[4*i+2] * 7;
+            var e = s[4*i+3] * 9;
+            d[i] = (a + b) + (c + e);
+        }
+    }";
+
+    #[test]
+    fn every_op_is_placed_and_deps_hold() {
+        let (s, _a, ddg, _) = sched_for(WIDE, &ArchSpec::new(4, 2, 128, 2, 4, 1).unwrap());
+        for (i, p) in s.placements.iter().enumerate() {
+            assert!(p.cycle < s.length, "op {i}");
+        }
+        for (to, preds) in ddg.preds.iter().enumerate() {
+            for d in preds {
+                assert!(
+                    s.placements[d.to].cycle >= s.placements[d.from].cycle + d.lat,
+                    "dep {} -> {} violated",
+                    d.from,
+                    to
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_respects_alu_and_mul_limits() {
+        let spec = ArchSpec::new(2, 1, 64, 2, 4, 1).unwrap();
+        let (s, a, _, m) = sched_for(WIDE, &spec);
+        for word in s.by_cycle() {
+            let mut alu = 0;
+            let mut mul = 0;
+            for i in word {
+                match a.code.ops[i].class {
+                    FuClass::Alu => alu += 1,
+                    FuClass::Mul => {
+                        alu += 1;
+                        mul += 1;
+                    }
+                    _ => {}
+                }
+            }
+            assert!(alu <= m.clusters[0].alus, "alu oversubscribed");
+            assert!(mul <= m.clusters[0].mul_capable, "mul oversubscribed");
+        }
+    }
+
+    #[test]
+    fn non_pipelined_ports_throttle_memory() {
+        // 5 loads/iter, 1 L2 port, latency 4 → at least 5·4 cycles.
+        let (s, _, _, _) = sched_for(WIDE, &ArchSpec::new(4, 2, 128, 1, 4, 1).unwrap());
+        assert!(s.length >= 20, "length {}", s.length);
+        // Same code, 4 ports: much shorter.
+        let (s4, _, _, _) = sched_for(WIDE, &ArchSpec::new(4, 2, 128, 4, 4, 1).unwrap());
+        assert!(s4.length < s.length, "{} !< {}", s4.length, s.length);
+    }
+
+    #[test]
+    fn more_alus_shorten_wide_code() {
+        let (s1, ..) = sched_for(WIDE, &ArchSpec::new(1, 1, 64, 4, 4, 1).unwrap());
+        let (s8, ..) = sched_for(WIDE, &ArchSpec::new(8, 4, 64, 4, 4, 1).unwrap());
+        assert!(s8.length < s1.length, "{} !< {}", s8.length, s1.length);
+    }
+
+    #[test]
+    fn branch_is_in_the_last_word() {
+        let (s, a, ..) = sched_for(WIDE, &ArchSpec::new(4, 2, 128, 2, 4, 1).unwrap());
+        let bi = a.code.branch_index();
+        let last_issue = s
+            .placements
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != bi)
+            .map(|(_, p)| p.cycle)
+            .max()
+            .unwrap();
+        assert!(s.placements[bi].cycle >= last_issue);
+    }
+
+    #[test]
+    fn length_covers_all_latencies() {
+        let (s, a, ..) = sched_for(WIDE, &ArchSpec::new(4, 2, 128, 2, 8, 1).unwrap());
+        for (i, p) in s.placements.iter().enumerate() {
+            assert!(p.cycle + a.code.ops[i].latency <= s.length);
+        }
+    }
+
+    #[test]
+    fn portfolio_takes_the_best_of_both_priorities() {
+        for spec in [
+            ArchSpec::new(2, 1, 64, 1, 8, 1).unwrap(),
+            ArchSpec::new(4, 2, 128, 1, 4, 1).unwrap(),
+            ArchSpec::new(8, 4, 256, 2, 4, 2).unwrap(),
+        ] {
+            let k = cfp_frontend::compile_kernel(WIDE, &[]).unwrap();
+            let m = MachineResources::from_spec(&spec);
+            let code = crate::loopcode::LoopCode::build(&k, &m);
+            let pre = Ddg::build(&code);
+            let a = assign(&code, &pre, &m);
+            let ddg = Ddg::build(&a.code);
+            let cp = schedule_with(&a, &ddg, &m, Priority::CriticalPath);
+            let so = schedule_with(&a, &ddg, &m, Priority::SourceOrder);
+            let best = schedule(&a, &ddg, &m);
+            assert_eq!(best.length, cp.length.min(so.length), "{spec}");
+        }
+    }
+
+    #[test]
+    fn render_mentions_every_cycle() {
+        let (s, a, ..) = sched_for(WIDE, &ArchSpec::new(2, 1, 64, 1, 4, 1).unwrap());
+        let text = render(&s, &a);
+        assert_eq!(text.lines().count(), s.length as usize);
+        assert!(text.contains("br loop"));
+    }
+}

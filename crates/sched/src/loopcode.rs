@@ -1,0 +1,328 @@
+//! Lowering a kernel body to schedulable operations.
+//!
+//! The IR keeps memory access functions symbolic (`coeff·i + offset`),
+//! which is what a machine with register+offset addressing and per-stream
+//! address registers executes. The issue slots for maintaining those
+//! address registers are still real, so this stage materializes them as
+//! explicit operations:
+//!
+//! * one *pointer bump* add per array stream (an array the body accesses
+//!   with `coeff != 0`);
+//! * the induction-variable add, the loop-bound compare, and the
+//!   loop-closing branch (which may only issue on cluster 0's branch
+//!   unit).
+//!
+//! These overhead ops participate in scheduling, cluster assignment, and
+//! register pressure exactly like body ops.
+
+use cfp_ir::{ArrayId, Inst, Kernel, MemSpace, Vreg};
+use cfp_machine::{MachineResources, MemLevel, ALU_LATENCY, BRANCH_LATENCY, MUL_LATENCY};
+
+/// Which functional unit an operation needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuClass {
+    /// Any ALU slot.
+    Alu,
+    /// An IMUL-capable ALU slot.
+    Mul,
+    /// A memory port of the given level (non-pipelined).
+    Mem(MemLevel),
+    /// The branch unit (cluster 0 only).
+    Branch,
+}
+
+/// Where a schedulable op came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpOrigin {
+    /// `body[index]` of the kernel.
+    Body(usize),
+    /// An inter-cluster copy inserted by cluster assignment.
+    Move {
+        /// The value being copied.
+        src: Vreg,
+        /// Destination cluster.
+        to: u32,
+    },
+    /// Address-register bump for one array stream.
+    StreamBump(ArrayId),
+    /// Induction-variable add.
+    Induction,
+    /// Loop-bound compare.
+    LoopTest,
+    /// Loop-closing branch.
+    LoopBranch,
+}
+
+/// One schedulable operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SOp {
+    /// Provenance.
+    pub origin: OpOrigin,
+    /// The IR instruction, for body ops (used by the schedule simulator).
+    pub inst: Option<Inst>,
+    /// Functional-unit requirement.
+    pub class: FuClass,
+    /// Result latency in cycles.
+    pub latency: u32,
+    /// Defined register, if any.
+    pub def: Option<Vreg>,
+    /// Registers read.
+    pub uses: Vec<Vreg>,
+}
+
+/// The flattened, schedulable form of one loop iteration.
+#[derive(Debug, Clone)]
+pub struct LoopCode {
+    /// All operations (body order first, then overhead ops).
+    pub ops: Vec<SOp>,
+    /// Values live into each iteration (carried inputs, resident preamble
+    /// values, stream pointers, induction state, loop bound).
+    pub live_ins: Vec<Vreg>,
+    /// The subset of live-ins that stay in a register for the whole loop
+    /// (preamble values and the loop bound). Resident values are
+    /// broadcast to every cluster that reads them at loop setup, so
+    /// cross-cluster reads of them need no per-iteration move — but they
+    /// occupy a register in *each* such cluster.
+    pub resident: Vec<Vreg>,
+    /// Carried pairs `(in, out)`: at the iteration boundary the value of
+    /// `out` becomes `in`. Includes the kernel's carried scalars plus the
+    /// synthetic pointer/induction chains.
+    pub carried: Vec<(Vreg, Vreg)>,
+    /// One past the highest vreg number in use.
+    pub vreg_limit: u32,
+}
+
+impl LoopCode {
+    /// Build the schedulable form of `kernel`'s body for `machine`.
+    #[must_use]
+    pub fn build(kernel: &Kernel, machine: &MachineResources) -> Self {
+        let mut next = kernel.vreg_count();
+        let mut fresh = || {
+            let v = Vreg(next);
+            next += 1;
+            v
+        };
+
+        let mut ops: Vec<SOp> = Vec::with_capacity(kernel.body.len() + 8);
+        for (i, inst) in kernel.body.iter().enumerate() {
+            ops.push(SOp {
+                origin: OpOrigin::Body(i),
+                inst: Some(*inst),
+                class: class_of(inst, kernel),
+                latency: latency_of(inst, kernel, machine),
+                def: inst.def(),
+                uses: inst.uses(),
+            });
+        }
+
+        let mut carried: Vec<(Vreg, Vreg)> =
+            kernel.carried.iter().map(|c| (c.input, c.output)).collect();
+        let mut live_ins = kernel.body_live_ins();
+
+        // One pointer bump per streamed array.
+        let mut streamed: Vec<ArrayId> = kernel
+            .body
+            .iter()
+            .filter_map(|i| i.mem())
+            .filter(|m| m.coeff != 0)
+            .map(|m| m.array)
+            .collect();
+        streamed.sort_unstable();
+        streamed.dedup();
+        for array in streamed {
+            let cur = fresh();
+            let nxt = fresh();
+            ops.push(SOp {
+                origin: OpOrigin::StreamBump(array),
+                inst: None,
+                class: FuClass::Alu,
+                latency: ALU_LATENCY,
+                def: Some(nxt),
+                uses: vec![cur],
+            });
+            carried.push((cur, nxt));
+            live_ins.push(cur);
+        }
+
+        // Induction variable, loop test, loop branch.
+        let i_cur = fresh();
+        let i_nxt = fresh();
+        let bound = fresh();
+        let test = fresh();
+        ops.push(SOp {
+            origin: OpOrigin::Induction,
+            inst: None,
+            class: FuClass::Alu,
+            latency: ALU_LATENCY,
+            def: Some(i_nxt),
+            uses: vec![i_cur],
+        });
+        ops.push(SOp {
+            origin: OpOrigin::LoopTest,
+            inst: None,
+            class: FuClass::Alu,
+            latency: ALU_LATENCY,
+            def: Some(test),
+            uses: vec![i_nxt, bound],
+        });
+        ops.push(SOp {
+            origin: OpOrigin::LoopBranch,
+            inst: None,
+            class: FuClass::Branch,
+            latency: BRANCH_LATENCY,
+            def: None,
+            uses: vec![test],
+        });
+        carried.push((i_cur, i_nxt));
+        live_ins.push(i_cur);
+        live_ins.push(bound);
+
+        // Resident values: preamble-defined live-ins plus the loop bound.
+        let preamble_defs: std::collections::HashSet<Vreg> =
+            kernel.preamble.iter().filter_map(Inst::def).collect();
+        let mut resident: Vec<Vreg> = live_ins
+            .iter()
+            .copied()
+            .filter(|v| preamble_defs.contains(v))
+            .collect();
+        resident.push(bound);
+
+        LoopCode {
+            ops,
+            live_ins,
+            resident,
+            carried,
+            vreg_limit: next,
+        }
+    }
+
+    /// Indices of the ops that are memory accesses.
+    #[must_use]
+    pub fn mem_ops(&self) -> Vec<usize> {
+        self.ops
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| matches!(o.class, FuClass::Mem(_)))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Index of the loop branch op.
+    ///
+    /// # Panics
+    /// Panics if the loop code was not built by [`LoopCode::build`].
+    #[must_use]
+    pub fn branch_index(&self) -> usize {
+        self.ops
+            .iter()
+            .position(|o| o.origin == OpOrigin::LoopBranch)
+            .expect("loop code always carries its branch")
+    }
+}
+
+fn class_of(inst: &Inst, kernel: &Kernel) -> FuClass {
+    if inst.needs_mul_unit() {
+        return FuClass::Mul;
+    }
+    if let Some(m) = inst.mem() {
+        return FuClass::Mem(level_of(kernel.array(m.array).space));
+    }
+    FuClass::Alu
+}
+
+fn latency_of(inst: &Inst, kernel: &Kernel, machine: &MachineResources) -> u32 {
+    if inst.needs_mul_unit() {
+        MUL_LATENCY
+    } else if let Some(m) = inst.mem() {
+        machine.mem_latency(level_of(kernel.array(m.array).space))
+    } else {
+        ALU_LATENCY
+    }
+}
+
+/// Map the IR memory space onto the machine model's level.
+#[must_use]
+pub fn level_of(space: MemSpace) -> MemLevel {
+    match space {
+        MemSpace::L1 => MemLevel::L1,
+        MemSpace::L2 => MemLevel::L2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfp_frontend::compile_kernel;
+    use cfp_machine::ArchSpec;
+
+    fn machine() -> MachineResources {
+        MachineResources::from_spec(&ArchSpec::baseline())
+    }
+
+    fn sample() -> Kernel {
+        compile_kernel(
+            "kernel s(in u8 src[], in l1 i16 tbl[], out i32 dst[]) {
+                var c = tbl[0];
+                var acc = 0;
+                loop i {
+                    acc = acc + src[i] * c;
+                    dst[i] = acc;
+                }
+            }",
+            &[],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn overhead_ops_are_materialized() {
+        let k = sample();
+        let lc = LoopCode::build(&k, &machine());
+        // Body ops + 2 stream bumps (src, dst) + induction + test + branch.
+        assert_eq!(lc.ops.len(), k.body.len() + 5);
+        let bumps = lc
+            .ops
+            .iter()
+            .filter(|o| matches!(o.origin, OpOrigin::StreamBump(_)))
+            .count();
+        assert_eq!(bumps, 2);
+        assert_eq!(lc.ops[lc.branch_index()].class, FuClass::Branch);
+    }
+
+    #[test]
+    fn classes_and_latencies_follow_the_machine() {
+        let k = sample();
+        let spec = ArchSpec::new(4, 2, 128, 1, 4, 1).unwrap();
+        let lc = LoopCode::build(&k, &MachineResources::from_spec(&spec));
+        let classes: Vec<FuClass> = lc.ops.iter().map(|o| o.class).collect();
+        assert!(classes.contains(&FuClass::Mul));
+        assert!(classes.contains(&FuClass::Mem(MemLevel::L2)));
+        for op in &lc.ops {
+            match op.class {
+                FuClass::Mul => assert_eq!(op.latency, 2),
+                FuClass::Mem(MemLevel::L2) => assert_eq!(op.latency, 4),
+                FuClass::Mem(MemLevel::L1) => assert_eq!(op.latency, 3),
+                _ => assert_eq!(op.latency, 1),
+            }
+        }
+    }
+
+    #[test]
+    fn carried_chains_cover_pointers_and_induction() {
+        let k = sample();
+        let lc = LoopCode::build(&k, &machine());
+        // acc + 2 pointers + induction.
+        assert_eq!(lc.carried.len(), 4);
+        for (inp, _) in &lc.carried {
+            assert!(lc.live_ins.contains(inp));
+        }
+    }
+
+    #[test]
+    fn resident_values_include_constants_and_bound() {
+        let k = sample();
+        let lc = LoopCode::build(&k, &machine());
+        // The hoisted tbl[0] load and the loop bound.
+        assert_eq!(lc.resident.len(), 2);
+    }
+}

@@ -1,0 +1,359 @@
+//! Register-pressure analysis and spill detection.
+//!
+//! After scheduling, every value has a cluster and a live interval in
+//! cycles. The maximum number of simultaneously-live values in a cluster
+//! must fit its register bank; the excess is the *spill pressure*. The
+//! experiment's discipline (paper §2.4) is: if an unroll factor spills,
+//! reject it and all larger ones; if the kernel spills even without
+//! unrolling, the compiler must insert spill traffic and the schedule
+//! pays for it (see `compile::spill_penalty_cycles`) — that is the
+//! mechanism behind the paper's pathological cases (A at speedup 0.89 on
+//! a 16-ALU, 128-register machine).
+//!
+//! Interval rules (steady state, iterations back to back):
+//! * a value defined at cycle `d` with last read at cycle `u` is live on
+//!   `[d, u]`; if it is carried out, it is live to the end of the
+//!   iteration, and its carried-in twin is separately live from cycle 0 —
+//!   counting both models the overlap between a value and its successor;
+//! * resident values (loop constants, broadcast at setup) occupy one
+//!   register in **every cluster that reads them**, for the whole loop.
+
+use crate::cluster::Assignment;
+use crate::list::Schedule;
+use cfp_ir::Vreg;
+use cfp_machine::MachineResources;
+use std::collections::{HashMap, HashSet};
+
+/// Per-cluster pressure versus capacity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PressureReport {
+    /// Maximum simultaneous live values per cluster.
+    pub peak: Vec<u32>,
+    /// Register capacity per cluster.
+    pub capacity: Vec<u32>,
+}
+
+impl PressureReport {
+    /// Total registers short across clusters (0 when everything fits).
+    #[must_use]
+    pub fn spill_excess(&self) -> u32 {
+        self.peak
+            .iter()
+            .zip(&self.capacity)
+            .map(|(&p, &c)| p.saturating_sub(c))
+            .sum()
+    }
+
+    /// Whether the kernel fits without spilling.
+    #[must_use]
+    pub fn fits(&self) -> bool {
+        self.spill_excess() == 0
+    }
+}
+
+/// Compute the pressure report for a scheduled iteration.
+#[must_use]
+pub fn pressure(
+    assignment: &Assignment,
+    schedule: &Schedule,
+    machine: &MachineResources,
+) -> PressureReport {
+    let code = &assignment.code;
+    let nc = machine.cluster_count();
+    let len = schedule.length as usize;
+    let resident: HashSet<Vreg> = code.resident.iter().copied().collect();
+    let carried_out: HashSet<Vreg> = code.carried.iter().map(|&(_, o)| o).collect();
+    let carried_in: HashSet<Vreg> = code.carried.iter().map(|&(i, _)| i).collect();
+
+    // Last read cycle of every value.
+    let mut last_use: HashMap<Vreg, u32> = HashMap::new();
+    // Clusters reading each resident value.
+    let mut resident_readers: HashMap<Vreg, HashSet<u32>> = HashMap::new();
+    for (i, op) in code.ops.iter().enumerate() {
+        let t = schedule.placements[i].cycle;
+        for u in &op.uses {
+            if resident.contains(u) {
+                resident_readers
+                    .entry(*u)
+                    .or_default()
+                    .insert(schedule.placements[i].cluster);
+            } else {
+                let e = last_use.entry(*u).or_insert(t);
+                *e = (*e).max(t);
+            }
+        }
+    }
+
+    // Interval diff arrays per cluster.
+    let mut diff = vec![vec![0_i32; len + 1]; nc];
+    let mut add = |c: usize, from: usize, to: usize| {
+        let to = to.min(len);
+        if from < to {
+            diff[c][from] += 1;
+            diff[c][to] -= 1;
+        }
+    };
+
+    // Defined values.
+    for (i, op) in code.ops.iter().enumerate() {
+        let Some(d) = op.def else { continue };
+        let c = schedule.placements[i].cluster as usize;
+        let start = schedule.placements[i].cycle as usize;
+        let end = if carried_out.contains(&d) {
+            len
+        } else {
+            last_use
+                .get(&d)
+                .map_or(start + 1, |&u| (u as usize) + 1)
+        };
+        add(c, start, end.max(start + 1));
+    }
+    // Live-in values (carried-in, non-resident).
+    for &v in &code.live_ins {
+        if resident.contains(&v) {
+            continue;
+        }
+        let c = assignment.home_of.get(&v).copied().unwrap_or(0) as usize;
+        let end = last_use.get(&v).map_or(1, |&u| (u as usize) + 1);
+        // A carried-in value also occupies its register until the
+        // boundary latch overwrites it, but it may be overwritten as soon
+        // as its last reader has issued; use the last read.
+        let _ = carried_in;
+        add(c, 0, end);
+    }
+    // Resident values: whole loop, in every reading cluster.
+    for (v, readers) in &resident_readers {
+        let _ = v;
+        for &c in readers {
+            add(c as usize, 0, len);
+        }
+    }
+
+    let mut peak = vec![0_u32; nc];
+    for c in 0..nc {
+        let mut cur = 0_i32;
+        for d in diff[c].iter().take(len) {
+            cur += d;
+            peak[c] = peak[c].max(u32::try_from(cur.max(0)).expect("non-negative"));
+        }
+    }
+    let capacity = machine.clusters.iter().map(|cl| cl.regs).collect();
+    PressureReport { peak, capacity }
+}
+
+/// A physical register assignment: `(vreg, cluster) -> register number`
+/// within that cluster's bank. Resident values get one register in every
+/// cluster that reads them (they are broadcast at loop setup); carried
+/// in/out pairs may hold distinct registers — the iteration-boundary
+/// latch is architectural, in the spirit of rotating register files.
+#[derive(Debug, Clone, Default)]
+pub struct PhysMap {
+    map: HashMap<(Vreg, u32), u16>,
+}
+
+impl PhysMap {
+    /// The physical register of `v` as seen from `cluster`.
+    #[must_use]
+    pub fn get(&self, v: Vreg, cluster: u32) -> Option<u16> {
+        self.map.get(&(v, cluster)).copied()
+    }
+
+    /// Number of assignments.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no registers were assigned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Register allocation failure: a cluster ran out of registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocError {
+    /// The cluster that overflowed.
+    pub cluster: u32,
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cluster {} ran out of physical registers", self.cluster)
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// Linear-scan register allocation over the scheduled live intervals.
+///
+/// Interval construction matches [`pressure`] exactly, so allocation
+/// succeeds if and only if the pressure report fits (up to identical
+/// tie conventions).
+///
+/// # Errors
+/// Returns [`AllocError`] naming the first cluster whose bank overflows.
+pub fn allocate(
+    assignment: &Assignment,
+    schedule: &Schedule,
+    machine: &MachineResources,
+) -> Result<PhysMap, AllocError> {
+    let code = &assignment.code;
+    let len = schedule.length as usize;
+    let resident: HashSet<Vreg> = code.resident.iter().copied().collect();
+    let carried_out: HashSet<Vreg> = code.carried.iter().map(|&(_, o)| o).collect();
+
+    // Last read cycle per value, and resident readers per cluster — the
+    // same rules as `pressure`.
+    let mut last_use: HashMap<Vreg, u32> = HashMap::new();
+    let mut resident_readers: HashMap<Vreg, HashSet<u32>> = HashMap::new();
+    for (i, op) in code.ops.iter().enumerate() {
+        let t = schedule.placements[i].cycle;
+        for u in &op.uses {
+            if resident.contains(u) {
+                resident_readers
+                    .entry(*u)
+                    .or_default()
+                    .insert(schedule.placements[i].cluster);
+            } else {
+                let e = last_use.entry(*u).or_insert(t);
+                *e = (*e).max(t);
+            }
+        }
+    }
+
+    // Intervals per cluster: (start, end, vreg).
+    let nc = machine.cluster_count();
+    let mut intervals: Vec<Vec<(usize, usize, Vreg)>> = vec![Vec::new(); nc];
+    for (i, op) in code.ops.iter().enumerate() {
+        let Some(d) = op.def else { continue };
+        let c = schedule.placements[i].cluster as usize;
+        let start = schedule.placements[i].cycle as usize;
+        let end = if carried_out.contains(&d) {
+            len
+        } else {
+            last_use.get(&d).map_or(start + 1, |&u| (u as usize) + 1)
+        };
+        intervals[c].push((start, end.max(start + 1), d));
+    }
+    for &v in &code.live_ins {
+        if resident.contains(&v) {
+            continue;
+        }
+        let c = assignment.home_of.get(&v).copied().unwrap_or(0) as usize;
+        let end = last_use.get(&v).map_or(1, |&u| (u as usize) + 1);
+        intervals[c].push((0, end, v));
+    }
+    for (v, readers) in &resident_readers {
+        for &c in readers {
+            intervals[c as usize].push((0, len.max(1), *v));
+        }
+    }
+
+    // Linear scan, per cluster.
+    let mut map = HashMap::new();
+    for (c, ivs) in intervals.iter_mut().enumerate() {
+        ivs.sort_by_key(|&(start, end, v)| (start, end, v));
+        let regs = machine.clusters[c].regs as usize;
+        let mut free: Vec<u16> = (0..u16::try_from(regs.min(usize::from(u16::MAX))).expect("fits"))
+            .rev()
+            .collect();
+        // Active intervals: (end, phys), kept as a min-heap by end.
+        let mut active: std::collections::BinaryHeap<std::cmp::Reverse<(usize, u16)>> =
+            std::collections::BinaryHeap::new();
+        for &(start, end, v) in ivs.iter() {
+            while let Some(&std::cmp::Reverse((e, phys))) = active.peek() {
+                if e <= start {
+                    active.pop();
+                    free.push(phys);
+                } else {
+                    break;
+                }
+            }
+            let Some(phys) = free.pop() else {
+                return Err(AllocError {
+                    cluster: u32::try_from(c).expect("small"),
+                });
+            };
+            map.insert((v, u32::try_from(c).expect("small")), phys);
+            active.push(std::cmp::Reverse((end, phys)));
+        }
+    }
+    Ok(PhysMap { map })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::assign;
+    use crate::ddg::Ddg;
+    use crate::list;
+    use crate::loopcode::LoopCode;
+    use cfp_frontend::compile_kernel;
+    use cfp_machine::ArchSpec;
+
+    fn report(src: &str, spec: &ArchSpec) -> PressureReport {
+        let k = compile_kernel(src, &[]).unwrap();
+        let m = MachineResources::from_spec(spec);
+        let code = LoopCode::build(&k, &m);
+        let pre = Ddg::build(&code);
+        let a = assign(&code, &pre, &m);
+        let ddg = Ddg::build(&a.code);
+        let s = list::schedule(&a, &ddg, &m);
+        pressure(&a, &s, &m)
+    }
+
+    #[test]
+    fn small_kernel_fits_the_baseline() {
+        let r = report(
+            "kernel k(in u8 s[], out u8 d[]) { loop i { d[i] = u8(s[i] + 1); } }",
+            &ArchSpec::baseline(),
+        );
+        assert!(r.fits(), "{r:?}");
+        assert!(r.peak[0] >= 4, "at least pointers + induction: {r:?}");
+    }
+
+    #[test]
+    fn wide_window_overflows_a_tiny_bank() {
+        // 24 concurrent products on a machine with 16 registers.
+        let src = "kernel w(in u8 s[], out i32 d[]) {
+            loop i {
+                var acc = 0;
+                for t in 0..24 { acc = acc + s[24*i + t] * (2*t + 3); }
+                d[i] = acc;
+            }
+        }";
+        let tiny = report(src, &ArchSpec::new(16, 8, 16, 4, 4, 1).unwrap());
+        assert!(!tiny.fits(), "peak {:?}", tiny.peak);
+        let big = report(src, &ArchSpec::new(16, 8, 512, 4, 4, 1).unwrap());
+        assert!(big.fits(), "peak {:?}", big.peak);
+    }
+
+    #[test]
+    fn clustering_splits_pressure_and_capacity() {
+        let src = "kernel w(in u8 s[], out i32 d[]) {
+            loop i {
+                var a = s[4*i] * 3;
+                var b = s[4*i+1] * 5;
+                var c = s[4*i+2] * 7;
+                var e = s[4*i+3] * 9;
+                d[i] = (a + b) + (c + e);
+            }
+        }";
+        let r = report(src, &ArchSpec::new(8, 4, 256, 2, 4, 4).unwrap());
+        assert_eq!(r.capacity, vec![64, 64, 64, 64]);
+        assert!(r.fits());
+    }
+
+    #[test]
+    fn resident_constants_count_everywhere_they_are_read() {
+        let src = "kernel k(in l1 i16 t[], in u8 s[], out i32 d[]) {
+            var c0 = t[0];
+            loop i { d[i] = s[i] * c0 + (s[i+1] * c0); }
+        }";
+        let r1 = report(src, &ArchSpec::new(2, 1, 64, 1, 4, 1).unwrap());
+        assert!(r1.fits());
+        assert!(r1.peak[0] >= 5);
+    }
+}

@@ -1,0 +1,421 @@
+//! Cycle-accurate execution of a scheduled loop.
+//!
+//! The simulator is the back end's proof of correctness: it executes the
+//! placed operations cycle by cycle with real register values, *checking*
+//! on the way that
+//!
+//! * no value is read before its producer's latency has elapsed,
+//! * every read is cluster-local (resident values excepted — they are
+//!   broadcast at setup),
+//! * no cycle oversubscribes ALUs, IMUL slots, memory ports, or the
+//!   branch unit,
+//!
+//! and its memory image must equal the reference interpreter's, for every
+//! architecture (asserted across the design space by the integration
+//! tests).
+
+use crate::compile::CompileResult;
+use crate::loopcode::{FuClass, OpOrigin};
+use cfp_ir::{Inst, Interpreter, Kernel, MemImage, Operand, Vreg};
+use cfp_machine::{MachineResources, MemLevel};
+use std::error::Error;
+use std::fmt;
+
+/// Execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Machine cycles consumed (`iterations × schedule length`).
+    pub cycles: u64,
+    /// Operations executed (moves and loop overhead included).
+    pub operations: u64,
+}
+
+/// A violation detected during simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// An operand was read before it was ready.
+    NotReady {
+        /// Op index.
+        op: usize,
+        /// The register.
+        vreg: Vreg,
+        /// The issue cycle of the reader.
+        cycle: u32,
+    },
+    /// An operand lives in a different cluster.
+    NonLocal {
+        /// Op index.
+        op: usize,
+        /// The register.
+        vreg: Vreg,
+    },
+    /// A cycle oversubscribes a resource.
+    Oversubscribed {
+        /// Cycle.
+        cycle: u32,
+        /// Cluster.
+        cluster: u32,
+        /// Human-readable resource name.
+        what: &'static str,
+    },
+    /// A memory access faulted.
+    Mem(cfp_ir::interp::InterpError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NotReady { op, vreg, cycle } => {
+                write!(f, "op {op} reads {vreg} at cycle {cycle} before it is ready")
+            }
+            SimError::NonLocal { op, vreg } => {
+                write!(f, "op {op} reads {vreg} from another cluster")
+            }
+            SimError::Oversubscribed {
+                cycle,
+                cluster,
+                what,
+            } => write!(f, "cycle {cycle} oversubscribes {what} on cluster {cluster}"),
+            SimError::Mem(e) => write!(f, "memory fault: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+impl From<cfp_ir::interp::InterpError> for SimError {
+    fn from(e: cfp_ir::interp::InterpError) -> Self {
+        SimError::Mem(e)
+    }
+}
+
+/// Execute `iters` iterations of the compiled loop against `mem`.
+///
+/// # Errors
+/// Returns the first [`SimError`] violation — a correct compiler output
+/// never produces one.
+pub fn simulate(
+    kernel: &Kernel,
+    result: &CompileResult,
+    machine: &MachineResources,
+    mem: &mut MemImage,
+    iters: u64,
+) -> Result<SimStats, SimError> {
+    validate_resources(result, machine)?;
+
+    let code = &result.assignment.code;
+    let n_vregs = code.vreg_limit as usize;
+
+    // Setup: run the preamble, latch carried inits, zero the synthetic
+    // state (pointers, induction, bound).
+    let preamble_vals = Interpreter::new().preamble_values(kernel, mem)?;
+    let mut vals = vec![0_i64; n_vregs];
+    vals[..preamble_vals.len()].copy_from_slice(&preamble_vals);
+
+    let resident: std::collections::HashSet<Vreg> =
+        code.resident.iter().copied().collect();
+    let defined: std::collections::HashSet<Vreg> =
+        code.ops.iter().filter_map(|o| o.def).collect();
+
+    // Placement order: by cycle, stores after non-stores within a cycle
+    // (loads sample memory at the start of a cycle, stores commit at the
+    // end — this is what makes a 0-separation WAR legal).
+    let mut order: Vec<usize> = (0..code.ops.len()).collect();
+    order.sort_by_key(|&i| {
+        (
+            result.schedule.placements[i].cycle,
+            code.ops[i].inst.is_some_and(|x| x.is_store()),
+            i,
+        )
+    });
+
+    let mut ready = vec![0_u32; n_vregs];
+    let mut stats = SimStats::default();
+    for iter in 0..iters {
+        for v in &defined {
+            ready[v.index()] = u32::MAX;
+        }
+        for &i in &order {
+            let op = &code.ops[i];
+            let t = result.schedule.placements[i].cycle;
+            let cluster = result.schedule.placements[i].cluster;
+            // Readiness + locality checks. Move ops are exempt from
+            // locality: they *are* the cross-cluster transfers (the
+            // template's global connections).
+            let is_move = matches!(op.origin, OpOrigin::Move { .. });
+            for &u in &op.uses {
+                if ready[u.index()] > t {
+                    return Err(SimError::NotReady { op: i, vreg: u, cycle: t });
+                }
+                if !is_move
+                    && !resident.contains(&u)
+                    && result.assignment.home_of.get(&u).copied().unwrap_or(cluster) != cluster
+                {
+                    return Err(SimError::NonLocal { op: i, vreg: u });
+                }
+            }
+            execute(op, &mut vals, mem, i64::try_from(iter).expect("few iters"))?;
+            if let Some(d) = op.def {
+                ready[d.index()] = t + op.latency;
+            }
+            stats.operations += 1;
+        }
+        // Iteration boundary: latch carried values (two-phase).
+        let next: Vec<i64> = code.carried.iter().map(|&(_, o)| vals[o.index()]).collect();
+        for (&(inp, _), v) in code.carried.iter().zip(next) {
+            vals[inp.index()] = v;
+            ready[inp.index()] = 0;
+        }
+        stats.cycles += u64::from(result.schedule.length);
+    }
+    Ok(stats)
+}
+
+fn execute(
+    op: &crate::loopcode::SOp,
+    vals: &mut [i64],
+    mem: &mut MemImage,
+    iter: i64,
+) -> Result<(), SimError> {
+    let read = |vals: &[i64], o: Operand| match o {
+        Operand::Reg(v) => vals[v.index()],
+        Operand::Imm(i) => cfp_ir::wrap32(i),
+    };
+    match (&op.inst, op.origin) {
+        (Some(inst), _) => exec_inst(inst, vals, mem, iter)?,
+        (None, OpOrigin::Move { src, .. }) => {
+            vals[op.def.expect("moves define").index()] = vals[src.index()];
+        }
+        (None, OpOrigin::StreamBump(_) | OpOrigin::Induction) => {
+            let cur = op.uses[0];
+            vals[op.def.expect("bumps define").index()] =
+                cfp_ir::wrap32(vals[cur.index()].wrapping_add(1));
+        }
+        (None, OpOrigin::LoopTest) => {
+            let a = read(vals, Operand::Reg(op.uses[0]));
+            let b = read(vals, Operand::Reg(op.uses[1]));
+            vals[op.def.expect("test defines").index()] = i64::from(a < b);
+        }
+        (None, OpOrigin::LoopBranch) => {}
+        (None, OpOrigin::Body(_)) => unreachable!("body ops carry their inst"),
+    }
+    Ok(())
+}
+
+fn exec_inst(inst: &Inst, vals: &mut [i64], mem: &mut MemImage, iter: i64) -> Result<(), SimError> {
+    let read = |vals: &[i64], o: Operand| match o {
+        Operand::Reg(v) => vals[v.index()],
+        Operand::Imm(i) => cfp_ir::wrap32(i),
+    };
+    match *inst {
+        Inst::Bin { dst, op, a, b } => {
+            vals[dst.index()] = op.eval(read(vals, a), read(vals, b));
+        }
+        Inst::Un { dst, op, a } => vals[dst.index()] = op.eval(read(vals, a)),
+        Inst::Cmp { dst, pred, a, b } => {
+            vals[dst.index()] = pred.eval(read(vals, a), read(vals, b));
+        }
+        Inst::Sel {
+            dst,
+            cond,
+            on_true,
+            on_false,
+        } => {
+            vals[dst.index()] = if read(vals, cond) != 0 {
+                read(vals, on_true)
+            } else {
+                read(vals, on_false)
+            };
+        }
+        Inst::Ld { dst, mem: m, ty } => {
+            let dynv = m.dyn_index.map_or(0, |d| read(vals, d));
+            let idx = m.element_index(iter, dynv);
+            let arr = mem.array(m.array.index());
+            let raw = usize::try_from(idx)
+                .ok()
+                .and_then(|i| arr.get(i).copied())
+                .ok_or(SimError::Mem(cfp_ir::interp::InterpError::OutOfBounds {
+                    array: m.array.index(),
+                    index: idx,
+                    len: arr.len(),
+                    iter: None,
+                }))?;
+            vals[dst.index()] = ty.extend(raw);
+        }
+        Inst::St { mem: m, value, ty } => {
+            let dynv = m.dyn_index.map_or(0, |d| read(vals, d));
+            let idx = m.element_index(iter, dynv);
+            let v = ty.truncate(read(vals, value));
+            let len = mem.array(m.array.index()).len();
+            let slot = usize::try_from(idx).ok().filter(|&i| i < len).ok_or(
+                SimError::Mem(cfp_ir::interp::InterpError::OutOfBounds {
+                    array: m.array.index(),
+                    index: idx,
+                    len,
+                    iter: None,
+                }),
+            )?;
+            let data = mem.array_mut(m.array.index());
+            data[slot] = v;
+        }
+    }
+    Ok(())
+}
+
+/// Structural resource validation (independent of iteration count).
+fn validate_resources(result: &CompileResult, machine: &MachineResources) -> Result<(), SimError> {
+    let code = &result.assignment.code;
+    let nc = machine.cluster_count();
+    let len = result.schedule.length as usize;
+    let mut alu = vec![vec![0_u32; nc]; len];
+    let mut mul = vec![vec![0_u32; nc]; len];
+    let mut branch = vec![vec![0_u32; nc]; len];
+    let mut mem_busy: Vec<Vec<Vec<u32>>> = vec![vec![vec![0; nc]; len]; 2];
+
+    for (i, op) in code.ops.iter().enumerate() {
+        let p = result.schedule.placements[i];
+        let (t, c) = (p.cycle as usize, p.cluster as usize);
+        match op.class {
+            FuClass::Alu => alu[t][c] += 1,
+            FuClass::Mul => {
+                alu[t][c] += 1;
+                mul[t][c] += 1;
+            }
+            FuClass::Branch => branch[t][c] += 1,
+            FuClass::Mem(level) => {
+                let li = usize::from(level == MemLevel::L2);
+                for dt in 0..(op.latency as usize) {
+                    if t + dt < len {
+                        mem_busy[li][t + dt][c] += 1;
+                    }
+                }
+            }
+        }
+    }
+    for t in 0..len {
+        for c in 0..nc {
+            let cl = &machine.clusters[c];
+            let over = |what: &'static str| SimError::Oversubscribed {
+                cycle: u32::try_from(t).expect("small"),
+                cluster: u32::try_from(c).expect("small"),
+                what,
+            };
+            if alu[t][c] > cl.alus {
+                return Err(over("ALU slots"));
+            }
+            if mul[t][c] > cl.mul_capable {
+                return Err(over("IMUL slots"));
+            }
+            if branch[t][c] > u32::from(cl.has_branch) {
+                return Err(over("branch unit"));
+            }
+            if mem_busy[0][t][c] > cl.l1_ports {
+                return Err(over("L1 ports"));
+            }
+            if mem_busy[1][t][c] > cl.l2_ports {
+                return Err(over("L2 ports"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use cfp_frontend::compile_kernel;
+    use cfp_ir::ArrayKind;
+    use cfp_machine::ArchSpec;
+
+    /// Compile for `spec`, simulate, and compare against the interpreter.
+    fn check(src: &str, consts: &[(&str, i64)], spec: &ArchSpec, iters: u64) {
+        let kernel = compile_kernel(src, consts).unwrap();
+        let machine = MachineResources::from_spec(spec);
+        let result = compile(&kernel, &machine);
+
+        let data = |seed: i64| -> Vec<i64> {
+            (0..256).map(|k| (k * 31 + seed * 17 + 7) % 253).collect()
+        };
+        let mut mem_ref = MemImage::for_kernel(&kernel);
+        let mut mem_sim = MemImage::for_kernel(&kernel);
+        for (i, a) in kernel.arrays.iter().enumerate() {
+            if !matches!(a.kind, ArrayKind::Local(_)) {
+                mem_ref.bind(i, data(i64::try_from(i).unwrap()));
+                mem_sim.bind(i, data(i64::try_from(i).unwrap()));
+            }
+        }
+        Interpreter::new().run(&kernel, &mut mem_ref, iters).unwrap();
+        let stats = simulate(&kernel, &result, &machine, &mut mem_sim, iters)
+            .unwrap_or_else(|e| panic!("simulation failed on {spec}: {e}"));
+        assert_eq!(stats.cycles, iters * u64::from(result.schedule.length));
+        for i in 0..kernel.arrays.len() {
+            assert_eq!(mem_ref.array(i), mem_sim.array(i), "array {i} on {spec}");
+        }
+    }
+
+    const KERNELS: &[&str] = &[
+        // Plain map.
+        "kernel m(in u8 s[], out u8 d[]) { loop i { d[i] = u8(s[i] * 3 + 1); } }",
+        // Stencil with window reuse after CSE (none run here, still valid).
+        "kernel st(in u8 s[], out i32 d[]) {
+            loop i {
+                var acc = 0;
+                for t in 0..7 { acc = acc + s[i + t] * (2*t + 1); }
+                d[i] = acc >> 3;
+            }
+        }",
+        // Carried chain with select.
+        "kernel c(in i32 s[], out i32 d[]) {
+            var e = 5;
+            loop i {
+                e = (e * 7 + s[i]) >> 1;
+                if e > 200 { e = e - 200; }
+                d[i] = e;
+            }
+        }",
+        // In-place error buffer (WAR within the iteration).
+        "kernel fs(in u8 s[], inout i16 err[], out u8 d[]) {
+            var e = 0;
+            loop i {
+                var t = err[i + 1];
+                e = t + ((e * 7 + 8) >> 4) + s[i];
+                err[i] = i16((e * 3 + 8) >> 4);
+                d[i] = u8(e > 128 ? 255 : 0);
+            }
+        }",
+    ];
+
+    #[test]
+    fn matches_interpreter_on_the_baseline() {
+        for src in KERNELS {
+            check(src, &[], &ArchSpec::baseline(), 16);
+        }
+    }
+
+    #[test]
+    fn matches_interpreter_on_wide_machines() {
+        let spec = ArchSpec::new(8, 4, 256, 2, 4, 1).unwrap();
+        for src in KERNELS {
+            check(src, &[], &spec, 16);
+        }
+    }
+
+    #[test]
+    fn matches_interpreter_on_clustered_machines() {
+        for clusters in [2_u32, 4] {
+            let spec = ArchSpec::new(8, 4, 256, 2, 4, clusters).unwrap();
+            for src in KERNELS {
+                check(src, &[], &spec, 16);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_interpreter_on_many_cluster_low_latency_machines() {
+        let spec = ArchSpec::new(16, 8, 512, 4, 2, 8).unwrap();
+        for src in KERNELS {
+            check(src, &[], &spec, 8);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! "Design for one algorithm, run another" (paper §4.2): specialize a
+//! processor for one benchmark, then measure how the *other* benchmarks
+//! fare on it — and how a small RANGE back-off repairs the damage.
+//!
+//! ```sh
+//! cargo run --release --example design_for_one_run_another
+//! ```
+
+use custom_fit::dse::report::TextTable;
+use custom_fit::prelude::*;
+
+fn main() {
+    // A reduced slice of the space that still contains both "lots of
+    // ALUs, few registers" and "few ALUs, lots of registers" corners —
+    // the axis the A-versus-H conflict lives on.
+    let mut archs = Vec::new();
+    for (a, m) in [(2, 1), (4, 2), (8, 4), (16, 4)] {
+        for r in [128_u32, 256, 512] {
+            for c in [1_u32, 2, 4, 8] {
+                for p2 in [1_u32, 2, 4] {
+                    if let Ok(spec) = ArchSpec::new(a, m, r, p2, 4, c) {
+                        if r / c >= 16 {
+                            archs.push(spec);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let benches = vec![Benchmark::A, Benchmark::D, Benchmark::G, Benchmark::H];
+    let config = ExploreConfig {
+        archs,
+        benches: benches.clone(),
+        threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+    };
+    println!(
+        "exploring {} architectures x {} benchmarks...",
+        config.archs.len(),
+        benches.len()
+    );
+    let ex = Exploration::run(&config);
+    println!("done in {:.1?}\n", ex.stats.wall);
+
+    let budget = 10.0;
+    for range in [Range::Fraction(0.0), Range::Fraction(0.10), Range::Infinite] {
+        println!("== cost < {budget}, RANGE {range} ==");
+        let mut table = TextTable::new(
+            std::iter::once("designed for".to_owned())
+                .chain(std::iter::once("arch".to_owned()))
+                .chain(benches.iter().map(|b| format!("{b}")))
+                .chain(std::iter::once("su".to_owned())),
+        );
+        let rows: Vec<usize> = match range {
+            Range::Infinite => vec![0],
+            Range::Fraction(_) => (0..benches.len()).collect(),
+        };
+        for t in rows {
+            let sel = select(&ex, t, budget, range).expect("budget is feasible");
+            let label = if matches!(range, Range::Infinite) {
+                "all".to_owned()
+            } else {
+                benches[t].to_string()
+            };
+            let mut cells = vec![label, sel.spec.to_string()];
+            cells.extend(sel.speedups.iter().map(|s| format!("{s:.2}")));
+            cells.push(format!("{:.2}", sel.su));
+            table.row(cells);
+        }
+        println!("{table}");
+    }
+
+    // The headline number: among machines that look perfectly reasonable
+    // for some *other* benchmark (within 30% of its best), how badly can
+    // A fare? This is the paper's "specialization is dangerous".
+    let a_col = ex.bench_index(Benchmark::A).expect("A explored");
+    let affordable: Vec<usize> = (0..ex.archs.len())
+        .filter(|&i| ex.archs[i].cost <= budget)
+        .collect();
+    let best_a = affordable
+        .iter()
+        .map(|&i| ex.speedup(i, a_col))
+        .fold(f64::NEG_INFINITY, f64::max);
+    let mut worst = (f64::INFINITY, 0_usize, a_col);
+    for t_col in 0..ex.benches.len() {
+        if t_col == a_col {
+            continue;
+        }
+        let best_t = affordable
+            .iter()
+            .map(|&i| ex.speedup(i, t_col))
+            .fold(f64::NEG_INFINITY, f64::max);
+        for &i in &affordable {
+            if ex.speedup(i, t_col) >= 0.7 * best_t && ex.speedup(i, a_col) < worst.0 {
+                worst = (ex.speedup(i, a_col), i, t_col);
+            }
+        }
+    }
+    println!(
+        "specialization danger on A: best machine gives {best_a:.2}x, but {} — a \
+         perfectly reasonable choice for {} — gives only {:.2}x ({:.1}x apart)",
+        ex.archs[worst.1].spec,
+        ex.benches[worst.2],
+        worst.0,
+        best_a / worst.0
+    );
+}

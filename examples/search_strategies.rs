@@ -1,0 +1,63 @@
+//! How effective are search methods at finding the right architecture?
+//! (the paper's §1.1 open question) — run the strategy study on a
+//! reduced space and print the evaluations/quality trade-off.
+//!
+//! ```sh
+//! cargo run --release --example search_strategies
+//! ```
+
+use custom_fit::dse::report::TextTable;
+use custom_fit::dse::search::{self, Strategy};
+use custom_fit::prelude::*;
+
+fn main() {
+    // A mid-sized slice: enough structure for local search to matter.
+    let mut archs = Vec::new();
+    for (a, m) in [(1_u32, 1_u32), (2, 1), (4, 2), (8, 4), (16, 8)] {
+        for r in [64_u32, 128, 256, 512] {
+            for p2 in [1_u32, 2, 4] {
+                for c in [1_u32, 2, 4] {
+                    if let Ok(s) = ArchSpec::new(a, m, r, p2, 4, c) {
+                        if r / c >= 16 {
+                            archs.push(s);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let config = ExploreConfig {
+        archs,
+        benches: vec![Benchmark::D, Benchmark::G, Benchmark::H],
+        threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+    };
+    println!(
+        "exploring {} architectures x {} benchmarks (the oracle)...",
+        config.archs.len(),
+        config.benches.len()
+    );
+    let ex = Exploration::run(&config);
+    println!("done in {:.1?}\n", ex.stats.wall);
+
+    let mut table = TextTable::new(["strategy", "evaluations", "% of space", "quality"]);
+    for (strategy, evals, quality) in search::study(&ex, 10.0, &[1, 2, 3, 4, 5]) {
+        table.row([
+            strategy.to_string(),
+            format!("{evals:.0}"),
+            format!("{:.1}%", evals / ex.archs.len() as f64 * 100.0),
+            format!("{quality:.3}"),
+        ]);
+    }
+    println!("{table}");
+
+    // One concrete trajectory, for the curious.
+    let report = search::run(&ex, 2, 10.0, Strategy::HillClimb { restarts: 2 }, 7);
+    println!(
+        "hill-climb for {} found {} (speedup {:.2}, {:.0}% of optimal) after {} evaluations",
+        ex.benches[2],
+        report.best.map_or_else(|| "nothing".to_owned(), |s| s.to_string()),
+        report.best_speedup,
+        report.quality * 100.0,
+        report.evaluations
+    );
+}

@@ -1,0 +1,177 @@
+//! `cfpc` — the custom-fit kernel compiler driver.
+//!
+//! Compile a kernel DSL file for a chosen architecture and inspect every
+//! stage of the toolchain:
+//!
+//! ```sh
+//! cfpc kernel.cfk                                  # baseline machine
+//! cfpc kernel.cfk --arch "(8 4 256 2 4 4)"         # custom machine
+//! cfpc kernel.cfk --unroll 4 --emit schedule
+//! cfpc kernel.cfk --emit ir|schedule|stats|encoding
+//! cfpc kernel.cfk --const W=512 --const f=2
+//! ```
+
+use custom_fit::machine::{ArchSpec, CostModel, CycleModel, MachineResources};
+
+const USAGE: &str = "\
+usage: cfpc <file.cfk> [options]
+  --arch \"(a m r p2 l2 c)\"   target architecture (default: baseline)
+  --unroll N                 unroll the loop N times (default 1)
+  --const NAME=VALUE         bind a const parameter (repeatable)
+  --no-opt                   skip the optimizer
+  --emit ir|schedule|stats|encoding   what to print (default stats)";
+
+struct Options {
+    file: String,
+    arch: ArchSpec,
+    unroll: u32,
+    consts: Vec<(String, i64)>,
+    optimize: bool,
+    emit: String,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut opts = Options {
+        file: String::new(),
+        arch: ArchSpec::baseline(),
+        unroll: 1,
+        consts: Vec::new(),
+        optimize: true,
+        emit: "stats".to_owned(),
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--arch" => {
+                let v = args.next().ok_or("--arch needs a value")?;
+                opts.arch = ArchSpec::parse(&v)?;
+            }
+            "--unroll" => {
+                let v = args.next().ok_or("--unroll needs a value")?;
+                opts.unroll = v.parse().map_err(|e| format!("bad unroll: {e}"))?;
+            }
+            "--const" => {
+                let v = args.next().ok_or("--const needs NAME=VALUE")?;
+                let (name, value) = v.split_once('=').ok_or("expected NAME=VALUE")?;
+                opts.consts.push((
+                    name.to_owned(),
+                    value.parse().map_err(|e| format!("bad const value: {e}"))?,
+                ));
+            }
+            "--no-opt" => opts.optimize = false,
+            "--emit" => {
+                opts.emit = args.next().ok_or("--emit needs a value")?;
+                if !["ir", "schedule", "stats", "encoding"].contains(&opts.emit.as_str()) {
+                    return Err(format!("unknown emit kind `{}`", opts.emit));
+                }
+            }
+            "-h" | "--help" => return Err(String::new()),
+            other if opts.file.is_empty() && !other.starts_with('-') => {
+                opts.file = other.to_owned();
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if opts.file.is_empty() {
+        return Err("no input file".to_owned());
+    }
+    Ok(opts)
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!("{USAGE}");
+            std::process::exit(if msg.is_empty() { 0 } else { 2 });
+        }
+    };
+
+    let source = match std::fs::read_to_string(&opts.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read `{}`: {e}", opts.file);
+            std::process::exit(1);
+        }
+    };
+    let consts: Vec<(&str, i64)> = opts
+        .consts
+        .iter()
+        .map(|(n, v)| (n.as_str(), *v))
+        .collect();
+    let mut kernel = match custom_fit::frontend::compile_kernel(&source, &consts) {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("{}", e.render(&source));
+            std::process::exit(1);
+        }
+    };
+
+    if opts.optimize {
+        custom_fit::opt::optimize_budgeted(&mut kernel, (opts.arch.regs / 2) as usize);
+    }
+    let kernel = custom_fit::opt::unroll::unroll(&kernel, opts.unroll.max(1));
+
+    let machine = MachineResources::from_spec(&opts.arch);
+    let result = custom_fit::sched::compile(&kernel, &machine);
+
+    match opts.emit.as_str() {
+        "ir" => println!("{}", custom_fit::ir::pretty::Listing(&kernel)),
+        "schedule" => {
+            println!("{}", custom_fit::sched::render(&result.schedule, &result.assignment));
+        }
+        "encoding" => match custom_fit::sched::encode(&result.assignment, &result.schedule, &machine) {
+            Ok(prog) => {
+                println!(
+                    "{} words x {} slots; {} bytes raw, {} compressed",
+                    prog.words.len(),
+                    prog.slots_per_word,
+                    prog.raw_bytes(),
+                    prog.compressed_bytes()
+                );
+                for (t, word) in prog.words.iter().enumerate() {
+                    print!("{t:4}: mask={:0w$b} ", word.mask, w = prog.slots_per_word);
+                    for op in &word.ops {
+                        print!("{op:012x} ");
+                    }
+                    if !word.imms.is_empty() {
+                        print!("| pool {:?}", word.imms);
+                    }
+                    println!();
+                }
+            }
+            Err(e) => {
+                eprintln!("error: cannot encode: {e}");
+                std::process::exit(1);
+            }
+        },
+        _ => {
+            let cost = CostModel::paper_calibrated();
+            let cycle = CycleModel::paper_calibrated();
+            println!("kernel     : {} (unroll x{})", kernel.name, opts.unroll.max(1));
+            println!("machine    : {}", opts.arch);
+            println!("cost       : {:.2} (baseline-relative)", cost.cost(&opts.arch));
+            println!("cycle time : {:.2}x baseline", cycle.derate(&opts.arch));
+            println!("ops        : {} ({} moves)", result.assignment.code.ops.len(), result.move_count);
+            println!(
+                "schedule   : {} cycles/iter (critical path {}, {:.2} cycles/output)",
+                result.length,
+                result.critical_path,
+                f64::from(result.cycles_per_iter()) / f64::from(kernel.outputs_per_iter)
+            );
+            println!(
+                "registers  : peak {:?} of {:?}{}",
+                result.pressure.peak,
+                result.pressure.capacity,
+                if result.fits() {
+                    String::new()
+                } else {
+                    format!(" — SPILLS ({} over, +{} cycles)", result.pressure.spill_excess(), result.spill_penalty)
+                }
+            );
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! End-to-end tests of the `cfpc` compiler driver binary.
+
+use std::process::Command;
+
+fn cfpc(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_cfpc"))
+        .args(args)
+        .output()
+        .expect("cfpc runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn write_kernel(name: &str, body: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(name);
+    std::fs::write(&path, body).expect("writable temp dir");
+    path
+}
+
+const KERNEL: &str = "kernel blend(in u8 a[], in u8 b[], out u8 d[], const w) {
+    loop i { d[i] = u8((a[i]*w + b[i]*(8 - w)) >> 3); }
+}";
+
+#[test]
+fn stats_run_reports_the_machine_and_schedule() {
+    let path = write_kernel("cfpc_stats.cfk", KERNEL);
+    let (stdout, stderr, ok) = cfpc(&[
+        path.to_str().unwrap(),
+        "--const",
+        "w=5",
+        "--arch",
+        "(4 2 128 2 4 1)",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("machine    : (4 2 128 2 4 1)"), "{stdout}");
+    assert!(stdout.contains("schedule   :"), "{stdout}");
+    assert!(stdout.contains("registers  :"), "{stdout}");
+}
+
+#[test]
+fn emit_modes_produce_their_artifacts() {
+    let path = write_kernel("cfpc_emit.cfk", KERNEL);
+    let p = path.to_str().unwrap();
+    let (ir, _, ok) = cfpc(&[p, "--const", "w=5", "--emit", "ir"]);
+    assert!(ok && ir.contains("kernel blend {"), "{ir}");
+    let (sched, _, ok) = cfpc(&[p, "--const", "w=5", "--emit", "schedule", "--unroll", "2"]);
+    assert!(ok && sched.contains("br loop"), "{sched}");
+    let (enc, _, ok) = cfpc(&[p, "--const", "w=5", "--emit", "encoding"]);
+    assert!(ok && enc.contains("bytes raw"), "{enc}");
+}
+
+#[test]
+fn diagnostics_point_at_the_source() {
+    let path = write_kernel(
+        "cfpc_bad.cfk",
+        "kernel k(out u8 d[]) { loop i { d[i] = undefined_name; } }",
+    );
+    let (_, stderr, ok) = cfpc(&[path.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("undefined name"), "{stderr}");
+    assert!(stderr.contains('^'), "caret rendering: {stderr}");
+}
+
+#[test]
+fn bad_usage_fails_with_help() {
+    let (_, stderr, ok) = cfpc(&["--emit"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage: cfpc"), "{stderr}");
+    let (_, stderr, ok) = cfpc(&["nosuchfile.cfk"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}

@@ -1,0 +1,118 @@
+//! Qualitative reproduction checks on a reduced design space: the
+//! paper's headline phenomena must hold in shape (who wins, roughly by
+//! how much, and what specialization costs), even though absolute
+//! numbers come from our simulator rather than the authors' testbed.
+
+use custom_fit::dse;
+use custom_fit::prelude::*;
+
+/// A curated slice of the space holding the A-versus-H tension: ALUs vs
+/// registers at comparable cost.
+fn slice() -> Vec<ArchSpec> {
+    let mut archs = Vec::new();
+    for (a, m) in [(2_u32, 1_u32), (4, 2), (8, 4), (16, 4)] {
+        for r in [128_u32, 256, 512] {
+            for c in [1_u32, 2, 4, 8] {
+                for p2 in [1_u32, 2, 4] {
+                    if let Ok(s) = ArchSpec::new(a, m, r, p2, 4, c) {
+                        if r / c >= 16 {
+                            archs.push(s);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    archs
+}
+
+fn explore() -> Exploration {
+    // One exploration shared by every check in this file.
+    let config = ExploreConfig {
+        archs: slice(),
+        benches: vec![Benchmark::A, Benchmark::D, Benchmark::H],
+        threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+    };
+    Exploration::run(&config)
+}
+
+#[test]
+fn paper_shapes_hold_on_the_reduced_space() {
+    let ex = explore();
+    let a_col = ex.bench_index(Benchmark::A).unwrap();
+    let h_col = ex.bench_index(Benchmark::H).unwrap();
+
+    // 1. Specialization matters: every benchmark's best machine beats the
+    //    baseline clearly.
+    for col in 0..ex.benches.len() {
+        let best = (0..ex.archs.len())
+            .map(|a| ex.speedup(a, col))
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(best > 2.0, "{}: best {best:.2}", ex.benches[col]);
+    }
+
+    // 2. Specialization danger (the paper's §4.2 headline): for at least
+    //    one of the lean benchmarks, the set of machines that are
+    //    perfectly reasonable for it (within 30% of its best under cost
+    //    10) contains one that is *pathological* for A — at least 2x
+    //    worse than A's own best, because its register files are too
+    //    small to unroll the 7x7 window. (In the full space the paper's
+    //    exact actors appear; on this slice the conflicting target can be
+    //    D or H depending on tie-breaks, so we assert existence.)
+    let affordable: Vec<usize> = (0..ex.archs.len())
+        .filter(|&i| ex.archs[i].cost <= 10.0)
+        .collect();
+    let best_a = affordable
+        .iter()
+        .map(|&i| ex.speedup(i, a_col))
+        .fold(f64::NEG_INFINITY, f64::max);
+    let danger = [ex.bench_index(Benchmark::D).unwrap(), h_col]
+        .into_iter()
+        .map(|t_col| {
+            let best_t = affordable
+                .iter()
+                .map(|&i| ex.speedup(i, t_col))
+                .fold(f64::NEG_INFINITY, f64::max);
+            affordable
+                .iter()
+                .filter(|&&i| ex.speedup(i, t_col) >= 0.7 * best_t)
+                .map(|&i| ex.speedup(i, a_col))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        danger * 2.0 < best_a,
+        "no specialization danger: worst A on a reasonable lean machine \
+         {danger:.2}, best A {best_a:.2}"
+    );
+
+    // 3. H is ALU-hungry and A is register-hungry in their choices.
+    let for_a = select(&ex, a_col, 10.0, Range::Fraction(0.0)).unwrap();
+    let for_h = select(&ex, h_col, 10.0, Range::Fraction(0.0)).unwrap();
+    assert!(for_h.spec.alus >= 8, "H chose {}", for_h.spec);
+    assert!(for_a.spec.regs >= 256, "A chose {}", for_a.spec);
+
+    // 4. The RANGE mechanism: allowing a back-off never hurts the suite,
+    //    and the infinite-range architecture is common to all targets.
+    for t in 0..ex.benches.len() {
+        let s0 = select(&ex, t, 10.0, Range::Fraction(0.0)).unwrap();
+        let s50 = select(&ex, t, 10.0, Range::Fraction(0.5)).unwrap();
+        assert!(s50.su >= s0.su - 1e-9);
+    }
+    let all0 = select(&ex, 0, 10.0, Range::Infinite).unwrap();
+    let all1 = select(&ex, 1, 10.0, Range::Infinite).unwrap();
+    assert_eq!(all0.spec, all1.spec);
+
+    // 5. Frontier shape: every benchmark's best-alternative frontier has
+    //    several plateaus (multiple points, increasing cost and speedup).
+    for col in 0..ex.benches.len() {
+        let pts = dse::scatter(&ex, col);
+        let front = dse::frontier(&pts);
+        assert!(front.len() >= 3, "{}: frontier {:?}", ex.benches[col], front.len());
+    }
+
+    // 6. Cheap machines exist on every frontier start: the cheapest point
+    //    costs little more than the baseline.
+    let pts = dse::scatter(&ex, a_col);
+    assert!(pts.first().unwrap().cost < 4.0);
+}

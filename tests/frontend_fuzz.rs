@@ -1,0 +1,121 @@
+//! Robustness fuzzing of the DSL front end: on arbitrary input the
+//! compiler must return a diagnostic, never panic — and diagnostics must
+//! always point inside the source. Mutations of valid kernels exercise
+//! the interesting near-miss space.
+
+mod common;
+
+use custom_fit::frontend::compile_kernel;
+use proptest::prelude::*;
+
+fn check_total(src: &str) {
+    match compile_kernel(src, &[("k", 3), ("w", 2)]) {
+        Ok(kernel) => {
+            custom_fit::ir::verify(&kernel).expect("accepted kernels verify");
+        }
+        Err(e) => {
+            let span = e.span();
+            assert!(span.start <= span.end);
+            assert!(span.end <= src.len() + 1, "span escapes the source");
+            // Rendering must be total too.
+            let _ = e.render(src);
+            let _ = e.to_string();
+        }
+    }
+}
+
+const SEEDS: &[&str] = &[
+    "kernel k(in u8 s[], out u8 d[], const k) { loop i { d[i] = u8(s[i] * k); } }",
+    "kernel k(in i32 s[], out i32 d[]) {
+        var acc = 7;
+        loop i {
+            for t in 0..3 { acc = acc + s[i + t]; }
+            if acc > 100 { acc = acc - 100; } else { acc = acc + 1; }
+            d[i] = acc;
+        }
+    }",
+    "kernel k(inout i16 e[], out u8 d[]) {
+        local i32 t[4];
+        loop i produces 2 {
+            t[0] = e[2*i] >>> 1;
+            t[1] = t[0] ? 3 : ~4;
+            e[2*i + 1] = i16(t[1] && t[0] || 0);
+            d[2*i] = u8(max(0, min(255, t[1])));
+            d[2*i + 1] = u8(abs(t[0]) ^ 0x7f);
+        }
+    }",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Arbitrary bytes: the compiler is total.
+    #[test]
+    fn compiler_is_total_on_arbitrary_text(src in "\\PC{0,300}") {
+        check_total(&src);
+    }
+
+    /// Structured soup from the DSL's own vocabulary: much deeper
+    /// penetration into the parser.
+    #[test]
+    fn compiler_is_total_on_token_soup(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("kernel"), Just("loop"), Just("for"), Just("if"), Just("else"),
+                Just("var"), Just("local"), Just("in"), Just("out"), Just("inout"),
+                Just("const"), Just("u8"), Just("i16"), Just("i32"), Just("l1"),
+                Just("l2"), Just("produces"), Just("min"), Just("i"), Just("x"),
+                Just("s"), Just("d"), Just("0"), Just("1"), Just("255"), Just("+"),
+                Just("-"), Just("*"), Just(">>"), Just("<<"), Just("?"), Just(":"),
+                Just("("), Just(")"), Just("{"), Just("}"), Just("["), Just("]"),
+                Just(";"), Just(","), Just("="), Just("=="), Just(".."),
+            ],
+            0..60,
+        )
+    ) {
+        check_total(&words.join(" "));
+    }
+
+    /// Single-byte mutations of valid kernels.
+    #[test]
+    fn compiler_is_total_on_mutated_kernels(
+        seed in 0..SEEDS.len(),
+        pos in 0_usize..200,
+        byte in 0_u8..=127,
+    ) {
+        let mut src = SEEDS[seed].to_owned();
+        if !src.is_empty() {
+            let pos = pos % src.len();
+            if src.is_char_boundary(pos) && src.is_char_boundary(pos + 1) {
+                src.replace_range(pos..pos + 1, &char::from(byte).to_string());
+            }
+        }
+        check_total(&src);
+    }
+
+    /// Deleting a random slice of a valid kernel.
+    #[test]
+    fn compiler_is_total_on_truncated_kernels(
+        seed in 0..SEEDS.len(),
+        a in 0_usize..200,
+        b in 0_usize..200,
+    ) {
+        let src = SEEDS[seed];
+        let (lo, hi) = (a.min(b) % src.len(), a.max(b) % src.len());
+        if src.is_char_boundary(lo) && src.is_char_boundary(hi) {
+            let mut s = String::new();
+            s.push_str(&src[..lo]);
+            s.push_str(&src[hi..]);
+            check_total(&s);
+        }
+    }
+}
+
+#[test]
+fn the_seeds_themselves_compile() {
+    for s in SEEDS {
+        compile_kernel(s, &[("k", 3)])
+            .or_else(|_| compile_kernel(s, &[]))
+            .unwrap_or_else(|e| panic!("seed failed: {}\n{}", e.render(s), s));
+    }
+}

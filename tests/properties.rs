@@ -1,0 +1,84 @@
+//! Property-based tests over randomized kernels and architectures.
+//!
+//! The generators build arbitrary (but well-formed) kernels directly with
+//! the IR builder — random dataflow over two input arrays, an inout
+//! array, carried accumulators, compares and selects — then check the
+//! system's core invariants:
+//!
+//! * the optimizer and unroller preserve interpreter semantics;
+//! * for any valid architecture, the compiled schedule simulates to the
+//!   same memory image as the interpreter;
+//! * the cost and cycle models are monotone in every resource.
+
+mod common;
+
+use common::{arch_strategy, bind_inputs, build, recipe, N_ITERS};
+use custom_fit::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn optimizer_and_unroller_preserve_semantics(r in recipe(), unroll in 1_u32..=4) {
+        let unroll = if N_ITERS % u64::from(unroll) == 0 { unroll } else { 1 };
+        let kernel = build(&r);
+        let mut mem_ref = bind_inputs(&kernel);
+        Interpreter::new().run(&kernel, &mut mem_ref, N_ITERS).expect("reference runs");
+
+        let mut opt = kernel.clone();
+        custom_fit::opt::optimize(&mut opt);
+        let opt = custom_fit::opt::unroll::unroll(&opt, unroll);
+        custom_fit::ir::verify(&opt).expect("optimized kernel verifies");
+        let mut mem_opt = bind_inputs(&kernel);
+        Interpreter::new()
+            .run(&opt, &mut mem_opt, N_ITERS / u64::from(unroll))
+            .expect("optimized runs");
+        for i in 0..4 {
+            prop_assert_eq!(mem_ref.array(i), mem_opt.array(i), "array {}", i);
+        }
+    }
+
+    #[test]
+    fn schedules_simulate_like_the_interpreter(r in recipe(), spec in arch_strategy()) {
+        let kernel = build(&r);
+        let machine = MachineResources::from_spec(&spec);
+        let result = compile(&kernel, &machine);
+
+        let mut mem_ref = bind_inputs(&kernel);
+        Interpreter::new().run(&kernel, &mut mem_ref, N_ITERS).expect("reference runs");
+        let mut mem_sim = bind_inputs(&kernel);
+        simulate(&kernel, &result, &machine, &mut mem_sim, N_ITERS)
+            .map_err(|e| TestCaseError::fail(format!("{spec}: {e}")))?;
+        for i in 0..4 {
+            prop_assert_eq!(mem_ref.array(i), mem_sim.array(i), "array {}", i);
+        }
+        // Structural sanity alongside: the schedule respects the
+        // dependence-graph lower bound.
+        prop_assert!(result.length >= result.critical_path);
+    }
+
+    #[test]
+    fn cost_and_cycle_models_are_monotone(spec in arch_strategy()) {
+        let cost = CostModel::paper_calibrated();
+        let cycle = CycleModel::paper_calibrated();
+        let c0 = cost.cost(&spec);
+        prop_assert!(c0.is_finite() && c0 > 0.0);
+        // Grow each resource in turn; cost must not drop.
+        let grow = [
+            ArchSpec { alus: spec.alus * 2, muls: spec.muls * 2, ..spec },
+            ArchSpec { regs: spec.regs * 2, ..spec },
+            ArchSpec { l2_ports: spec.l2_ports + 1, ..spec },
+        ];
+        for g in grow {
+            if g.validate().is_ok() {
+                prop_assert!(cost.cost(&g) >= c0 - 1e-12, "{} vs {}", g, spec);
+            }
+        }
+        // Cycle time never improves when ALUs per cluster grow.
+        let wider = ArchSpec { alus: spec.alus * 2, muls: spec.muls, ..spec };
+        if wider.validate().is_ok() {
+            prop_assert!(cycle.derate(&wider) >= cycle.derate(&spec) - 1e-12);
+        }
+    }
+}
