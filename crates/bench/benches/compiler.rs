@@ -12,9 +12,7 @@ fn bench_frontend(c: &mut Criterion) {
     let mut g = c.benchmark_group("frontend");
     for b in [Benchmark::D, Benchmark::F, Benchmark::C] {
         g.bench_with_input(BenchmarkId::new("compile_kernel", b), &b, |bench, &b| {
-            bench.iter(|| {
-                cfp_frontend::compile_kernel(black_box(b.source()), b.consts()).unwrap()
-            });
+            bench.iter(|| cfp_frontend::compile_kernel(black_box(b.source()), b.consts()).unwrap());
         });
     }
     g.finish();
@@ -81,14 +79,24 @@ fn bench_codegen(c: &mut Criterion) {
             });
         });
         let ddg = cfp_sched::Ddg::build(&result.assignment.code);
-        g.bench_with_input(BenchmarkId::new("modulo_schedule", b), &result, |bench, r| {
-            bench.iter(|| {
-                cfp_sched::modulo_schedule(black_box(&r.assignment), &ddg, &machine, r.length)
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("modulo_schedule", b),
+            &result,
+            |bench, r| {
+                bench.iter(|| {
+                    cfp_sched::modulo_schedule(black_box(&r.assignment), &ddg, &machine, r.length)
+                });
+            },
+        );
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_frontend, bench_optimizer, bench_backend, bench_codegen);
+criterion_group!(
+    benches,
+    bench_frontend,
+    bench_optimizer,
+    bench_backend,
+    bench_codegen
+);
 criterion_main!(benches);

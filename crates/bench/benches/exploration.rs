@@ -2,7 +2,7 @@
 //! evaluation (the codesign loop's inner step) and the selection and
 //! frontier machinery over a prebuilt exploration.
 
-use cfp_dse::{select, ExploreConfig, Exploration, PlanCache, Range};
+use cfp_dse::{select, CompileCache, Exploration, ExploreConfig, PlanCache, Range};
 use cfp_kernels::Benchmark;
 use cfp_machine::ArchSpec;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -17,6 +17,32 @@ fn bench_exploration(c: &mut Criterion) {
         let spec = ArchSpec::new(8, 4, 256, 2, 4, 2).unwrap();
         g.bench_with_input(BenchmarkId::new("evaluate", b), &spec, |bench, s| {
             bench.iter(|| cfp_dse::evaluate(black_box(s), b, &cache));
+        });
+        // The memoized path on a warm cache: what every architecture
+        // after the first in a signature class pays.
+        let memo = CompileCache::new();
+        cfp_dse::evaluate_cached(&spec, b, &cache, &memo);
+        g.bench_with_input(
+            BenchmarkId::new("evaluate_cached/warm", b),
+            &spec,
+            |bench, s| {
+                bench.iter(|| cfp_dse::evaluate_cached(black_box(s), b, &cache, &memo));
+            },
+        );
+    }
+
+    // The whole smoke exploration, with and without compilation reuse —
+    // the ratio is the headline of `bench_explore`/BENCH_explore.json.
+    for reuse in [false, true] {
+        let mut cfg = ExploreConfig::smoke();
+        cfg.reuse = reuse;
+        let label = if reuse {
+            "run/reuse_on"
+        } else {
+            "run/reuse_off"
+        };
+        g.bench_function(label, |b| {
+            b.iter(|| Exploration::run(black_box(&cfg)));
         });
     }
 

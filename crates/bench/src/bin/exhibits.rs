@@ -18,7 +18,9 @@ const USAGE: &str =
     "usage: exhibits [table1..table10 | figure1..figure4 | search | correction | codesize | pipelining | priority | spill | all]... [--fast] [--csv]";
 
 fn value_after(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn main() {
@@ -47,14 +49,27 @@ fn main() {
         wanted = (1..=10)
             .map(|n| format!("table{n}"))
             .chain((1..=4).map(|n| format!("figure{n}")))
-            .chain(["search".to_owned(), "correction".to_owned(), "codesize".to_owned(), "pipelining".to_owned(), "priority".to_owned(), "spill".to_owned()])
+            .chain([
+                "search".to_owned(),
+                "correction".to_owned(),
+                "codesize".to_owned(),
+                "pipelining".to_owned(),
+                "priority".to_owned(),
+                "spill".to_owned(),
+            ])
             .collect();
     }
 
     let needs_exploration = wanted.iter().any(|w| {
         matches!(
             w.as_str(),
-            "table3" | "table8" | "table9" | "table10" | "figure3" | "figure4" | "search"
+            "table3"
+                | "table8"
+                | "table9"
+                | "table10"
+                | "figure3"
+                | "figure4"
+                | "search"
                 | "correction"
         )
     });

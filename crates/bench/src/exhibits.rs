@@ -65,6 +65,35 @@ pub fn table3(ex: &Exploration) -> String {
         format!("{:.0}s", ex.stats.wall.as_secs_f64()),
         "171449s (48 h)".to_owned(),
     ]);
+    // Compilation-reuse accounting: "# runs" above counts *logical*
+    // compilations (one per architecture x benchmark x unroll, matching
+    // the paper's methodology); the rows below show how much physical
+    // scheduling work the memo collapsed them into.
+    t.row([
+        "  of which cache hits".to_owned(),
+        ex.stats.cache_hits.to_string(),
+        "n/a (no reuse)".to_owned(),
+    ]);
+    t.row([
+        "  unique schedules".to_owned(),
+        ex.stats.unique_schedules.to_string(),
+        "= # runs".to_owned(),
+    ]);
+    t.row([
+        "  unique plans (opt+unroll)".to_owned(),
+        ex.stats.unique_plans.to_string(),
+        "n/a".to_owned(),
+    ]);
+    t.row([
+        "  planning stage".to_owned(),
+        format!("{:.2}s", ex.stats.plan_wall.as_secs_f64()),
+        "-".to_owned(),
+    ]);
+    t.row([
+        "  evaluation stage".to_owned(),
+        format!("{:.2}s", ex.stats.eval_wall.as_secs_f64()),
+        "-".to_owned(),
+    ]);
     format!("Table 3: experiment computation time\n{t}")
 }
 
@@ -72,11 +101,23 @@ pub fn table3(ex: &Exploration) -> String {
 #[must_use]
 pub fn table4() -> String {
     let mut t = TextTable::new(["Parameter", "Range in this reproduction"]);
-    t.row(["Clusters", "1..16 (dividing ALUs/registers, >=16 regs each)"]);
-    t.row(["IALUs", "1, 2, 4, 8, 16 (latency 1; IMUL 2 cycles pipelined)"]);
-    t.row(["ALU repertoire", "integer only; 1/4..1/2 of ALUs IMUL-capable, >=1"]);
+    t.row([
+        "Clusters",
+        "1..16 (dividing ALUs/registers, >=16 regs each)",
+    ]);
+    t.row([
+        "IALUs",
+        "1, 2, 4, 8, 16 (latency 1; IMUL 2 cycles pipelined)",
+    ]);
+    t.row([
+        "ALU repertoire",
+        "integer only; 1/4..1/2 of ALUs IMUL-capable, >=1",
+    ]);
     t.row(["Register sizes", "64, 128, 256, 512 total"]);
-    t.row(["Memory system", "1 L1 port (3cy non-pipelined); 1..4 L2 ports, 4 or 8 cy"]);
+    t.row([
+        "Memory system",
+        "1 L1 port (3cy non-pipelined); 1..4 L2 ports, 4 or 8 cy",
+    ]);
     format!("Table 4: the architecture parameters\n{t}")
 }
 
@@ -85,8 +126,14 @@ pub fn table4() -> String {
 pub fn table5() -> String {
     let mut t = TextTable::new(["Parameter", "Derivation"]);
     t.row(["Register ports", "p = 3*ALUs + 2*memory ports, per cluster"]);
-    t.row(["Connectivity", "explicit inter-cluster moves, 1 cycle, dest ALU slot"]);
-    t.row(["Cycle speed", "T(p) = alpha + beta*p^2, fitted to paper Table 7"]);
+    t.row([
+        "Connectivity",
+        "explicit inter-cluster moves, 1 cycle, dest ALU slot",
+    ]);
+    t.row([
+        "Cycle speed",
+        "T(p) = alpha + beta*p^2, fitted to paper Table 7",
+    ]);
     format!("Table 5: the derived parameter settings\n{t}")
 }
 
@@ -94,7 +141,9 @@ pub fn table5() -> String {
 #[must_use]
 pub fn table6() -> String {
     let model = CostModel::paper_calibrated();
-    let mut t = TextTable::new(["IALU", "IMUL", "L2MEM", "REGS", "Clusters", "paper", "model", "err"]);
+    let mut t = TextTable::new([
+        "IALU", "IMUL", "L2MEM", "REGS", "Clusters", "paper", "model", "err",
+    ]);
     for (spec, paper_cost) in paper::table6() {
         let c = model.cost(&spec);
         t.row([
@@ -164,7 +213,8 @@ pub fn figure1() -> String {
 #[must_use]
 pub fn figure2() -> String {
     let spec = ArchSpec::new(8, 4, 256, 2, 4, 4).expect("valid");
-    let mut out = String::from("Figure 2: the architecture template (example: (8 4 256 2 4 4))\n\n");
+    let mut out =
+        String::from("Figure 2: the architecture template (example: (8 4 256 2 4 4))\n\n");
     out.push_str("            global connections (explicitly scheduled moves)\n");
     out.push_str("   ===============================================================\n");
     for sh in spec.cluster_shapes() {
@@ -212,8 +262,7 @@ pub fn figure_csv(ex: &Exploration, benches: &[Benchmark]) -> String {
             continue;
         };
         let pts = cfp_dse::scatter(ex, col);
-        let front: std::collections::HashSet<usize> =
-            cfp_dse::frontier(&pts).into_iter().collect();
+        let front: std::collections::HashSet<usize> = cfp_dse::frontier(&pts).into_iter().collect();
         for (i, p) in pts.iter().enumerate() {
             t.row([
                 b.to_string(),
@@ -233,7 +282,12 @@ pub fn figure_csv(ex: &Exploration, benches: &[Benchmark]) -> String {
 #[must_use]
 pub fn extension_search(ex: &Exploration) -> String {
     let rows = cfp_dse::search::study(ex, 10.0, &[1, 2, 3, 4, 5]);
-    let mut t = TextTable::new(["strategy", "mean evaluations", "fraction of space", "mean quality"]);
+    let mut t = TextTable::new([
+        "strategy",
+        "mean evaluations",
+        "fraction of space",
+        "mean quality",
+    ]);
     for (st, evals, quality) in rows {
         t.row([
             st.to_string(),
@@ -253,7 +307,12 @@ pub fn extension_search(ex: &Exploration) -> String {
 /// approximation versus full clustered scheduling.
 #[must_use]
 pub fn extension_correction(ex: &Exploration) -> String {
-    let mut t = TextTable::new(["sample base points", "mean |err|", "max |err|", "decision agreement"]);
+    let mut t = TextTable::new([
+        "sample base points",
+        "mean |err|",
+        "max |err|",
+        "decision agreement",
+    ]);
     for samples in [2_usize, 4, 8, 16] {
         let r = cfp_dse::correction::ablation(ex, samples);
         t.row([
@@ -445,8 +504,14 @@ pub fn extension_priority() -> String {
 pub fn extension_spill() -> String {
     use cfp_dse::eval::{residency_budget, PlanCache, UNROLL_SWEEP};
     let machines = [
-        ("A's own pick", ArchSpec::new(8, 4, 256, 4, 4, 4).expect("valid")),
-        ("D's pick (starved)", ArchSpec::new(16, 4, 128, 4, 4, 8).expect("valid")),
+        (
+            "A's own pick",
+            ArchSpec::new(8, 4, 256, 4, 4, 4).expect("valid"),
+        ),
+        (
+            "D's pick (starved)",
+            ArchSpec::new(16, 4, 128, 4, 4, 8).expect("valid"),
+        ),
     ];
     let cache = PlanCache::build(&[Benchmark::A], &[64, 128, 256], &UNROLL_SWEEP);
     let baseline_spec = ArchSpec::baseline();
@@ -524,6 +589,8 @@ pub fn run_exploration(fast: bool) -> Exploration {
             archs,
             benches: Benchmark::TABLE_COLUMNS.to_vec(),
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            progress: false,
+            reuse: true,
         }
     } else {
         ExploreConfig::paper()
@@ -556,10 +623,12 @@ mod tests {
             ],
             benches: vec![Benchmark::D, Benchmark::G],
             threads: 1,
+            progress: false,
+            reuse: true,
         };
         let ex = Exploration::run(&cfg);
         assert!(table3(&ex).contains("# architectures"));
-        let t = table8_10(&ex, 10.0, );
+        let t = table8_10(&ex, 10.0);
         assert!(t.contains("Table 9"), "{t}");
         let fig = figure(&ex, &[Benchmark::D], "Figure 3");
         assert!(fig.contains("benchmark D"));

@@ -197,6 +197,8 @@ mod tests {
             archs,
             benches: vec![Benchmark::D, Benchmark::H],
             threads: 1,
+            progress: false,
+            reuse: true,
         })
     }
 

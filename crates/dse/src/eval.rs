@@ -14,9 +14,10 @@
 //! `(benchmark, budget, unroll)` in a [`PlanCache`] and shared by all
 //! architectures.
 
+use crate::memo::CompileCache;
 use cfp_kernels::Benchmark;
 use cfp_machine::{ArchSpec, MachineResources};
-use cfp_sched::compile;
+use cfp_sched::{compile, compile_core, prepare, spill_penalty_cycles};
 use std::collections::HashMap;
 
 /// Unroll factors the experiment sweeps, ascending.
@@ -32,10 +33,29 @@ pub fn residency_budget(regs: u32) -> usize {
     (regs / 2) as usize
 }
 
-/// Precomputed optimized + unrolled kernels.
+/// Stable identity of one optimized + unrolled kernel in a [`PlanCache`].
+///
+/// Plans are interned by content: two `(benchmark, budget, unroll)`
+/// triples whose optimized kernels come out identical (common — LICM
+/// budgets above a kernel's constant count are indistinguishable) share
+/// one id. The id is the key compile memoization is sharded on, so the
+/// dedup collapses the register axis even before scheduling starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlanId(u32);
+
+impl PlanId {
+    /// Dense index for per-plan tables.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Precomputed optimized + unrolled kernels, interned by content.
 #[derive(Debug, Default)]
 pub struct PlanCache {
-    plans: HashMap<(Benchmark, usize, u32), cfp_ir::Kernel>,
+    kernels: Vec<cfp_ir::Kernel>,
+    plans: HashMap<(Benchmark, usize, u32), PlanId>,
 }
 
 impl PlanCache {
@@ -45,7 +65,7 @@ impl PlanCache {
         let mut budgets: Vec<usize> = reg_sizes.iter().map(|&r| residency_budget(r)).collect();
         budgets.sort_unstable();
         budgets.dedup();
-        let mut plans = HashMap::new();
+        let mut cache = PlanCache::default();
         for &b in benches {
             let base = b.kernel();
             for &budget in &budgets {
@@ -61,23 +81,54 @@ impl PlanCache {
                     // a register window — the paper's central
                     // registers-for-bandwidth trade.
                     cfp_opt::optimize_budgeted(&mut unrolled, budget);
-                    plans.insert((b, budget, u), unrolled);
+                    let id = cache.intern(unrolled);
+                    cache.plans.insert((b, budget, u), id);
                 }
             }
         }
-        PlanCache { plans }
+        cache
+    }
+
+    fn intern(&mut self, kernel: cfp_ir::Kernel) -> PlanId {
+        if let Some(i) = self.kernels.iter().position(|k| *k == kernel) {
+            return PlanId(u32::try_from(i).expect("small"));
+        }
+        self.kernels.push(kernel);
+        PlanId(u32::try_from(self.kernels.len() - 1).expect("small"))
     }
 
     /// Look up a plan.
     #[must_use]
     pub fn get(&self, bench: Benchmark, budget: usize, unroll: u32) -> Option<&cfp_ir::Kernel> {
-        self.plans.get(&(bench, budget, unroll))
+        self.id(bench, budget, unroll).map(|id| self.kernel(id))
     }
 
-    /// Number of cached plans.
+    /// Look up a plan's interned identity.
+    #[must_use]
+    pub fn id(&self, bench: Benchmark, budget: usize, unroll: u32) -> Option<PlanId> {
+        self.plans.get(&(bench, budget, unroll)).copied()
+    }
+
+    /// The kernel behind an id.
+    ///
+    /// # Panics
+    /// Panics if `id` came from a different cache.
+    #[must_use]
+    pub fn kernel(&self, id: PlanId) -> &cfp_ir::Kernel {
+        &self.kernels[id.index()]
+    }
+
+    /// Number of cached plans (distinct `(benchmark, budget, unroll)`
+    /// triples; several may share an interned kernel).
     #[must_use]
     pub fn len(&self) -> usize {
         self.plans.len()
+    }
+
+    /// Number of content-distinct kernels behind those plans.
+    #[must_use]
+    pub fn unique_kernels(&self) -> usize {
+        self.kernels.len()
     }
 
     /// Whether the cache is empty.
@@ -102,43 +153,34 @@ pub struct EvalOutcome {
     pub compilations: u32,
 }
 
-/// Evaluate one benchmark on one architecture.
-///
-/// # Panics
-/// Panics if the cache is missing the un-unrolled plan for the
-/// benchmark (build the cache with the same benchmarks and register
-/// sizes as the space being explored).
-#[must_use]
-pub fn evaluate(spec: &ArchSpec, bench: Benchmark, cache: &PlanCache) -> EvalOutcome {
-    let machine = MachineResources::from_spec(spec);
-    let budget = residency_budget(spec.regs);
+/// The unroll sweep shared by the direct and memoized evaluation paths.
+/// `compile_one` returns `(fits, cycles_per_iter)` for one plan; how it
+/// gets them — fresh compile or cache lookup — is the caller's business.
+fn unroll_sweep(
+    bench: Benchmark,
+    budget: usize,
+    plans: &PlanCache,
+    mut compile_one: impl FnMut(PlanId) -> (bool, u32),
+) -> EvalOutcome {
     let mut best: Option<EvalOutcome> = None;
     let mut compilations = 0;
 
     for &u in &UNROLL_SWEEP {
-        let Some(kernel) = cache.get(bench, budget, u) else {
+        let Some(id) = plans.id(bench, budget, u) else {
             break; // body cap reached; larger unrolls only grow
         };
-        let result = compile(kernel, &machine);
+        let (fits, cycles) = compile_one(id);
         compilations += 1;
-        let fits = result.fits();
         if !fits && u > 1 {
             break; // the paper's rule: spilling stops the sweep
         }
-        let cpo = f64::from(result.cycles_per_iter()) / f64::from(kernel.outputs_per_iter);
-        let candidate = EvalOutcome {
-            cycles_per_output: cpo,
-            unroll: u,
-            spilled: !fits,
-            compilations,
-        };
-        if best
-            .as_ref()
-            .is_none_or(|b| cpo < b.cycles_per_output)
-        {
+        let cpo = f64::from(cycles) / f64::from(plans.kernel(id).outputs_per_iter);
+        if best.as_ref().is_none_or(|b| cpo < b.cycles_per_output) {
             best = Some(EvalOutcome {
-                compilations,
-                ..candidate
+                cycles_per_output: cpo,
+                unroll: u,
+                spilled: !fits,
+                compilations: 0, // filled once the sweep's total is known
             });
         }
         if !fits {
@@ -148,6 +190,61 @@ pub fn evaluate(spec: &ArchSpec, bench: Benchmark, cache: &PlanCache) -> EvalOut
     let mut out = best.expect("unroll sweep always evaluates u = 1");
     out.compilations = compilations;
     out
+}
+
+/// Evaluate one benchmark on one architecture.
+///
+/// # Panics
+/// Panics if the cache is missing the un-unrolled plan for the
+/// benchmark (build the cache with the same benchmarks and register
+/// sizes as the space being explored).
+#[must_use]
+pub fn evaluate(spec: &ArchSpec, bench: Benchmark, cache: &PlanCache) -> EvalOutcome {
+    let machine = MachineResources::from_spec(spec);
+    unroll_sweep(bench, residency_budget(spec.regs), cache, |id| {
+        let result = compile(cache.kernel(id), &machine);
+        (result.fits(), result.cycles_per_iter())
+    })
+}
+
+/// Evaluate one benchmark on one architecture, sharing compile work
+/// through `memo` with every architecture that schedules alike.
+///
+/// Behaviourally identical to [`evaluate`] — same outcome, same logical
+/// compilation count — but each `(plan, scheduling signature)` pair is
+/// scheduled once per exploration instead of once per architecture.
+/// Only the register-capacity verdict and the spill penalty, which do
+/// depend on the register-file size, are recomputed here per machine.
+///
+/// # Panics
+/// Panics as [`evaluate`] does on a mismatched plan cache.
+#[must_use]
+pub fn evaluate_cached(
+    spec: &ArchSpec,
+    bench: Benchmark,
+    cache: &PlanCache,
+    memo: &CompileCache,
+) -> EvalOutcome {
+    let machine = MachineResources::from_spec(spec);
+    let sig = spec.sched_signature();
+    unroll_sweep(bench, residency_budget(spec.regs), cache, |id| {
+        let core = memo.core(id, sig, || {
+            let prepared = memo.prepared(id, machine.l2_latency, || {
+                prepare(cache.kernel(id), &machine)
+            });
+            compile_core(&prepared, &machine)
+        });
+        let excess: u32 = core
+            .peak
+            .iter()
+            .zip(&machine.clusters)
+            .map(|(&p, c)| p.saturating_sub(c.regs))
+            .sum();
+        (
+            excess == 0,
+            core.length + spill_penalty_cycles(excess, &machine),
+        )
+    })
 }
 
 #[cfg(test)]

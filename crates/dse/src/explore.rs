@@ -9,7 +9,8 @@
 //! per-cluster scheduling instead of the paper's clustering correction
 //! factor.
 
-use crate::eval::{evaluate, EvalOutcome, PlanCache, UNROLL_SWEEP};
+use crate::eval::{evaluate, evaluate_cached, EvalOutcome, PlanCache, UNROLL_SWEEP};
+use crate::memo::CompileCache;
 use cfp_kernels::Benchmark;
 use cfp_machine::{ArchSpec, CostModel, CycleModel, DesignSpace};
 use std::time::{Duration, Instant};
@@ -23,6 +24,14 @@ pub struct ExploreConfig {
     pub benches: Vec<Benchmark>,
     /// Worker threads.
     pub threads: usize,
+    /// Print coarse progress to stderr during the sweep. The
+    /// `CFP_PROGRESS` environment variable also enables this, as an
+    /// override for canned configurations.
+    pub progress: bool,
+    /// Share compile work across architectures with equal scheduling
+    /// signatures (on by default; results are identical either way —
+    /// disabling is only useful for measuring what the reuse saves).
+    pub reuse: bool,
 }
 
 impl ExploreConfig {
@@ -34,6 +43,8 @@ impl ExploreConfig {
             archs: DesignSpace::paper().all_arrangements(),
             benches: Benchmark::TABLE_COLUMNS.to_vec(),
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            progress: false,
+            reuse: true,
         }
     }
 
@@ -59,18 +70,35 @@ impl ExploreConfig {
                 .collect(),
             benches: vec![Benchmark::A, Benchmark::D, Benchmark::F, Benchmark::H],
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            progress: false,
+            reuse: true,
         }
     }
 }
 
-/// Bookkeeping in the spirit of the paper's Table 3.
+/// Bookkeeping in the spirit of the paper's Table 3, extended with the
+/// compile-reuse accounting: `compilations` counts *logical*
+/// compilations (what the paper would have run), while the cache fields
+/// say how many of those were served without scheduling anything.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RunStats {
-    /// Benchmark compilations performed (the paper ran 5730).
+    /// Logical benchmark compilations performed (the paper ran 5730).
     pub compilations: u64,
+    /// Logical compilations answered from the compile cache (0 when
+    /// reuse is disabled).
+    pub cache_hits: u64,
+    /// Distinct `(plan, scheduling signature)` schedules actually
+    /// computed (0 when reuse is disabled).
+    pub unique_schedules: u64,
+    /// Content-distinct optimized kernels behind the plan cache.
+    pub unique_plans: usize,
     /// Architectures evaluated (the paper had 191 base points).
     pub architectures: usize,
-    /// Wall-clock time of the exploration.
+    /// Time spent optimizing/unrolling plans (the plan-cache build).
+    pub plan_wall: Duration,
+    /// Time spent in the evaluation sweep proper.
+    pub eval_wall: Duration,
+    /// Wall-clock time of the whole exploration.
     pub wall: Duration,
 }
 
@@ -115,56 +143,68 @@ impl Exploration {
         let mut reg_sizes: Vec<u32> = config.archs.iter().map(|a| a.regs).collect();
         reg_sizes.push(ArchSpec::baseline().regs);
         let cache = PlanCache::build(&config.benches, &reg_sizes, &UNROLL_SWEEP);
+        let plan_wall = start.elapsed();
+        let memo = config.reuse.then(CompileCache::new);
 
-        // Progress reporting for minutes-long sweeps, opt-in via the
-        // CFP_PROGRESS environment variable (kept out of ExploreConfig so
-        // existing literals stay valid).
-        let progress = std::env::var_os("CFP_PROGRESS").is_some();
+        let progress = config.progress || std::env::var_os("CFP_PROGRESS").is_some();
+        let nb = config.benches.len();
+        let units = config.archs.len() * nb;
         let done = std::sync::atomic::AtomicUsize::new(0);
-        let total = config.archs.len();
-        let eval_one = |spec: &ArchSpec| -> ArchEval {
-            let out = ArchEval {
-                spec: *spec,
-                cost: cost.cost(spec),
-                derate: cycle.derate(spec),
-                outcomes: config
-                    .benches
-                    .iter()
-                    .map(|&b| evaluate(spec, b, &cache))
-                    .collect(),
+        // One work unit per (architecture, benchmark) pair: much finer
+        // grains than whole architectures, so a few slow deep-unroll
+        // evaluations cannot leave most worker threads idle at the tail
+        // of the sweep.
+        let eval_unit = |i: usize| -> EvalOutcome {
+            let spec = &config.archs[i / nb];
+            let bench = config.benches[i % nb];
+            let out = match &memo {
+                Some(memo) => evaluate_cached(spec, bench, &cache, memo),
+                None => evaluate(spec, bench, &cache),
             };
             if progress {
                 let n = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
-                if n % 50 == 0 || n == total {
-                    eprintln!("  evaluated {n}/{total} architectures");
+                if n % 200 == 0 || n == units {
+                    eprintln!("  evaluated {n}/{units} (architecture, benchmark) pairs");
                 }
             }
             out
         };
 
-        let baseline = eval_one(&ArchSpec::baseline());
-        done.store(0, std::sync::atomic::Ordering::Relaxed); // don't count the baseline
+        let baseline_spec = ArchSpec::baseline();
+        let baseline = ArchEval {
+            spec: baseline_spec,
+            cost: cost.cost(&baseline_spec),
+            derate: cycle.derate(&baseline_spec),
+            outcomes: config
+                .benches
+                .iter()
+                .map(|&b| match &memo {
+                    Some(memo) => evaluate_cached(&baseline_spec, b, &cache, memo),
+                    None => evaluate(&baseline_spec, b, &cache),
+                })
+                .collect(),
+        };
 
+        let eval_start = Instant::now();
         let threads = config.threads.max(1);
-        let archs: Vec<ArchEval> = if threads == 1 {
-            config.archs.iter().map(eval_one).collect()
+        let outcomes: Vec<EvalOutcome> = if threads == 1 {
+            (0..units).map(eval_unit).collect()
         } else {
-            let mut slots: Vec<Option<ArchEval>> = vec![None; config.archs.len()];
+            let mut slots: Vec<Option<EvalOutcome>> = vec![None; units];
             let next = std::sync::atomic::AtomicUsize::new(0);
             std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for _ in 0..threads {
                     let next = &next;
-                    let specs = &config.archs;
-                    let eval_one = &eval_one;
+                    let eval_unit = &eval_unit;
                     handles.push(scope.spawn(move || {
                         let mut mine = Vec::new();
                         loop {
                             let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            if i >= specs.len() {
+                            if i >= units {
                                 return mine;
                             }
-                            mine.push((i, eval_one(&specs[i])));
+                            mine.push((i, eval_unit(i)));
                         }
                     }));
                 }
@@ -176,6 +216,19 @@ impl Exploration {
             });
             slots.into_iter().map(|s| s.expect("all filled")).collect()
         };
+        let eval_wall = eval_start.elapsed();
+
+        let archs: Vec<ArchEval> = config
+            .archs
+            .iter()
+            .enumerate()
+            .map(|(a, spec)| ArchEval {
+                spec: *spec,
+                cost: cost.cost(spec),
+                derate: cycle.derate(spec),
+                outcomes: outcomes[a * nb..(a + 1) * nb].to_vec(),
+            })
+            .collect();
 
         let compilations: u64 = archs
             .iter()
@@ -192,7 +245,12 @@ impl Exploration {
             benches: config.benches.clone(),
             stats: RunStats {
                 compilations,
+                cache_hits: memo.as_ref().map_or(0, CompileCache::core_hits),
+                unique_schedules: memo.as_ref().map_or(0, |m| m.unique_cores() as u64),
+                unique_plans: cache.unique_kernels(),
                 architectures: archs.len(),
+                plan_wall,
+                eval_wall,
                 wall: start.elapsed(),
             },
             archs,
@@ -213,7 +271,9 @@ impl Exploration {
     /// All speedups of one architecture, column order.
     #[must_use]
     pub fn speedup_row(&self, a: usize) -> Vec<f64> {
-        (0..self.benches.len()).map(|b| self.speedup(a, b)).collect()
+        (0..self.benches.len())
+            .map(|b| self.speedup(a, b))
+            .collect()
     }
 
     /// Column index of a benchmark.
@@ -242,6 +302,14 @@ mod tests {
         let ex = Exploration::run(&cfg);
         assert_eq!(ex.archs.len(), cfg.archs.len());
         assert!(ex.stats.compilations > 0);
+        // Reuse is on by default, and the smoke space repeats signatures
+        // (and register sizes), so the cache must have absorbed work.
+        // Every logical compilation is a hit or a compute; computes can
+        // exceed the unique count only by benign duplicate races.
+        assert!(ex.stats.cache_hits > 0);
+        assert!(ex.stats.unique_schedules > 0);
+        assert!(ex.stats.unique_plans > 0);
+        assert!(ex.stats.cache_hits + ex.stats.unique_schedules <= ex.stats.compilations);
         // Baseline evaluated against itself gives speedup 1.0.
         let base_idx = ex
             .archs

@@ -91,7 +91,10 @@ pub fn from_csv(text: &str) -> Result<Exploration, ParseError> {
         if line.trim().is_empty() {
             continue;
         }
-        let err = |message: String| ParseError { line: lineno, message };
+        let err = |message: String| ParseError {
+            line: lineno,
+            message,
+        };
         let f: Vec<&str> = line.split(',').collect();
         if f.len() != 9 {
             return Err(err(format!("expected 9 fields, got {}", f.len())));
@@ -169,7 +172,9 @@ pub fn from_csv(text: &str) -> Result<Exploration, ParseError> {
         stats: RunStats {
             compilations,
             architectures: archs.len(),
-            wall: std::time::Duration::ZERO,
+            // Timings and cache accounting are run-time facts the CSV
+            // deliberately does not persist.
+            ..RunStats::default()
         },
         archs,
         baseline,

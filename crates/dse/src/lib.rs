@@ -8,9 +8,15 @@
 //! * [`eval`] — one `(architecture, benchmark)` evaluation: optimize
 //!   with a machine-derived residency budget, sweep unroll factors until
 //!   spilling, keep the best cycles-per-output;
-//! * [`explore`] — the exhaustive parallel sweep over the design space,
-//!   with the cost and cycle-time models attached and Table 3-style run
-//!   statistics;
+//! * [`memo`] — sharded concurrent memoization of compile results, keyed
+//!   by interned plan and scheduling signature, so the sweep never
+//!   redoes work two architectures share (the register axis collapses
+//!   entirely);
+//! * [`explore`] — the exhaustive parallel sweep over the design space
+//!   in `(architecture, benchmark)` work units, with the cost and
+//!   cycle-time models attached and Table 3-style run statistics
+//!   (logical compilations, cache hits, unique schedules, per-stage
+//!   timings);
 //! * [`mod@select`] — COST/RANGE architecture selection (Tables 8–10);
 //! * [`pareto`] — scatter points and best-alternative frontiers
 //!   (Figures 3–4);
@@ -38,16 +44,18 @@ pub mod correction;
 pub mod eval;
 pub mod explore;
 pub mod io;
+pub mod memo;
 pub mod pareto;
 pub mod report;
 pub mod search;
 pub mod select;
 pub mod tables;
 
-pub use eval::{evaluate, EvalOutcome, PlanCache};
+pub use eval::{evaluate, evaluate_cached, EvalOutcome, PlanCache, PlanId};
 pub use explore::{ArchEval, Exploration, ExploreConfig, RunStats};
-pub use pareto::{frontier, scatter, ScatterPoint};
 pub use io::{from_csv, to_csv};
+pub use memo::{CompileCache, ShardedMap};
+pub use pareto::{frontier, scatter, ScatterPoint};
 pub use search::{SearchReport, Strategy};
 pub use select::{select, Range, Selection};
 pub use tables::{paper_ranges, render, speedup_table, SpeedupTable};

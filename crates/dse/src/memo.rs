@@ -1,0 +1,223 @@
+//! Concurrent compile-result memoization for the exploration sweep.
+//!
+//! The sweep compiles each plan for hundreds of architectures, but the
+//! back end cannot tell most of them apart: scheduling reads the
+//! machine's [`SchedSignature`] (the spec minus its register-file size),
+//! and lowering reads only the Level-2 latency. [`CompileCache`] memoizes
+//! both phases behind those exact keys, so the exploration does the
+//! work once per *distinguishable* machine and the register axis — a 4×
+//! multiplier in the paper's space — costs only a capacity check.
+//!
+//! The map is std-only: a fixed array of `Mutex<HashMap>` shards indexed
+//! by key hash. Under a miss the shard lock is *released* while the
+//! value is computed, so a long compile never blocks unrelated keys in
+//! the same shard; two threads racing on one key may both compute it,
+//! and the first insert wins. That race is benign — every value here is
+//! a pure function of its key (given one plan cache), so the discarded
+//! duplicate is bit-identical to the winner and determinism survives any
+//! interleaving.
+
+use crate::eval::PlanId;
+use cfp_machine::SchedSignature;
+use cfp_sched::{Prepared, SchedCore};
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash, RandomState};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Shard count: enough that the paper-scale sweep (≲ a few hundred
+/// distinct keys, ≲ dozens of threads) rarely collides, small enough to
+/// stay cheap to create. Power of two only for the modulo's sake.
+const SHARDS: usize = 64;
+
+/// A sharded concurrent memo table. Values are handed out in `Arc`s so a
+/// hit is one clone of a pointer, never of a schedule.
+#[derive(Debug)]
+pub struct ShardedMap<K, V> {
+    shards: Vec<Mutex<HashMap<K, Arc<V>>>>,
+    hasher: RandomState,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Eq + Hash, V> Default for ShardedMap<K, V> {
+    fn default() -> Self {
+        ShardedMap {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hasher: RandomState::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> ShardedMap<K, V> {
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, Arc<V>>> {
+        let h = self.hasher.hash_one(key) as usize;
+        &self.shards[h % SHARDS]
+    }
+
+    /// The value for `key`, computing it with `f` on a miss. `f` runs
+    /// outside the shard lock; see the module docs for the (benign)
+    /// duplicate-compute race this allows.
+    pub fn get_or_insert_with(&self, key: &K, f: impl FnOnce() -> V) -> Arc<V> {
+        let shard = self.shard(key);
+        if let Some(v) = shard.lock().expect("memo shard poisoned").get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(v);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = Arc::new(f());
+        Arc::clone(
+            shard
+                .lock()
+                .expect("memo shard poisoned")
+                .entry(key.clone())
+                .or_insert(value),
+        )
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that computed (or raced to compute) an entry.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct keys stored.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("memo shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether nothing has been memoized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Both memo layers of the compile pipeline, shared by all worker
+/// threads of one exploration:
+///
+/// * `prepared` — the machine-independent phase, keyed by the plan and
+///   the only machine parameter it reads (the Level-2 latency);
+/// * `cores` — assignment + scheduling + peak pressure, keyed by the
+///   plan and the full scheduling signature.
+#[derive(Debug, Default)]
+pub struct CompileCache {
+    prepared: ShardedMap<(PlanId, u32), Prepared>,
+    cores: ShardedMap<(PlanId, SchedSignature), SchedCore>,
+}
+
+impl CompileCache {
+    /// A fresh, empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The prepared (lowered + dependence-analysed) form of a plan for
+    /// machines with the given Level-2 latency.
+    pub fn prepared(
+        &self,
+        id: PlanId,
+        l2_latency: u32,
+        f: impl FnOnce() -> Prepared,
+    ) -> Arc<Prepared> {
+        self.prepared.get_or_insert_with(&(id, l2_latency), f)
+    }
+
+    /// The scheduled core of a plan for machines with the given
+    /// scheduling signature.
+    pub fn core(
+        &self,
+        id: PlanId,
+        sig: SchedSignature,
+        f: impl FnOnce() -> SchedCore,
+    ) -> Arc<SchedCore> {
+        self.cores.get_or_insert_with(&(id, sig), f)
+    }
+
+    /// Schedule lookups served from the cache.
+    #[must_use]
+    pub fn core_hits(&self) -> u64 {
+        self.cores.hits()
+    }
+
+    /// Schedule lookups that had to compile.
+    #[must_use]
+    pub fn core_misses(&self) -> u64 {
+        self.cores.misses()
+    }
+
+    /// Distinct `(plan, signature)` schedules actually computed.
+    #[must_use]
+    pub fn unique_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Distinct `(plan, latency)` lowerings actually computed.
+    #[must_use]
+    pub fn unique_prepared(&self) -> usize {
+        self.prepared.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn second_lookup_hits_and_reuses_the_value() {
+        let map: ShardedMap<u32, String> = ShardedMap::default();
+        let a = map.get_or_insert_with(&7, || "seven".to_string());
+        let b = map.get_or_insert_with(&7, || unreachable!("must hit"));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((map.hits(), map.misses(), map.len()), (1, 1, 1));
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let map: ShardedMap<u32, u32> = ShardedMap::default();
+        for k in 0..500 {
+            assert_eq!(*map.get_or_insert_with(&k, || k * 3), k * 3);
+        }
+        for k in 0..500 {
+            assert_eq!(*map.get_or_insert_with(&k, || unreachable!()), k * 3);
+        }
+        assert_eq!(map.len(), 500);
+        assert_eq!((map.hits(), map.misses()), (500, 500));
+    }
+
+    #[test]
+    fn concurrent_hammering_computes_each_key_and_stays_consistent() {
+        let map: ShardedMap<u32, u32> = ShardedMap::default();
+        let computed = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                scope.spawn(|| {
+                    let _ = t;
+                    for round in 0..100 {
+                        let k = round % 10;
+                        let v = map.get_or_insert_with(&k, || {
+                            computed.fetch_add(1, Ordering::Relaxed);
+                            k + 1000
+                        });
+                        assert_eq!(*v, k + 1000);
+                    }
+                });
+            }
+        });
+        assert_eq!(map.len(), 10);
+        // Racing threads may duplicate a computation, but every duplicate
+        // produces the same value and only one copy is kept.
+        assert!(computed.load(Ordering::Relaxed) >= 10);
+        assert_eq!(map.hits() + map.misses(), 800);
+    }
+}

@@ -71,7 +71,12 @@ impl std::fmt::Display for TextTable {
 /// Render a cost/speedup scatter as ASCII art (cost on x, speedup on y),
 /// with frontier points drawn as `#` and the rest as `*`.
 #[must_use]
-pub fn ascii_scatter(points: &[ScatterPoint], frontier: &[usize], width: usize, height: usize) -> String {
+pub fn ascii_scatter(
+    points: &[ScatterPoint],
+    frontier: &[usize],
+    width: usize,
+    height: usize,
+) -> String {
     if points.is_empty() {
         return String::from("(no points)\n");
     }

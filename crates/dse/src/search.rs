@@ -178,7 +178,11 @@ pub fn neighbors(spec: &ArchSpec) -> Vec<ArchSpec> {
     for a in step(&alus, spec.alus) {
         // Keep the IMUL fraction legal for the new ALU count.
         let m = spec.muls.clamp((a / 4).max(1), (a / 2).max(1));
-        push(ArchSpec { alus: a, muls: m, ..*spec });
+        push(ArchSpec {
+            alus: a,
+            muls: m,
+            ..*spec
+        });
     }
     // Toggle between the two legal IMUL fractions.
     for m in [(spec.alus / 4).max(1), (spec.alus / 2).max(1)] {
@@ -188,13 +192,22 @@ pub fn neighbors(spec: &ArchSpec) -> Vec<ArchSpec> {
         push(ArchSpec { regs: r, ..*spec });
     }
     for p in step(&ports, spec.l2_ports) {
-        push(ArchSpec { l2_ports: p, ..*spec });
+        push(ArchSpec {
+            l2_ports: p,
+            ..*spec
+        });
     }
     for l in step(&lats, spec.l2_latency) {
-        push(ArchSpec { l2_latency: l, ..*spec });
+        push(ArchSpec {
+            l2_latency: l,
+            ..*spec
+        });
     }
     for c in step(&clusters, spec.clusters) {
-        push(ArchSpec { clusters: c, ..*spec });
+        push(ArchSpec {
+            clusters: c,
+            ..*spec
+        });
     }
     out.sort();
     out.dedup();
@@ -272,8 +285,7 @@ pub fn run(
                 let v = oracle.eval(&cand);
                 consider(v, cand, &mut best);
                 let accept = v > cur_v
-                    || (v.is_finite()
-                        && rng.unit() < ((v - cur_v) / temp.max(1e-6)).exp());
+                    || (v.is_finite() && rng.unit() < ((v - cur_v) / temp.max(1e-6)).exp());
                 if accept {
                     cur = cand;
                     cur_v = v;
@@ -309,8 +321,12 @@ pub fn run(
 pub fn study(ex: &Exploration, cost_bound: f64, seeds: &[u64]) -> Vec<(Strategy, f64, f64)> {
     let strategies = [
         Strategy::Exhaustive,
-        Strategy::RandomSample { n: (ex.archs.len() / 4).max(1) },
-        Strategy::RandomSample { n: (ex.archs.len() / 16).max(1) },
+        Strategy::RandomSample {
+            n: (ex.archs.len() / 4).max(1),
+        },
+        Strategy::RandomSample {
+            n: (ex.archs.len() / 16).max(1),
+        },
         Strategy::HillClimb { restarts: 3 },
         Strategy::Anneal { steps: 60 },
     ];

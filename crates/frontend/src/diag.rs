@@ -39,7 +39,10 @@ impl CompileError {
         let (line, col) = self.span.line_col(src);
         let line_text = src.lines().nth(line - 1).unwrap_or("");
         let caret = " ".repeat(col.saturating_sub(1)) + "^";
-        format!("error at {line}:{col}: {}\n  {line_text}\n  {caret}", self.message)
+        format!(
+            "error at {line}:{col}: {}\n  {line_text}\n  {caret}",
+            self.message
+        )
     }
 }
 

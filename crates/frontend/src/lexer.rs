@@ -51,9 +51,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let mut j = i + 1;
-                while j < bytes.len()
-                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_')
-                {
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
                     j += 1;
                 }
                 let word = &src[i..j];
@@ -64,13 +62,9 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
                 i = j;
             }
             _ => {
-                let (tok, len) = lex_operator(bytes, i)
-                    .ok_or_else(|| {
-                        CompileError::new(
-                            format!("unrecognized character `{c}`"),
-                            Span::new(i, i + 1),
-                        )
-                    })?;
+                let (tok, len) = lex_operator(bytes, i).ok_or_else(|| {
+                    CompileError::new(format!("unrecognized character `{c}`"), Span::new(i, i + 1))
+                })?;
                 out.push(Token {
                     tok,
                     span: Span::new(i, i + len),

@@ -88,7 +88,10 @@ mod tests {
         let mut it = inputs.iter();
         for (i, a) in k.arrays.iter().enumerate() {
             if !matches!(a.kind, cfp_ir::ArrayKind::Local(_)) {
-                mem.bind(i, it.next().expect("one binding per non-local array").clone());
+                mem.bind(
+                    i,
+                    it.next().expect("one binding per non-local array").clone(),
+                );
             }
         }
         Interpreter::new().run(&k, &mut mem, iters).expect("runs");
@@ -281,20 +284,14 @@ mod tests {
             ("kernel k(in u8 s[]) { loop i { s[i] = 0; } }", &[]),
         ];
         for (src, consts) in cases {
-            assert!(
-                compile_kernel(src, consts).is_err(),
-                "should reject: {src}"
-            );
+            assert!(compile_kernel(src, consts).is_err(), "should reject: {src}");
         }
     }
 
     #[test]
     fn loop_var_times_itself_is_rejected_with_good_message() {
-        let err = compile_kernel(
-            "kernel k(out i32 d[]) { loop i { d[i*i] = 0; } }",
-            &[],
-        )
-        .unwrap_err();
+        let err =
+            compile_kernel("kernel k(out i32 d[]) { loop i { d[i*i] = 0; } }", &[]).unwrap_err();
         assert!(err.message().contains("multiplied by itself"), "{err}");
     }
 
@@ -355,7 +352,10 @@ mod tests {
         .unwrap();
         // x never changes: no selects in the body.
         assert_eq!(k.carried.len(), 1, "x is still assigned syntactically");
-        assert!(k.body.iter().all(|i| !matches!(i, cfp_ir::Inst::Sel { .. })));
+        assert!(k
+            .body
+            .iter()
+            .all(|i| !matches!(i, cfp_ir::Inst::Sel { .. })));
     }
 
     #[test]

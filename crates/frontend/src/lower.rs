@@ -52,7 +52,11 @@ pub fn lower(ast: &KernelAst, consts: &[(&str, i64)]) -> Result<Kernel, CompileE
         lw.stmt(stmt)?;
     }
     let kernel = lw.finish();
-    debug_assert_eq!(cfp_ir::verify(&kernel), Ok(()), "lowering broke IR invariants");
+    debug_assert_eq!(
+        cfp_ir::verify(&kernel),
+        Ok(()),
+        "lowering broke IR invariants"
+    );
     Ok(kernel)
 }
 
@@ -261,10 +265,7 @@ impl Lowerer {
                     format!("`{name}` is not a compile-time constant"),
                     *span,
                 )),
-                None => Err(CompileError::new(
-                    format!("undefined name `{name}`"),
-                    *span,
-                )),
+                None => Err(CompileError::new(format!("undefined name `{name}`"), *span)),
             },
             Expr::Unary { op, expr, .. } => {
                 let v = self.const_eval(expr)?;
@@ -277,9 +278,8 @@ impl Lowerer {
             Expr::Binary { op, lhs, rhs, .. } => {
                 let a = self.const_eval(lhs)?;
                 let b = self.const_eval(rhs)?;
-                fold_binary(*op, a, b).ok_or_else(|| {
-                    CompileError::new("unsupported constant operation", e.span())
-                })
+                fold_binary(*op, a, b)
+                    .ok_or_else(|| CompileError::new("unsupported constant operation", e.span()))
             }
             Expr::Ternary {
                 cond,
@@ -332,9 +332,9 @@ impl Lowerer {
                 if self.loop_var.as_deref() == Some(name) {
                     return Ok(Sym::Affine { c0: 0, c1: 1 });
                 }
-                self.lookup(name).map(|b| b.sym).ok_or_else(|| {
-                    CompileError::new(format!("undefined name `{name}`"), *span)
-                })
+                self.lookup(name)
+                    .map(|b| b.sym)
+                    .ok_or_else(|| CompileError::new(format!("undefined name `{name}`"), *span))
             }
             Expr::Index { array, index, span } => {
                 let id = *self.arrays.get(array).ok_or_else(|| {
@@ -358,10 +358,7 @@ impl Lowerer {
                     (UnaryOp::Neg, Sym::Const(v)) => {
                         Ok(Sym::Const(cfp_ir::wrap32(v.wrapping_neg())))
                     }
-                    (UnaryOp::Neg, Sym::Affine { c0, c1 }) => Ok(Sym::Affine {
-                        c0: -c0,
-                        c1: -c1,
-                    }),
+                    (UnaryOp::Neg, Sym::Affine { c0, c1 }) => Ok(Sym::Affine { c0: -c0, c1: -c1 }),
                     (UnaryOp::Not, Sym::Const(v)) => Ok(Sym::Const(cfp_ir::wrap32(!v))),
                     (UnaryOp::LNot, Sym::Const(v)) => Ok(Sym::Const(i64::from(v == 0))),
                     (UnaryOp::Neg | UnaryOp::Not, _) => {
@@ -442,15 +439,27 @@ impl Lowerer {
                     } else {
                         (a0 - b0, a1 - b1)
                     };
-                    return Ok(if c1 == 0 { Const(c0) } else { Affine { c0, c1 } });
+                    return Ok(if c1 == 0 {
+                        Const(c0)
+                    } else {
+                        Affine { c0, c1 }
+                    });
                 }
             }
             BinaryOp::Mul => {
                 if let (Some((a0, a1)), Some((b0, b1))) = (as_affine(a), as_affine(b)) {
                     if a1 == 0 || b1 == 0 {
-                        let (k, (c0, c1)) = if a1 == 0 { (a0, (b0, b1)) } else { (b0, (a0, a1)) };
+                        let (k, (c0, c1)) = if a1 == 0 {
+                            (a0, (b0, b1))
+                        } else {
+                            (b0, (a0, a1))
+                        };
                         let (c0, c1) = (k * c0, k * c1);
-                        return Ok(if c1 == 0 { Const(c0) } else { Affine { c0, c1 } });
+                        return Ok(if c1 == 0 {
+                            Const(c0)
+                        } else {
+                            Affine { c0, c1 }
+                        });
                     }
                     return Err(CompileError::new(
                         "the loop variable may not be multiplied by itself",
@@ -512,12 +521,7 @@ impl Lowerer {
         self.emit_bin(bin, ao, bo)
     }
 
-    fn emit_bin(
-        &mut self,
-        op: cfp_ir::BinOp,
-        a: Operand,
-        b: Operand,
-    ) -> Result<Sym, CompileError> {
+    fn emit_bin(&mut self, op: cfp_ir::BinOp, a: Operand, b: Operand) -> Result<Sym, CompileError> {
         let dst = self.fresh();
         self.emit(Inst::Bin { dst, op, a, b });
         Ok(Sym::Reg(dst))
@@ -626,10 +630,7 @@ impl Lowerer {
                 self.emit(Inst::Un { dst, op, a });
                 Ok(Sym::Reg(dst))
             }
-            _ => Err(CompileError::new(
-                format!("unknown builtin `{func}`"),
-                span,
-            )),
+            _ => Err(CompileError::new(format!("unknown builtin `{func}`"), span)),
         }
     }
 
@@ -656,14 +657,7 @@ impl Lowerer {
                     Some(e) => self.eval(e)?,
                     None => Sym::Const(0),
                 };
-                self.declare(
-                    name,
-                    Binding {
-                        sym,
-                        mutable: true,
-                    },
-                    *span,
-                )
+                self.declare(name, Binding { sym, mutable: true }, *span)
             }
             Stmt::LocalArray {
                 name,
@@ -810,12 +804,9 @@ impl Lowerer {
         let outputs = match produces {
             Some(e) => {
                 let v = self.const_eval(e)?;
-                u32::try_from(v)
-                    .ok()
-                    .filter(|&v| v >= 1)
-                    .ok_or_else(|| {
-                        CompileError::new("`produces` must be a positive constant", span)
-                    })?
+                u32::try_from(v).ok().filter(|&v| v >= 1).ok_or_else(|| {
+                    CompileError::new("`produces` must be a positive constant", span)
+                })?
             }
             None => 1,
         };

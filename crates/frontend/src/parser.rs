@@ -460,11 +460,21 @@ mod tests {
         assert_eq!(k.params.len(), 3);
         assert!(matches!(
             &k.params[0],
-            Param::Array { dir: Dir::In, space: MemSpace::L1, ty: Ty::I16, .. }
+            Param::Array {
+                dir: Dir::In,
+                space: MemSpace::L1,
+                ty: Ty::I16,
+                ..
+            }
         ));
         assert!(matches!(
             &k.params[1],
-            Param::Array { dir: Dir::Out, space: MemSpace::L2, ty: Ty::U8, .. }
+            Param::Array {
+                dir: Dir::Out,
+                space: MemSpace::L2,
+                ty: Ty::U8,
+                ..
+            }
         ));
         assert!(matches!(&k.params[2], Param::Const { name, .. } if name == "f"));
     }
@@ -486,7 +496,13 @@ mod tests {
         )
         .unwrap();
         assert_eq!(k.body.len(), 3);
-        let Stmt::Loop { var, produces, body, .. } = &k.body[2] else {
+        let Stmt::Loop {
+            var,
+            produces,
+            body,
+            ..
+        } = &k.body[2]
+        else {
             panic!("expected loop");
         };
         assert_eq!(var, "i");
@@ -501,19 +517,39 @@ mod tests {
             panic!()
         };
         // ((1 + (2*3)) << 1) & 7
-        let Expr::Binary { op: BinaryOp::And, lhs, .. } = e else {
+        let Expr::Binary {
+            op: BinaryOp::And,
+            lhs,
+            ..
+        } = e
+        else {
             panic!("top is &, got {e:?}")
         };
-        let Expr::Binary { op: BinaryOp::Shl, lhs: add, .. } = lhs.as_ref() else {
+        let Expr::Binary {
+            op: BinaryOp::Shl,
+            lhs: add,
+            ..
+        } = lhs.as_ref()
+        else {
             panic!("then <<")
         };
-        assert!(matches!(add.as_ref(), Expr::Binary { op: BinaryOp::Add, .. }));
+        assert!(matches!(
+            add.as_ref(),
+            Expr::Binary {
+                op: BinaryOp::Add,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn ternary_and_casts() {
         let k = parse_src("kernel k() { var x = u8(3 > 2 ? min(1, 2) : 0); }").unwrap();
-        let Stmt::Var { init: Some(Expr::Call { func, args, .. }), .. } = &k.body[0] else {
+        let Stmt::Var {
+            init: Some(Expr::Call { func, args, .. }),
+            ..
+        } = &k.body[0]
+        else {
             panic!()
         };
         assert_eq!(func, "u8");
@@ -548,6 +584,12 @@ mod tests {
         let Stmt::Var { init: Some(e), .. } = &k.body[0] else {
             panic!()
         };
-        assert!(matches!(e, Expr::Unary { op: UnaryOp::Neg, .. }));
+        assert!(matches!(
+            e,
+            Expr::Unary {
+                op: UnaryOp::Neg,
+                ..
+            }
+        ));
     }
 }

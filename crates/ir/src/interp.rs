@@ -185,7 +185,15 @@ impl Interpreter {
         }
         for iter in 0..iters {
             for inst in &kernel.body {
-                exec(kernel, inst, &mut vals, mem, iter as i64, Some(iter), &mut stats)?;
+                exec(
+                    kernel,
+                    inst,
+                    &mut vals,
+                    mem,
+                    iter as i64,
+                    Some(iter),
+                    &mut stats,
+                )?;
             }
             // Latch carried values for the next iteration. Two phases so
             // that a carried pair (in, out) where out reads another

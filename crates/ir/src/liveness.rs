@@ -123,11 +123,7 @@ impl BodyLiveness {
         self.ranges
             .iter()
             .flatten()
-            .filter(|r| {
-                r.resident
-                    || (r.start < pos && pos <= r.end)
-                    || (r.from_entry && pos == 0)
-            })
+            .filter(|r| r.resident || (r.start < pos && pos <= r.end) || (r.from_entry && pos == 0))
             .count()
     }
 

@@ -62,7 +62,10 @@ impl fmt::Display for VerifyError {
                 vreg,
                 section,
                 index,
-            } => write!(f, "register {vreg} used before definition ({section}[{index}])"),
+            } => write!(
+                f,
+                "register {vreg} used before definition ({section}[{index}])"
+            ),
             VerifyError::CarriedInputRedefined(v) => {
                 write!(f, "carried input {v} is redefined by an instruction")
             }
@@ -70,7 +73,10 @@ impl fmt::Display for VerifyError {
                 write!(f, "carried output {v} is not defined in the body")
             }
             VerifyError::CarriedInitUndefined(v) => {
-                write!(f, "carried init register {v} is not defined in the preamble")
+                write!(
+                    f,
+                    "carried init register {v} is not defined in the preamble"
+                )
             }
             VerifyError::StoreInPreamble(i) => write!(f, "preamble[{i}] is a store"),
             VerifyError::VaryingPreambleLoad(i) => {
@@ -236,7 +242,10 @@ mod tests {
             b: Operand::Imm(1),
         });
         let err = verify(&b.finish()).unwrap_err();
-        assert!(matches!(err, VerifyError::UseBeforeDef { vreg: Vreg(9), .. }));
+        assert!(matches!(
+            err,
+            VerifyError::UseBeforeDef { vreg: Vreg(9), .. }
+        ));
     }
 
     #[test]
@@ -244,10 +253,7 @@ mod tests {
         let mut b = base();
         b.push(Inst::mov(Vreg(0), 1_i64));
         b.push(Inst::mov(Vreg(0), 2_i64));
-        assert_eq!(
-            verify(&b.finish()),
-            Err(VerifyError::MultipleDefs(Vreg(0)))
-        );
+        assert_eq!(verify(&b.finish()), Err(VerifyError::MultipleDefs(Vreg(0))));
     }
 
     #[test]
@@ -257,7 +263,10 @@ mod tests {
         b.store(a, 1, 0, 5_i64, Ty::U8);
         assert!(matches!(
             verify(&b.finish()),
-            Err(VerifyError::AccessViolation { access: "store", .. })
+            Err(VerifyError::AccessViolation {
+                access: "store",
+                ..
+            })
         ));
     }
 
@@ -360,6 +369,9 @@ mod tests {
             section: "body",
             index: 2,
         };
-        assert_eq!(e.to_string(), "register v3 used before definition (body[2])");
+        assert_eq!(
+            e.to_string(),
+            "register v3 used before definition (body[2])"
+        );
     }
 }

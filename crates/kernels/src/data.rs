@@ -12,8 +12,7 @@
 
 use crate::Benchmark;
 use cfp_ir::{ArrayKind, Kernel, MemImage};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cfp_testkit::Rng;
 
 /// Row pitch of benchmark A's 7-row input window (a compile-time
 /// constant of the kernel; inputs must keep `n + 6 <= FIR_STRIDE`).
@@ -67,12 +66,12 @@ impl Workload {
     }
 }
 
-fn u8s(rng: &mut StdRng, len: usize) -> Vec<i64> {
-    (0..len).map(|_| rng.gen_range(0..=255)).collect()
+fn u8s(rng: &mut Rng, len: usize) -> Vec<i64> {
+    (0..len).map(|_| rng.range_i64(0..=255)).collect()
 }
 
-fn i16s(rng: &mut StdRng, len: usize, lo: i64, hi: i64) -> Vec<i64> {
-    (0..len).map(|_| rng.gen_range(lo..=hi)).collect()
+fn i16s(rng: &mut Rng, len: usize, lo: i64, hi: i64) -> Vec<i64> {
+    (0..len).map(|_| rng.range_i64(lo..=hi)).collect()
 }
 
 fn zeros(len: usize) -> Vec<i64> {
@@ -86,7 +85,7 @@ impl Benchmark {
     /// Panics for benchmark A if `n + 6 > FIR_STRIDE`.
     #[must_use]
     pub fn workload(self, n: u64, seed: u64) -> Workload {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xc0ff_ee00 ^ (n << 32));
+        let mut rng = Rng::new(seed ^ 0xc0ff_ee00 ^ (n << 32));
         let n_us = usize::try_from(n).expect("n fits usize");
         let stride = usize::try_from(FIR_STRIDE).expect("small");
         let inputs: Vec<Option<Vec<i64>>> = match self {
@@ -115,10 +114,9 @@ impl Benchmark {
                 Some(zeros(64 * n_us)),
                 None, // local t
             ],
-            Benchmark::D | Benchmark::E => vec![
-                Some(u8s(&mut rng, 3 * n_us)),
-                Some(zeros(3 * n_us)),
-            ],
+            Benchmark::D | Benchmark::E => {
+                vec![Some(u8s(&mut rng, 3 * n_us)), Some(zeros(3 * n_us))]
+            }
             Benchmark::F => vec![
                 Some(u8s(&mut rng, 24 * n_us)),
                 Some(i16s(&mut rng, 24 * n_us + 8, -64, 64)),

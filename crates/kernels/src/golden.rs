@@ -183,8 +183,7 @@ fn idct_aan(mem: &mut MemImage, n: u64) {
     for i in 0..usize::try_from(n).expect("small") {
         let mut t = [0_i64; 64];
         for r in 0..8 {
-            let x: [i64; 8] =
-                std::array::from_fn(|c| blk[64 * i + 8 * r + c] * qt[8 * r + c]);
+            let x: [i64; 8] = std::array::from_fn(|c| blk[64 * i + 8 * r + c] * qt[8 * r + c]);
             let o = aan8(x);
             for (c, v) in o.into_iter().enumerate() {
                 t[8 * r + c] = v;
@@ -215,11 +214,7 @@ fn ycc2rgb(mem: &mut MemImage, n: u64) {
     let src = mem.array(0).to_vec();
     let dst = mem.array_mut(1);
     for i in 0..usize::try_from(n).expect("small") {
-        let (r, g, b) = e_convert(
-            src[3 * i],
-            src[3 * i + 1] - 128,
-            src[3 * i + 2] - 128,
-        );
+        let (r, g, b) = e_convert(src[3 * i], src[3 * i + 1] - 128, src[3 * i + 2] - 128);
         dst[3 * i] = Ty::U8.truncate(clamp255(r));
         dst[3 * i + 1] = Ty::U8.truncate(clamp255(g));
         dst[3 * i + 2] = Ty::U8.truncate(clamp255(b));
@@ -453,10 +448,9 @@ mod tests {
     #[test]
     fn median_network_is_a_median() {
         // Cross-check the CE network against a sort, on many inputs.
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = cfp_testkit::Rng::new(5);
         for _ in 0..500 {
-            let mut p: [i64; 9] = std::array::from_fn(|_| rng.gen_range(0..256));
+            let mut p: [i64; 9] = std::array::from_fn(|_| rng.range_i64(0..=255));
             let mut sorted = p;
             sorted.sort_unstable();
             assert_eq!(med9(&mut p), sorted[4]);

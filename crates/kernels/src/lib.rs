@@ -85,8 +85,12 @@ impl Benchmark {
     ];
 
     /// The jammed benchmarks plotted in the paper's Figure 4.
-    pub const JAMMED: [Benchmark; 4] =
-        [Benchmark::GF, Benchmark::GEF, Benchmark::DH, Benchmark::DHEF];
+    pub const JAMMED: [Benchmark; 4] = [
+        Benchmark::GF,
+        Benchmark::GEF,
+        Benchmark::DH,
+        Benchmark::DHEF,
+    ];
 
     /// The ten benchmarks of the paper's Tables 8–10 (E only appears
     /// inside jams there).
@@ -139,9 +143,7 @@ impl Benchmark {
                 "1D bilinear scaling followed by E (YCbCr->RGB), followed by halftoning"
             }
             Benchmark::DH => "RGB->YCbCr color space conversion followed by a 3x3 median filter",
-            Benchmark::DHEF => {
-                "RGB->YCbCr conversion, 3x3 median, E (YCbCr->RGB), then halftoning"
-            }
+            Benchmark::DHEF => "RGB->YCbCr conversion, 3x3 median, E (YCbCr->RGB), then halftoning",
         }
     }
 
@@ -169,9 +171,7 @@ impl Benchmark {
     pub fn consts(self) -> &'static [(&'static str, i64)] {
         match self {
             Benchmark::A => &[("stride", data::FIR_STRIDE)],
-            Benchmark::G | Benchmark::GF | Benchmark::GEF => {
-                &[("w0", 3), ("w1", 1), ("sh", 2)]
-            }
+            Benchmark::G | Benchmark::GF | Benchmark::GEF => &[("w0", 3), ("w1", 1), ("sh", 2)],
             _ => &[],
         }
     }

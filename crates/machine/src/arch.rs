@@ -221,7 +221,10 @@ impl ArchSpec {
             .ok_or_else(|| format!("expected (a m r p2 l2 c), got `{s}`"))?;
         let nums: Vec<u32> = inner
             .split_whitespace()
-            .map(|t| t.parse::<u32>().map_err(|e| format!("bad number `{t}`: {e}")))
+            .map(|t| {
+                t.parse::<u32>()
+                    .map_err(|e| format!("bad number `{t}`: {e}"))
+            })
             .collect::<Result<_, _>>()?;
         let [a, m, r, p2, l2, c] = nums.as_slice() else {
             return Err(format!("expected 6 fields, got {}", nums.len()));
@@ -256,7 +259,10 @@ mod tests {
             ArchSpec::new(0, 1, 64, 1, 8, 1),
             Err(ArchError::ZeroResource("alus"))
         );
-        assert_eq!(ArchSpec::new(2, 3, 64, 1, 8, 1), Err(ArchError::MulsExceedAlus));
+        assert_eq!(
+            ArchSpec::new(2, 3, 64, 1, 8, 1),
+            Err(ArchError::MulsExceedAlus)
+        );
         assert_eq!(
             ArchSpec::new(2, 1, 64, 1, 8, 4),
             Err(ArchError::TooManyClusters)
@@ -302,10 +308,7 @@ mod tests {
             assert_eq!(shapes.iter().map(|s| s.muls).sum::<u32>(), spec.muls);
             assert_eq!(shapes.iter().map(|s| s.regs).sum::<u32>(), spec.regs);
             assert_eq!(
-                shapes
-                    .iter()
-                    .map(|s| s.l1_ports + s.l2_ports)
-                    .sum::<u32>(),
+                shapes.iter().map(|s| s.l1_ports + s.l2_ports).sum::<u32>(),
                 spec.total_mem_ports()
             );
             assert_eq!(shapes.iter().filter(|s| s.has_branch).count(), 1);

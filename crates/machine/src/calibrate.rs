@@ -197,10 +197,7 @@ mod tests {
 
     #[test]
     fn least_squares_rejects_singular() {
-        let rows = vec![
-            (vec![1.0, 2.0], 1.0, 1.0),
-            (vec![2.0, 4.0], 2.0, 1.0),
-        ];
+        let rows = vec![(vec![1.0, 2.0], 1.0, 1.0), (vec![2.0, 4.0], 2.0, 1.0)];
         assert!(weighted_least_squares(&rows).is_none());
     }
 

@@ -41,6 +41,7 @@ pub mod cost;
 pub mod cycle;
 pub mod paper;
 pub mod resources;
+pub mod signature;
 pub mod space;
 
 pub use arch::{ArchError, ArchSpec, ClusterShape};
@@ -50,4 +51,5 @@ pub use resources::{
     ClusterResources, MachineResources, MemLevel, ALU_LATENCY, BRANCH_LATENCY, L1_LATENCY,
     MUL_LATENCY,
 };
+pub use signature::SchedSignature;
 pub use space::DesignSpace;

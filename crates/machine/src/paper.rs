@@ -6,7 +6,14 @@
 
 use crate::arch::ArchSpec;
 
-fn spec(alus: u32, muls: u32, regs: u32, l2_ports: u32, l2_latency: u32, clusters: u32) -> ArchSpec {
+fn spec(
+    alus: u32,
+    muls: u32,
+    regs: u32,
+    l2_ports: u32,
+    l2_latency: u32,
+    clusters: u32,
+) -> ArchSpec {
     ArchSpec::new(alus, muls, regs, l2_ports, l2_latency, clusters)
         .expect("paper table rows are valid specs")
 }

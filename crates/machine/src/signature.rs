@@ -1,0 +1,111 @@
+//! Canonical scheduling signatures: which architectures compile alike.
+//!
+//! The back end's phases — lowering, dependence graphs, cluster
+//! assignment, list scheduling, and the register-*pressure* computation —
+//! read only the machine's issue resources and latencies: per-cluster
+//! ALU/IMUL slots, memory-port placement, the branch unit, the cluster
+//! count, and the Level-2 latency. Register-file *size* enters the
+//! pipeline only at the very end, when peak pressure is compared against
+//! bank capacity. Two architectures that differ only in `r` therefore
+//! produce bit-identical schedules, and the paper's `r ∈ {64, 128, 256,
+//! 512}` sweep axis collapses to one compilation per signature.
+//!
+//! [`SchedSignature`] is the canonical key for that equivalence class.
+//! It is exactly [`ArchSpec`] minus `regs`: per-cluster shapes are a
+//! pure function of `(alus, muls, l2_ports, clusters)` (round-robin
+//! dealing, branch on cluster 0), so the five totals determine every
+//! quantity the scheduler reads.
+
+use crate::arch::ArchSpec;
+
+/// The schedule-relevant projection of an [`ArchSpec`].
+///
+/// Everything the compiler's machine-dependent phases consume, and
+/// nothing more. Architectures with equal signatures get identical
+/// schedules, assignments, and peak register pressure — only the
+/// fits/spills verdict (capacity-dependent) may differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SchedSignature {
+    /// Total ALUs (`a`).
+    pub alus: u32,
+    /// IMUL-capable ALUs (`m`).
+    pub muls: u32,
+    /// Level-2 memory ports (`p2`).
+    pub l2_ports: u32,
+    /// Level-2 access latency (`l2`).
+    pub l2_latency: u32,
+    /// Cluster count (`c`).
+    pub clusters: u32,
+}
+
+impl ArchSpec {
+    /// The canonical scheduling signature of this architecture: the spec
+    /// with the register-file size projected away.
+    #[must_use]
+    pub fn sched_signature(&self) -> SchedSignature {
+        SchedSignature {
+            alus: self.alus,
+            muls: self.muls,
+            l2_ports: self.l2_ports,
+            l2_latency: self.l2_latency,
+            clusters: self.clusters,
+        }
+    }
+}
+
+impl std::fmt::Display for SchedSignature {
+    /// Paper tuple order with the register field elided: `(a m _ p2 l2 c)`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "({} {} _ {} {} {})",
+            self.alus, self.muls, self.l2_ports, self.l2_latency, self.clusters
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resources::MachineResources;
+
+    #[test]
+    fn signature_ignores_registers_only() {
+        let a = ArchSpec::new(8, 4, 256, 2, 4, 4).unwrap();
+        let b = ArchSpec::new(8, 4, 512, 2, 4, 4).unwrap();
+        assert_eq!(a.sched_signature(), b.sched_signature());
+        for other in [
+            ArchSpec::new(4, 4, 256, 2, 4, 4).unwrap(),
+            ArchSpec::new(8, 2, 256, 2, 4, 4).unwrap(),
+            ArchSpec::new(8, 4, 256, 1, 4, 4).unwrap(),
+            ArchSpec::new(8, 4, 256, 2, 8, 4).unwrap(),
+            ArchSpec::new(8, 4, 256, 2, 4, 2).unwrap(),
+        ] {
+            assert_ne!(a.sched_signature(), other.sched_signature(), "{other}");
+        }
+    }
+
+    #[test]
+    fn equal_signatures_mean_equal_scheduler_inputs() {
+        // The reservation tables of equal-signature machines differ only
+        // in register capacity.
+        let a = MachineResources::from_spec(&ArchSpec::new(8, 3, 128, 3, 4, 4).unwrap());
+        let b = MachineResources::from_spec(&ArchSpec::new(8, 3, 512, 3, 4, 4).unwrap());
+        assert_eq!(a.l2_latency, b.l2_latency);
+        assert_eq!(a.cluster_count(), b.cluster_count());
+        for (ca, cb) in a.clusters.iter().zip(&b.clusters) {
+            assert_eq!(ca.alus, cb.alus);
+            assert_eq!(ca.mul_capable, cb.mul_capable);
+            assert_eq!(ca.l1_ports, cb.l1_ports);
+            assert_eq!(ca.l2_ports, cb.l2_ports);
+            assert_eq!(ca.has_branch, cb.has_branch);
+            assert_ne!(ca.regs, cb.regs);
+        }
+    }
+
+    #[test]
+    fn display_elides_the_register_field() {
+        let s = ArchSpec::new(8, 4, 256, 1, 4, 4).unwrap().sched_signature();
+        assert_eq!(s.to_string(), "(8 4 _ 1 4 4)");
+    }
+}

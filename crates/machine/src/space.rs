@@ -60,10 +60,7 @@ impl DesignSpace {
         [1_u32, 2, 4, 8, 16]
             .into_iter()
             .filter(|&c| {
-                c <= spec.alus
-                    && spec.alus % c == 0
-                    && spec.regs % c == 0
-                    && spec.regs / c >= 16
+                c <= spec.alus && spec.alus % c == 0 && spec.regs % c == 0 && spec.regs / c >= 16
             })
             .collect()
     }

@@ -3,88 +3,89 @@
 //! enumerable parameter lattice (not just the curated design space).
 
 use cfp_machine::{ArchSpec, CostModel, CycleModel, DesignSpace, MachineResources};
-use proptest::prelude::*;
+use cfp_testkit::{cases, Rng};
 
-fn any_field() -> impl Strategy<Value = (u32, u32, u32, u32, u32, u32)> {
+fn any_field(rng: &mut Rng) -> (u32, u32, u32, u32, u32, u32) {
     (
-        1_u32..=16,  // alus (any value, not just powers of two)
-        1_u32..=16,  // muls
-        16_u32..=512,
-        1_u32..=4,
-        1_u32..=8,
-        1_u32..=16,
+        rng.range_u32(1..=16), // alus (any value, not just powers of two)
+        rng.range_u32(1..=16), // muls
+        rng.range_u32(16..=512),
+        rng.range_u32(1..=4),
+        rng.range_u32(1..=8),
+        rng.range_u32(1..=16),
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
-
-    /// `ArchSpec::new` never panics, and accepted specs satisfy every
-    /// structural invariant.
-    #[test]
-    fn validation_is_total_and_sound((a, m, r, p2, l2, c) in any_field()) {
+/// `ArchSpec::new` never panics, and accepted specs satisfy every
+/// structural invariant.
+#[test]
+fn validation_is_total_and_sound() {
+    cases(0xa2c4_0001, 256, |rng| {
+        let (a, m, r, p2, l2, c) = any_field(rng);
         match ArchSpec::new(a, m, r, p2, l2, c) {
             Ok(spec) => {
-                prop_assert!(spec.muls <= spec.alus);
-                prop_assert!(spec.clusters <= spec.alus);
-                prop_assert_eq!(spec.alus % spec.clusters, 0);
-                prop_assert_eq!(spec.regs % spec.clusters, 0);
+                assert!(spec.muls <= spec.alus);
+                assert!(spec.clusters <= spec.alus);
+                assert_eq!(spec.alus % spec.clusters, 0);
+                assert_eq!(spec.regs % spec.clusters, 0);
 
                 // Conservation across cluster shapes.
                 let shapes: Vec<_> = spec.cluster_shapes().collect();
-                prop_assert_eq!(shapes.iter().map(|s| s.alus).sum::<u32>(), spec.alus);
-                prop_assert_eq!(shapes.iter().map(|s| s.muls).sum::<u32>(), spec.muls);
-                prop_assert_eq!(shapes.iter().map(|s| s.regs).sum::<u32>(), spec.regs);
-                prop_assert_eq!(
+                assert_eq!(shapes.iter().map(|s| s.alus).sum::<u32>(), spec.alus);
+                assert_eq!(shapes.iter().map(|s| s.muls).sum::<u32>(), spec.muls);
+                assert_eq!(shapes.iter().map(|s| s.regs).sum::<u32>(), spec.regs);
+                assert_eq!(
                     shapes.iter().map(|s| s.l1_ports + s.l2_ports).sum::<u32>(),
                     spec.total_mem_ports()
                 );
-                prop_assert_eq!(shapes.iter().filter(|s| s.has_branch).count(), 1);
-                prop_assert_eq!(shapes.iter().map(|s| s.l1_ports).sum::<u32>(), 1);
+                assert_eq!(shapes.iter().filter(|s| s.has_branch).count(), 1);
+                assert_eq!(shapes.iter().map(|s| s.l1_ports).sum::<u32>(), 1);
 
                 // Round-robin dealing differs by at most one across clusters.
-                let mem_counts: Vec<u32> =
-                    shapes.iter().map(|s| s.l1_ports + s.l2_ports).collect();
+                let mem_counts: Vec<u32> = shapes.iter().map(|s| s.l1_ports + s.l2_ports).collect();
                 let (mn, mx) = (
                     *mem_counts.iter().min().unwrap(),
                     *mem_counts.iter().max().unwrap(),
                 );
-                prop_assert!(mx - mn <= 1);
+                assert!(mx - mn <= 1);
 
                 // Display/parse round trip.
                 let text = spec.to_string();
-                prop_assert_eq!(ArchSpec::parse(&text).unwrap(), spec);
+                assert_eq!(ArchSpec::parse(&text).unwrap(), spec);
 
                 // Resources mirror the shapes.
                 let res = MachineResources::from_spec(&spec);
-                prop_assert_eq!(res.cluster_count(), spec.clusters as usize);
-                prop_assert_eq!(res.total_alus(), spec.alus);
-                prop_assert!(res.can_multiply());
+                assert_eq!(res.cluster_count(), spec.clusters as usize);
+                assert_eq!(res.total_alus(), spec.alus);
+                assert!(res.can_multiply());
             }
             Err(_) => {
                 // Rejected specs really do break an invariant.
                 let broken = m > a || c > a || a % c != 0 || r % c != 0;
-                prop_assert!(broken, "({a} {m} {r} {p2} {l2} {c}) rejected spuriously");
+                assert!(broken, "({a} {m} {r} {p2} {l2} {c}) rejected spuriously");
             }
         }
-    }
+    });
+}
 
-    /// Models are finite, positive, and baseline-normalized for every
-    /// valid spec.
-    #[test]
-    fn models_are_sane_everywhere((a, m, r, p2, l2, c) in any_field()) {
+/// Models are finite, positive, and baseline-normalized for every
+/// valid spec.
+#[test]
+fn models_are_sane_everywhere() {
+    cases(0xa2c4_0002, 256, |rng| {
+        let (a, m, r, p2, l2, c) = any_field(rng);
         if let Ok(spec) = ArchSpec::new(a, m, r, p2, l2, c) {
             let cost = CostModel::paper_calibrated().cost(&spec);
             let derate = CycleModel::paper_calibrated().derate(&spec);
-            prop_assert!(cost.is_finite() && cost > 0.0);
-            prop_assert!(derate.is_finite() && derate > 0.5);
+            assert!(cost.is_finite() && cost > 0.0);
+            assert!(derate.is_finite() && derate > 0.5);
             // Nothing is cheaper than the baseline by more than rounding:
             // the baseline is the minimal machine of the space.
             if spec.alus >= 1 && spec.regs >= 64 && spec.l2_ports >= 1 {
-                prop_assert!(cost > 0.5, "{spec}: {cost}");
+                assert!(cost > 0.5, "{spec}: {cost}");
             }
         }
-    }
+    });
 }
 
 #[test]

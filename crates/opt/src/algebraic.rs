@@ -44,9 +44,7 @@ fn rewrite_bin(dst: cfp_ir::Vreg, op: BinOp, a: Operand, b: Operand) -> Option<I
         // Multiplicative identities, absorption, and power-of-two shifts.
         (BinOp::Mul, x, Imm(1)) | (BinOp::Mul, Imm(1), x) => mov(x),
         (BinOp::Mul, _, Imm(0)) | (BinOp::Mul, Imm(0), _) => mov(Imm(0)),
-        (BinOp::Mul, x, Imm(k)) | (BinOp::Mul, Imm(k), x)
-            if k > 1 && (k & (k - 1)) == 0 =>
-        {
+        (BinOp::Mul, x, Imm(k)) | (BinOp::Mul, Imm(k), x) if k > 1 && (k & (k - 1)) == 0 => {
             Some(Inst::Bin {
                 dst,
                 op: BinOp::Shl,
@@ -57,7 +55,9 @@ fn rewrite_bin(dst: cfp_ir::Vreg, op: BinOp, a: Operand, b: Operand) -> Option<I
         // Bitwise identities.
         (BinOp::And, x, Imm(-1)) | (BinOp::And, Imm(-1), x) => mov(x),
         (BinOp::And, _, Imm(0)) | (BinOp::And, Imm(0), _) => mov(Imm(0)),
-        (BinOp::Or, x, Imm(0)) | (BinOp::Or, Imm(0), x) | (BinOp::Xor, x, Imm(0))
+        (BinOp::Or, x, Imm(0))
+        | (BinOp::Or, Imm(0), x)
+        | (BinOp::Xor, x, Imm(0))
         | (BinOp::Xor, Imm(0), x) => mov(x),
         (BinOp::And | BinOp::Or, x, y) if x == y && x.reg().is_some() => mov(x),
         (BinOp::Xor, x, y) if x == y && x.reg().is_some() => mov(Imm(0)),
@@ -90,10 +90,26 @@ mod tests {
             let _ = b.mul(x, 0_i64);
             let _ = b.sub(x, x);
         });
-        assert!(matches!(body[1], Inst::Un { op: UnOp::Copy, a, .. } if a == Operand::Reg(Vreg(0))));
+        assert!(
+            matches!(body[1], Inst::Un { op: UnOp::Copy, a, .. } if a == Operand::Reg(Vreg(0)))
+        );
         assert!(matches!(body[2], Inst::Un { op: UnOp::Copy, .. }));
-        assert!(matches!(body[3], Inst::Un { op: UnOp::Copy, a: Operand::Imm(0), .. }));
-        assert!(matches!(body[4], Inst::Un { op: UnOp::Copy, a: Operand::Imm(0), .. }));
+        assert!(matches!(
+            body[3],
+            Inst::Un {
+                op: UnOp::Copy,
+                a: Operand::Imm(0),
+                ..
+            }
+        ));
+        assert!(matches!(
+            body[4],
+            Inst::Un {
+                op: UnOp::Copy,
+                a: Operand::Imm(0),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -102,7 +118,14 @@ mod tests {
             let _ = b.mul(x, 8_i64);
         });
         assert!(
-            matches!(body[1], Inst::Bin { op: BinOp::Shl, b: Operand::Imm(3), .. }),
+            matches!(
+                body[1],
+                Inst::Bin {
+                    op: BinOp::Shl,
+                    b: Operand::Imm(3),
+                    ..
+                }
+            ),
             "{:?}",
             body[1]
         );
@@ -131,7 +154,21 @@ mod tests {
             let _ = b.cmp(Pred::Le, x, x);
             let _ = b.cmp(Pred::Ne, x, x);
         });
-        assert!(matches!(body[1], Inst::Un { op: UnOp::Copy, a: Operand::Imm(1), .. }));
-        assert!(matches!(body[2], Inst::Un { op: UnOp::Copy, a: Operand::Imm(0), .. }));
+        assert!(matches!(
+            body[1],
+            Inst::Un {
+                op: UnOp::Copy,
+                a: Operand::Imm(1),
+                ..
+            }
+        ));
+        assert!(matches!(
+            body[2],
+            Inst::Un {
+                op: UnOp::Copy,
+                a: Operand::Imm(0),
+                ..
+            }
+        ));
     }
 }

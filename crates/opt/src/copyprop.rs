@@ -91,7 +91,9 @@ mod tests {
         crate::dce::eliminate(&mut k);
         cfp_ir::verify(&k).unwrap();
         assert_eq!(k.body.len(), 3, "load + add + store: {:#?}", k.body);
-        let Inst::Bin { a, .. } = k.body[1] else { panic!() };
+        let Inst::Bin { a, .. } = k.body[1] else {
+            panic!()
+        };
         assert_eq!(a, Operand::Reg(x));
     }
 
@@ -105,7 +107,9 @@ mod tests {
         let mut k = b.finish();
         propagate(&mut k);
         crate::dce::eliminate(&mut k);
-        let Inst::Bin { a, .. } = k.body[0] else { panic!() };
+        let Inst::Bin { a, .. } = k.body[0] else {
+            panic!()
+        };
         assert_eq!(a, Operand::Imm(41));
     }
 

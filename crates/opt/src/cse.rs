@@ -139,7 +139,11 @@ mod tests {
         b.store(d, 1, 0, z, Ty::I32);
         let mut k = b.finish();
         eliminate(&mut k);
-        let loads = k.body.iter().filter(|i| matches!(i, Inst::Ld { .. })).count();
+        let loads = k
+            .body
+            .iter()
+            .filter(|i| matches!(i, Inst::Ld { .. }))
+            .count();
         assert_eq!(loads, 1);
         // The add now reads the surviving load twice.
         let Inst::Bin { a, b: bb, .. } = k.body[1] else {
@@ -213,7 +217,11 @@ mod tests {
         b.store(d, 1, 0, z, Ty::I32);
         let mut k = b.finish();
         eliminate(&mut k);
-        let cmps = k.body.iter().filter(|i| matches!(i, Inst::Cmp { .. })).count();
+        let cmps = k
+            .body
+            .iter()
+            .filter(|i| matches!(i, Inst::Cmp { .. }))
+            .count();
         assert_eq!(cmps, 1);
     }
 

@@ -38,9 +38,9 @@ pub fn eliminate(kernel: &mut Kernel) {
         }
     };
 
-    kernel.body.retain(|inst| {
-        inst.is_store() || inst.def().is_some_and(|d| closure.contains(&d))
-    });
+    kernel
+        .body
+        .retain(|inst| inst.is_store() || inst.def().is_some_and(|d| closure.contains(&d)));
     kernel
         .preamble
         .retain(|inst| inst.def().is_some_and(|d| closure.contains(&d)));

@@ -10,9 +10,7 @@ pub fn constant_fold(kernel: &mut Kernel) {
     let (pre, body) = (&mut kernel.preamble, &mut kernel.body);
     for inst in pre.iter_mut().chain(body.iter_mut()) {
         inst.map_operands(|o| match o {
-            Operand::Reg(v) => known
-                .get(&v)
-                .map_or(o, |&c| Operand::Imm(c)),
+            Operand::Reg(v) => known.get(&v).map_or(o, |&c| Operand::Imm(c)),
             imm => imm,
         });
         if let Some((dst, value)) = fold_inst(inst) {

@@ -82,7 +82,11 @@ fn promote_one(kernel: &mut Kernel, array_idx: u32) {
                 let _ = lty;
                 new_body.push(Inst::mov(dst, src));
             }
-            Inst::St { mem, value, ty: sty } if mem.array.0 == array_idx => {
+            Inst::St {
+                mem,
+                value,
+                ty: sty,
+            } if mem.array.0 == array_idx => {
                 // Narrow exactly like a store of this element type.
                 let v = fresh();
                 new_body.push(narrowing_inst(v, value, sty));
@@ -143,7 +147,11 @@ mod tests {
         .unwrap();
         assert_eq!(promote_locals(&mut k), 1);
         cfp_ir::verify(&k).unwrap();
-        assert_eq!(k.mem_counts(), (0, 2), "only the real load and store remain");
+        assert_eq!(
+            k.mem_counts(),
+            (0, 2),
+            "only the real load and store remain"
+        );
     }
 
     #[test]

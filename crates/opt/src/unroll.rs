@@ -10,7 +10,7 @@
 //! larger ones" (§2.4).
 
 use cfp_ir::{Carried, Inst, Kernel, Operand, Vreg};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 /// Unroll `kernel` by `factor` (≥ 1). The result performs `factor`
 /// original iterations per new iteration, so run it for `n / factor`
@@ -24,7 +24,6 @@ pub fn unroll(kernel: &Kernel, factor: u32) -> Kernel {
     if factor == 1 {
         return kernel.clone();
     }
-    let body_defs: HashSet<Vreg> = kernel.body.iter().filter_map(Inst::def).collect();
     let carry_of: HashMap<Vreg, usize> = kernel
         .carried
         .iter()
@@ -51,7 +50,15 @@ pub fn unroll(kernel: &Kernel, factor: u32) -> Kernel {
     let mut cur_in: Vec<Vreg> = kernel.carried.iter().map(|c| c.input).collect();
 
     for u in 0..factor {
-        let remap: HashMap<Vreg, Vreg> = body_defs.iter().map(|&v| (v, fresh())).collect();
+        // Number the copy's registers in instruction order: the output
+        // must be a pure function of the input so that identical plans
+        // stay identical (content-addressed plan interning depends on it).
+        let remap: HashMap<Vreg, Vreg> = kernel
+            .body
+            .iter()
+            .filter_map(Inst::def)
+            .map(|v| (v, fresh()))
+            .collect();
         for inst in &kernel.body {
             let mut ni = *inst;
             ni.map_def(|d| remap[&d]);

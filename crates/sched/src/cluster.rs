@@ -17,7 +17,7 @@ use cfp_machine::{MachineResources, ALU_LATENCY};
 use std::collections::{HashMap, HashSet};
 
 /// The result of cluster assignment.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Assignment {
     /// The loop code with move ops appended and uses rewritten.
     pub code: LoopCode,

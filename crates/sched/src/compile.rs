@@ -8,13 +8,13 @@ use crate::cluster::{assign, Assignment};
 use crate::ddg::Ddg;
 use crate::list::{self, Schedule};
 use crate::loopcode::LoopCode;
-use crate::regalloc::{pressure, PressureReport};
+use crate::regalloc::{peak_pressure, PressureReport};
 use cfp_ir::Kernel;
 use cfp_machine::MachineResources;
 
 /// Everything the middle end and the design-space exploration need to
 /// know about one compilation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompileResult {
     /// The scheduled iteration.
     pub schedule: Schedule,
@@ -47,25 +47,101 @@ impl CompileResult {
     }
 }
 
-/// Compile one kernel for one machine.
+/// The machine-independent prefix of a compilation: lowered loop code
+/// plus its pre-assignment dependence graph.
+///
+/// Of the whole machine description, this phase reads only the memory
+/// latencies (Level-1 is a model constant; Level-2 is the spec's `l2`
+/// field), so one `Prepared` serves every architecture sharing an
+/// `l2_latency`. The design-space exploration builds it once per plan
+/// and reuses it across the sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Prepared {
+    /// The lowered, schedulable loop body.
+    pub code: LoopCode,
+    /// Dependence graph over `code` (pre cluster assignment).
+    pub ddg: Ddg,
+}
+
+/// Run the machine-independent phase: lower `kernel` and build its
+/// dependence graph.
 #[must_use]
-pub fn compile(kernel: &Kernel, machine: &MachineResources) -> CompileResult {
+pub fn prepare(kernel: &Kernel, machine: &MachineResources) -> Prepared {
     let code = LoopCode::build(kernel, machine);
-    let pre_ddg = Ddg::build(&code);
-    let assignment = assign(&code, &pre_ddg, machine);
+    let ddg = Ddg::build(&code);
+    Prepared { code, ddg }
+}
+
+/// The register-capacity-free core of a compilation: everything
+/// determined by the plan and the machine's scheduling signature
+/// ([`cfp_machine::SchedSignature`] — the spec minus its register-file
+/// size). Two machines differing only in registers share one `SchedCore`
+/// bit for bit; only the fits/spills verdict, computed by [`finish`],
+/// can differ between them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedCore {
+    /// The scheduled iteration.
+    pub schedule: Schedule,
+    /// The assigned loop code (moves included).
+    pub assignment: Assignment,
+    /// Maximum simultaneous live values per cluster.
+    pub peak: Vec<u32>,
+    /// Schedule length in cycles (no spill traffic).
+    pub length: u32,
+    /// Inter-cluster moves inserted.
+    pub move_count: usize,
+    /// The dependence-graph lower bound on the iteration.
+    pub critical_path: u32,
+}
+
+/// Run the machine-dependent phase on a prepared plan: cluster
+/// assignment, list scheduling, and peak register pressure.
+#[must_use]
+pub fn compile_core(prepared: &Prepared, machine: &MachineResources) -> SchedCore {
+    let assignment = assign(&prepared.code, &prepared.ddg, machine);
     let ddg = Ddg::build(&assignment.code);
     let schedule = list::schedule(&assignment, &ddg, machine);
-    let pressure = pressure(&assignment, &schedule, machine);
-    let spill_penalty = spill_penalty_cycles(pressure.spill_excess(), machine);
-    CompileResult {
+    let peak = peak_pressure(&assignment, &schedule, machine.cluster_count());
+    SchedCore {
         length: schedule.length,
         critical_path: ddg.critical_path(),
         move_count: assignment.move_count,
         schedule,
         assignment,
-        pressure,
-        spill_penalty,
+        peak,
     }
+}
+
+/// Judge a scheduled core against a concrete machine's register files:
+/// attach capacities and price the spill traffic. This is the only step
+/// that reads the register-file size, and it is cheap — the exploration
+/// runs it once per register configuration while sharing the core.
+#[must_use]
+pub fn finish(core: &SchedCore, machine: &MachineResources) -> CompileResult {
+    let pressure = PressureReport {
+        peak: core.peak.clone(),
+        capacity: machine.clusters.iter().map(|cl| cl.regs).collect(),
+    };
+    let spill_penalty = spill_penalty_cycles(pressure.spill_excess(), machine);
+    CompileResult {
+        schedule: core.schedule.clone(),
+        assignment: core.assignment.clone(),
+        pressure,
+        length: core.length,
+        spill_penalty,
+        move_count: core.move_count,
+        critical_path: core.critical_path,
+    }
+}
+
+/// Compile one kernel for one machine.
+///
+/// Equivalent to [`prepare`] → [`compile_core`] → [`finish`]; the phases
+/// are public so callers that sweep many machines can cache the first
+/// two (see `cfp-dse`).
+#[must_use]
+pub fn compile(kernel: &Kernel, machine: &MachineResources) -> CompileResult {
+    finish(&compile_core(&prepare(kernel, machine), machine), machine)
 }
 
 /// Cycles of spill traffic per iteration when `excess` values do not fit.
@@ -145,9 +221,41 @@ mod tests {
     }
 
     #[test]
+    fn phased_compile_matches_the_one_shot_path() {
+        let k = compile_kernel(STENCIL, &[]).unwrap();
+        for spec in [
+            ArchSpec::baseline(),
+            ArchSpec::new(8, 4, 256, 2, 4, 4).unwrap(),
+            ArchSpec::new(16, 8, 128, 4, 2, 2).unwrap(),
+        ] {
+            let m = MachineResources::from_spec(&spec);
+            let phased = finish(&compile_core(&prepare(&k, &m), &m), &m);
+            assert_eq!(phased, compile(&k, &m), "{spec}");
+        }
+    }
+
+    #[test]
+    fn the_core_ignores_register_file_size() {
+        let k = compile_kernel(STENCIL, &[]).unwrap();
+        let small = MachineResources::from_spec(&ArchSpec::new(8, 4, 64, 2, 4, 4).unwrap());
+        let large = MachineResources::from_spec(&ArchSpec::new(8, 4, 512, 2, 4, 4).unwrap());
+        let prepared = prepare(&k, &small);
+        assert_eq!(prepared, prepare(&k, &large));
+        let core = compile_core(&prepared, &small);
+        assert_eq!(core, compile_core(&prepared, &large));
+        // Only the capacity verdict may differ between the two machines.
+        let (a, b) = (finish(&core, &small), finish(&core, &large));
+        assert_eq!(a.pressure.peak, b.pressure.peak);
+        assert_ne!(a.pressure.capacity, b.pressure.capacity);
+    }
+
+    #[test]
     fn clustered_compile_is_consistent() {
         let r = res(STENCIL, &ArchSpec::new(8, 4, 256, 2, 4, 4).unwrap());
-        assert_eq!(r.assignment.cluster_of_op.len(), r.assignment.code.ops.len());
+        assert_eq!(
+            r.assignment.cluster_of_op.len(),
+            r.assignment.code.ops.len()
+        );
         assert_eq!(r.schedule.placements.len(), r.assignment.code.ops.len());
         assert!(r.fits());
     }

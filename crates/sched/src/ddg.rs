@@ -42,7 +42,7 @@ pub struct Dep {
 }
 
 /// The dependence graph.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Ddg {
     /// Edges grouped by consumer.
     pub preds: Vec<Vec<Dep>>,
@@ -213,9 +213,7 @@ mod tests {
 
     #[test]
     fn raw_edges_carry_producer_latency() {
-        let lc = code_for(
-            "kernel k(in u8 s[], out i32 d[]) { loop i { d[i] = s[i] * 3; } }",
-        );
+        let lc = code_for("kernel k(in u8 s[], out i32 d[]) { loop i { d[i] = s[i] * 3; } }");
         let g = Ddg::build(&lc);
         // Find the multiply; its predecessor is the load (latency 8 on the
         // baseline's L2).
@@ -303,9 +301,8 @@ mod tests {
 
     #[test]
     fn critical_path_is_a_lower_bound() {
-        let lc = code_for(
-            "kernel k(in u8 s[], out i32 d[]) { loop i { d[i] = (s[i] * 3 + 1) * 5; } }",
-        );
+        let lc =
+            code_for("kernel k(in u8 s[], out i32 d[]) { loop i { d[i] = (s[i] * 3 + 1) * 5; } }");
         let g = Ddg::build(&lc);
         // ld(8) + mul(2) + add(1) + mul(2) + st issues → ≥ 13.
         assert!(g.critical_path() >= 13, "{}", g.critical_path());

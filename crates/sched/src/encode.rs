@@ -93,9 +93,7 @@ impl Program {
     pub fn raw_bytes(&self) -> usize {
         self.words
             .iter()
-            .map(|w| {
-                (self.slots_per_word * SLOT_BITS as usize).div_ceil(8) + 4 * w.imms.len()
-            })
+            .map(|w| (self.slots_per_word * SLOT_BITS as usize).div_ceil(8) + 4 * w.imms.len())
             .sum()
     }
 
@@ -270,12 +268,7 @@ pub fn encode(
         // Local first; a move reads its source from the owning cluster's
         // bank over the global connection.
         phys.get(v, cluster)
-            .or_else(|| {
-                assignment
-                    .home_of
-                    .get(&v)
-                    .and_then(|&h| phys.get(v, h))
-            })
+            .or_else(|| assignment.home_of.get(&v).and_then(|&h| phys.get(v, h)))
             .ok_or(EncodeError::Unallocated(v))
     };
     let (bases, total_slots) = slot_layout(machine);
@@ -301,9 +294,8 @@ pub fn encode(
                 cluster.alus as usize + cluster.l1_ports as usize + cluster.l2_ports as usize,
             ),
             FuClass::Branch => {
-                let b = cluster.alus as usize
-                    + cluster.l1_ports as usize
-                    + cluster.l2_ports as usize;
+                let b =
+                    cluster.alus as usize + cluster.l1_ports as usize + cluster.l2_ports as usize;
                 (b, b + usize::from(cluster.has_branch))
             }
         };
@@ -315,10 +307,10 @@ pub fn encode(
         let mut fields = [SrcField::None, SrcField::None, SrcField::None];
         let mut n = 0;
         let add_field = |o: Operand,
-                             word: &mut InstWord,
-                             fields: &mut [SrcField; 3],
-                             n: &mut usize,
-                             cycle: u32|
+                         word: &mut InstWord,
+                         fields: &mut [SrcField; 3],
+                         n: &mut usize,
+                         cycle: u32|
          -> Result<(), EncodeError> {
             debug_assert!(*n < 3, "no op reads more than three values");
             fields[*n] = match o {
@@ -411,7 +403,10 @@ mod tests {
     use cfp_frontend::compile_kernel;
     use cfp_machine::ArchSpec;
 
-    fn program_for(src: &str, spec: &ArchSpec) -> (Program, crate::compile::CompileResult, MachineResources) {
+    fn program_for(
+        src: &str,
+        spec: &ArchSpec,
+    ) -> (Program, crate::compile::CompileResult, MachineResources) {
         let k = compile_kernel(src, &[]).unwrap();
         let m = MachineResources::from_spec(spec);
         let r = compile(&k, &m);

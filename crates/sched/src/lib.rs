@@ -22,7 +22,13 @@
 //! 8. [`modulo`] is an ablation scheduler: software pipelining, to
 //!    quantify what the paper's loop-barrier discipline costs.
 //!
-//! [`compile`](compile::compile) glues the pipeline together.
+//! [`compile`](compile::compile) glues the pipeline together. The
+//! pipeline is also exposed as three cacheable phases —
+//! [`prepare`](compile::prepare) (machine-independent),
+//! [`compile_core`](compile::compile_core) (depends on the machine's
+//! scheduling signature but not its register-file size), and
+//! [`finish`](compile::finish) (the capacity verdict) — so a sweep over
+//! many machines can share everything two of them compile alike.
 //!
 //! ```
 //! use cfp_frontend::compile_kernel;
@@ -52,11 +58,14 @@ pub mod regalloc;
 pub mod simulate;
 
 pub use cluster::Assignment;
-pub use encode::{decode, encode, EncodeError, Program};
-pub use compile::{compile, CompileResult};
+pub use compile::{
+    compile, compile_core, finish, prepare, spill_penalty_cycles, CompileResult, Prepared,
+    SchedCore,
+};
 pub use ddg::{Ddg, Dep, DepKind};
+pub use encode::{decode, encode, EncodeError, Program};
 pub use list::{render, schedule, schedule_with, Placement, Priority, Schedule};
-pub use modulo::{modulo_schedule, ModuloSchedule, OmegaDep};
 pub use loopcode::{FuClass, LoopCode, OpOrigin, SOp};
-pub use regalloc::{pressure, PressureReport};
+pub use modulo::{modulo_schedule, ModuloSchedule, OmegaDep};
+pub use regalloc::{peak_pressure, pressure, PressureReport};
 pub use simulate::{simulate, SimError, SimStats};

@@ -27,7 +27,7 @@ pub struct Placement {
 }
 
 /// A complete schedule of one loop iteration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schedule {
     /// Placement of each op (indexed like the assigned loop code).
     pub placements: Vec<Placement>,

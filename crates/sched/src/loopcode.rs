@@ -71,7 +71,7 @@ pub struct SOp {
 }
 
 /// The flattened, schedulable form of one loop iteration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LoopCode {
     /// All operations (body order first, then overhead ops).
     pub ops: Vec<SOp>,

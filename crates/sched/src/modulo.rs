@@ -248,10 +248,10 @@ pub fn rec_mii(n_ops: usize, deps: &[OmegaDep], hi_hint: u32) -> u32 {
 /// Modulo reservation state for one candidate II.
 struct ModTable {
     ii: u32,
-    alu: Vec<Vec<u32>>,    // [cluster][slot mod ii]
-    mul: Vec<Vec<u32>>,    // [cluster][slot mod ii]
+    alu: Vec<Vec<u32>>,      // [cluster][slot mod ii]
+    mul: Vec<Vec<u32>>,      // [cluster][slot mod ii]
     mem: Vec<[Vec<u32>; 2]>, // [cluster][level][slot mod ii] busy counts
-    branch: Vec<u32>,      // [slot mod ii]
+    branch: Vec<u32>,        // [slot mod ii]
 }
 
 impl ModTable {
@@ -266,14 +266,18 @@ impl ModTable {
         }
     }
 
-    fn fits(&self, op: &crate::loopcode::SOp, cluster: usize, slot: u32, m: &MachineResources) -> bool {
+    fn fits(
+        &self,
+        op: &crate::loopcode::SOp,
+        cluster: usize,
+        slot: u32,
+        m: &MachineResources,
+    ) -> bool {
         let s = (slot % self.ii) as usize;
         let cl = &m.clusters[cluster];
         match op.class {
             FuClass::Alu => self.alu[cluster][s] < cl.alus,
-            FuClass::Mul => {
-                self.alu[cluster][s] < cl.alus && self.mul[cluster][s] < cl.mul_capable
-            }
+            FuClass::Mul => self.alu[cluster][s] < cl.alus && self.mul[cluster][s] < cl.mul_capable,
             FuClass::Branch => self.branch[s] < u32::from(cl.has_branch),
             FuClass::Mem(level) => {
                 if op.latency > self.ii {
@@ -281,9 +285,8 @@ impl ModTable {
                 }
                 let li = usize::from(level == MemLevel::L2);
                 let ports = if li == 0 { cl.l1_ports } else { cl.l2_ports };
-                (0..op.latency).all(|dt| {
-                    self.mem[cluster][li][((slot + dt) % self.ii) as usize] < ports
-                })
+                (0..op.latency)
+                    .all(|dt| self.mem[cluster][li][((slot + dt) % self.ii) as usize] < ports)
             }
         }
     }
@@ -373,8 +376,8 @@ pub fn modulo_schedule(
         }
         // Check every dependence (including carried ones) at this II.
         let ok = deps.iter().all(|d| {
-            i64::from(slots[d.to]) >= i64::from(slots[d.from]) + i64::from(d.lat)
-                - i64::from(ii) * i64::from(d.omega)
+            i64::from(slots[d.to])
+                >= i64::from(slots[d.from]) + i64::from(d.lat) - i64::from(ii) * i64::from(d.omega)
         });
         if !ok {
             continue;
@@ -496,12 +499,27 @@ mod tests {
     fn rec_mii_binary_search_matches_hand_value() {
         // A 2-cycle: a→b (lat 3, ω0), b→a (lat 3, ω1): II ≥ 6.
         let deps = [
-            OmegaDep { from: 0, to: 1, lat: 3, omega: 0 },
-            OmegaDep { from: 1, to: 0, lat: 3, omega: 1 },
+            OmegaDep {
+                from: 0,
+                to: 1,
+                lat: 3,
+                omega: 0,
+            },
+            OmegaDep {
+                from: 1,
+                to: 0,
+                lat: 3,
+                omega: 1,
+            },
         ];
         assert_eq!(rec_mii(2, &deps, 4), 6);
         // No cycles → 1.
-        let acyclic = [OmegaDep { from: 0, to: 1, lat: 9, omega: 0 }];
+        let acyclic = [OmegaDep {
+            from: 0,
+            to: 1,
+            lat: 9,
+            omega: 0,
+        }];
         assert_eq!(rec_mii(2, &acyclic, 4), 1);
     }
 

@@ -58,8 +58,24 @@ pub fn pressure(
     schedule: &Schedule,
     machine: &MachineResources,
 ) -> PressureReport {
+    PressureReport {
+        peak: peak_pressure(assignment, schedule, machine.cluster_count()),
+        capacity: machine.clusters.iter().map(|cl| cl.regs).collect(),
+    }
+}
+
+/// Maximum simultaneous live values per cluster.
+///
+/// This is the capacity-free half of [`pressure`]: the live intervals are
+/// fully determined by the assignment and the schedule, so the peaks
+/// depend on the machine only through its cluster count — never its
+/// register-file size. The design-space exploration exploits this to
+/// share one computation across every register configuration of an
+/// otherwise-identical architecture.
+#[must_use]
+pub fn peak_pressure(assignment: &Assignment, schedule: &Schedule, clusters: usize) -> Vec<u32> {
     let code = &assignment.code;
-    let nc = machine.cluster_count();
+    let nc = clusters;
     let len = schedule.length as usize;
     let resident: HashSet<Vreg> = code.resident.iter().copied().collect();
     let carried_out: HashSet<Vreg> = code.carried.iter().map(|&(_, o)| o).collect();
@@ -102,9 +118,7 @@ pub fn pressure(
         let end = if carried_out.contains(&d) {
             len
         } else {
-            last_use
-                .get(&d)
-                .map_or(start + 1, |&u| (u as usize) + 1)
+            last_use.get(&d).map_or(start + 1, |&u| (u as usize) + 1)
         };
         add(c, start, end.max(start + 1));
     }
@@ -137,8 +151,7 @@ pub fn pressure(
             peak[c] = peak[c].max(u32::try_from(cur.max(0)).expect("non-negative"));
         }
     }
-    let capacity = machine.clusters.iter().map(|cl| cl.regs).collect();
-    PressureReport { peak, capacity }
+    peak
 }
 
 /// A physical register assignment: `(vreg, cluster) -> register number`

@@ -66,7 +66,10 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::NotReady { op, vreg, cycle } => {
-                write!(f, "op {op} reads {vreg} at cycle {cycle} before it is ready")
+                write!(
+                    f,
+                    "op {op} reads {vreg} at cycle {cycle} before it is ready"
+                )
             }
             SimError::NonLocal { op, vreg } => {
                 write!(f, "op {op} reads {vreg} from another cluster")
@@ -75,7 +78,10 @@ impl fmt::Display for SimError {
                 cycle,
                 cluster,
                 what,
-            } => write!(f, "cycle {cycle} oversubscribes {what} on cluster {cluster}"),
+            } => write!(
+                f,
+                "cycle {cycle} oversubscribes {what} on cluster {cluster}"
+            ),
             SimError::Mem(e) => write!(f, "memory fault: {e}"),
         }
     }
@@ -112,10 +118,8 @@ pub fn simulate(
     let mut vals = vec![0_i64; n_vregs];
     vals[..preamble_vals.len()].copy_from_slice(&preamble_vals);
 
-    let resident: std::collections::HashSet<Vreg> =
-        code.resident.iter().copied().collect();
-    let defined: std::collections::HashSet<Vreg> =
-        code.ops.iter().filter_map(|o| o.def).collect();
+    let resident: std::collections::HashSet<Vreg> = code.resident.iter().copied().collect();
+    let defined: std::collections::HashSet<Vreg> = code.ops.iter().filter_map(|o| o.def).collect();
 
     // Placement order: by cycle, stores after non-stores within a cycle
     // (loads sample memory at the start of a cycle, stores commit at the
@@ -145,11 +149,21 @@ pub fn simulate(
             let is_move = matches!(op.origin, OpOrigin::Move { .. });
             for &u in &op.uses {
                 if ready[u.index()] > t {
-                    return Err(SimError::NotReady { op: i, vreg: u, cycle: t });
+                    return Err(SimError::NotReady {
+                        op: i,
+                        vreg: u,
+                        cycle: t,
+                    });
                 }
                 if !is_move
                     && !resident.contains(&u)
-                    && result.assignment.home_of.get(&u).copied().unwrap_or(cluster) != cluster
+                    && result
+                        .assignment
+                        .home_of
+                        .get(&u)
+                        .copied()
+                        .unwrap_or(cluster)
+                        != cluster
                 {
                     return Err(SimError::NonLocal { op: i, vreg: u });
                 }
@@ -247,14 +261,15 @@ fn exec_inst(inst: &Inst, vals: &mut [i64], mem: &mut MemImage, iter: i64) -> Re
             let idx = m.element_index(iter, dynv);
             let v = ty.truncate(read(vals, value));
             let len = mem.array(m.array.index()).len();
-            let slot = usize::try_from(idx).ok().filter(|&i| i < len).ok_or(
-                SimError::Mem(cfp_ir::interp::InterpError::OutOfBounds {
+            let slot = usize::try_from(idx)
+                .ok()
+                .filter(|&i| i < len)
+                .ok_or(SimError::Mem(cfp_ir::interp::InterpError::OutOfBounds {
                     array: m.array.index(),
                     index: idx,
                     len,
                     iter: None,
-                }),
-            )?;
+                }))?;
             let data = mem.array_mut(m.array.index());
             data[slot] = v;
         }
@@ -334,9 +349,8 @@ mod tests {
         let machine = MachineResources::from_spec(spec);
         let result = compile(&kernel, &machine);
 
-        let data = |seed: i64| -> Vec<i64> {
-            (0..256).map(|k| (k * 31 + seed * 17 + 7) % 253).collect()
-        };
+        let data =
+            |seed: i64| -> Vec<i64> { (0..256).map(|k| (k * 31 + seed * 17 + 7) % 253).collect() };
         let mut mem_ref = MemImage::for_kernel(&kernel);
         let mut mem_sim = MemImage::for_kernel(&kernel);
         for (i, a) in kernel.arrays.iter().enumerate() {
@@ -345,7 +359,9 @@ mod tests {
                 mem_sim.bind(i, data(i64::try_from(i).unwrap()));
             }
         }
-        Interpreter::new().run(&kernel, &mut mem_ref, iters).unwrap();
+        Interpreter::new()
+            .run(&kernel, &mut mem_ref, iters)
+            .unwrap();
         let stats = simulate(&kernel, &result, &machine, &mut mem_sim, iters)
             .unwrap_or_else(|e| panic!("simulation failed on {spec}: {e}"));
         assert_eq!(stats.cycles, iters * u64::from(result.schedule.length));

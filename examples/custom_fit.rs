@@ -14,15 +14,15 @@ use custom_fit::prelude::*;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let bench = args
-        .get(1)
-        .map_or(Benchmark::H, |s| {
-            Benchmark::ALL
-                .into_iter()
-                .find(|b| b.letter().eq_ignore_ascii_case(s))
-                .unwrap_or_else(|| panic!("unknown benchmark `{s}`"))
-        });
-    let budget: f64 = args.get(2).map_or(10.0, |s| s.parse().expect("numeric cost"));
+    let bench = args.get(1).map_or(Benchmark::H, |s| {
+        Benchmark::ALL
+            .into_iter()
+            .find(|b| b.letter().eq_ignore_ascii_case(s))
+            .unwrap_or_else(|| panic!("unknown benchmark `{s}`"))
+    });
+    let budget: f64 = args
+        .get(2)
+        .map_or(10.0, |s| s.parse().expect("numeric cost"));
 
     // A reduced but representative slice of the paper's space: vary ALUs,
     // registers, memory ports, and clustering.
@@ -44,6 +44,8 @@ fn main() {
         archs,
         benches: vec![bench],
         threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        progress: false,
+        reuse: true,
     };
     println!(
         "exploring {} architectures for benchmark {bench} ({})",

@@ -32,6 +32,8 @@ fn main() {
         archs,
         benches: benches.clone(),
         threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        progress: false,
+        reuse: true,
     };
     println!(
         "exploring {} architectures x {} benchmarks...",

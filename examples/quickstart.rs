@@ -32,7 +32,10 @@ fn main() {
     let tuned = custom_fit::compile_for(&kernel, &custom);
 
     println!("== schedule on {custom} ==");
-    println!("{}", custom_fit::sched::render(&tuned.schedule, &tuned.assignment));
+    println!(
+        "{}",
+        custom_fit::sched::render(&tuned.schedule, &tuned.assignment)
+    );
 
     let base_time = f64::from(base.cycles_per_iter()); // derate 1.0 by definition
     let tuned_time = f64::from(tuned.cycles_per_iter()) * cycle.derate(&custom);

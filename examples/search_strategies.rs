@@ -30,6 +30,8 @@ fn main() {
         archs,
         benches: vec![Benchmark::D, Benchmark::G, Benchmark::H],
         threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        progress: false,
+        reuse: true,
     };
     println!(
         "exploring {} architectures x {} benchmarks (the oracle)...",
@@ -55,7 +57,9 @@ fn main() {
     println!(
         "hill-climb for {} found {} (speedup {:.2}, {:.0}% of optimal) after {} evaluations",
         ex.benches[2],
-        report.best.map_or_else(|| "nothing".to_owned(), |s| s.to_string()),
+        report
+            .best
+            .map_or_else(|| "nothing".to_owned(), |s| s.to_string()),
         report.best_speedup,
         report.quality * 100.0,
         report.evaluations

@@ -1,0 +1,141 @@
+//! Wall-clock benchmark of the exploration's compilation-reuse layer.
+//!
+//! Runs a representative multi-register-size slice of the design space
+//! twice — compile reuse disabled, then enabled — and writes the
+//! timings, the speedup, and the cache accounting to
+//! `BENCH_explore.json`. Std-only on purpose: it runs under the tier-1
+//! offline build, unlike the criterion benches in `crates/bench`.
+//!
+//! Usage: `cargo run --release --bin bench_explore [-- <out.json>]`
+
+use custom_fit::dse::explore::{Exploration, ExploreConfig, RunStats};
+use custom_fit::prelude::*;
+use std::time::Instant;
+
+/// The benchmark space: every `r ∈ {64, 128, 256, 512}` variant of a
+/// spread of datapaths. The register axis is exactly what the reuse
+/// layer collapses, so this is the representative case the cache is
+/// built for — every architecture appears in four register sizes that
+/// schedule identically. The kernels are the ones whose unroll sweeps
+/// are not register-starved (D/E/G unroll fully even at r = 64), so the
+/// deep — and expensive — unroll plans really are requested at all four
+/// register sizes; register-starved kernels like C stop their sweep
+/// early at small r and leave the deep plans with fewer sharers.
+fn slice() -> Vec<ArchSpec> {
+    let mut archs = Vec::new();
+    for (a, m) in [(2_u32, 1_u32), (4, 2), (8, 4), (16, 8)] {
+        for c in [1_u32, 2, 4] {
+            for p2 in [1_u32, 2] {
+                for l2 in [2_u32, 4] {
+                    for r in [64_u32, 128, 256, 512] {
+                        if let Ok(s) = ArchSpec::new(a, m, r, p2, l2, c) {
+                            archs.push(s);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    archs
+}
+
+/// Run the exploration `REPS` times and keep the fastest wall time (the
+/// runs are deterministic, so they differ only in OS noise).
+fn run(reuse: bool) -> (Exploration, f64) {
+    const REPS: usize = 3;
+    let cfg = ExploreConfig {
+        archs: slice(),
+        benches: vec![
+            Benchmark::A,
+            Benchmark::D,
+            Benchmark::E,
+            Benchmark::G,
+            Benchmark::H,
+        ],
+        threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        progress: false,
+        reuse,
+    };
+    let mut best: Option<(Exploration, f64)> = None;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        let ex = Exploration::run(&cfg);
+        let s = t.elapsed().as_secs_f64();
+        if best.as_ref().is_none_or(|(_, b)| s < *b) {
+            best = Some((ex, s));
+        }
+    }
+    best.expect("at least one rep")
+}
+
+fn stats_json(s: &RunStats) -> String {
+    format!(
+        "{{\"compilations\": {}, \"cache_hits\": {}, \"unique_schedules\": {}, \
+         \"unique_plans\": {}, \"architectures\": {}, \"plan_wall_s\": {:.4}, \
+         \"eval_wall_s\": {:.4}, \"wall_s\": {:.4}}}",
+        s.compilations,
+        s.cache_hits,
+        s.unique_schedules,
+        s.unique_plans,
+        s.architectures,
+        s.plan_wall.as_secs_f64(),
+        s.eval_wall.as_secs_f64(),
+        s.wall.as_secs_f64()
+    )
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_explore.json".to_string());
+
+    // Warm-up: touch every plan once so neither timed run pays lazy OS
+    // costs (page cache, thread pool spin-up) the other doesn't.
+    {
+        let mut warm = ExploreConfig::smoke();
+        warm.benches.truncate(1);
+        warm.archs.truncate(2);
+        let _ = Exploration::run(&warm);
+    }
+
+    eprintln!("running exploration with compile reuse disabled...");
+    let (off, off_s) = run(false);
+    eprintln!("  {:.2}s ({} compilations)", off_s, off.stats.compilations);
+    eprintln!("running the same exploration with compile reuse enabled...");
+    let (on, on_s) = run(true);
+    eprintln!(
+        "  {:.2}s ({} compilations, {} cache hits, {} unique schedules)",
+        on_s, on.stats.compilations, on.stats.cache_hits, on.stats.unique_schedules
+    );
+
+    // The two runs must agree exactly — the cache is pure reuse.
+    assert_eq!(off.stats.compilations, on.stats.compilations);
+    for a in 0..off.archs.len() {
+        assert_eq!(
+            off.speedup_row(a),
+            on.speedup_row(a),
+            "{}",
+            off.archs[a].spec
+        );
+    }
+
+    let speedup = off_s / on_s;
+    let eval_speedup = off.stats.eval_wall.as_secs_f64() / on.stats.eval_wall.as_secs_f64();
+    let json = format!(
+        "{{\n  \"benchmark\": \"multi-register-size exploration ({} architectures x {} benchmarks)\",\n  \
+           \"threads\": {},\n  \
+           \"reuse_off\": {},\n  \"reuse_on\": {},\n  \
+           \"wall_speedup\": {:.2},\n  \"eval_speedup\": {:.2},\n  \
+           \"results_identical\": true\n}}\n",
+        off.stats.architectures,
+        off.benches.len(),
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        stats_json(&off.stats),
+        stats_json(&on.stats),
+        speedup,
+        eval_speedup
+    );
+    std::fs::write(&out, &json).expect("write benchmark report");
+    println!("wall-clock speedup from compile reuse: {speedup:.2}x (evaluation phase: {eval_speedup:.2}x)");
+    println!("wrote {out}");
+}

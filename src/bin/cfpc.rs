@@ -97,11 +97,7 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let consts: Vec<(&str, i64)> = opts
-        .consts
-        .iter()
-        .map(|(n, v)| (n.as_str(), *v))
-        .collect();
+    let consts: Vec<(&str, i64)> = opts.consts.iter().map(|(n, v)| (n.as_str(), *v)).collect();
     let mut kernel = match custom_fit::frontend::compile_kernel(&source, &consts) {
         Ok(k) => k,
         Err(e) => {
@@ -121,41 +117,57 @@ fn main() {
     match opts.emit.as_str() {
         "ir" => println!("{}", custom_fit::ir::pretty::Listing(&kernel)),
         "schedule" => {
-            println!("{}", custom_fit::sched::render(&result.schedule, &result.assignment));
+            println!(
+                "{}",
+                custom_fit::sched::render(&result.schedule, &result.assignment)
+            );
         }
-        "encoding" => match custom_fit::sched::encode(&result.assignment, &result.schedule, &machine) {
-            Ok(prog) => {
-                println!(
-                    "{} words x {} slots; {} bytes raw, {} compressed",
-                    prog.words.len(),
-                    prog.slots_per_word,
-                    prog.raw_bytes(),
-                    prog.compressed_bytes()
-                );
-                for (t, word) in prog.words.iter().enumerate() {
-                    print!("{t:4}: mask={:0w$b} ", word.mask, w = prog.slots_per_word);
-                    for op in &word.ops {
-                        print!("{op:012x} ");
+        "encoding" => {
+            match custom_fit::sched::encode(&result.assignment, &result.schedule, &machine) {
+                Ok(prog) => {
+                    println!(
+                        "{} words x {} slots; {} bytes raw, {} compressed",
+                        prog.words.len(),
+                        prog.slots_per_word,
+                        prog.raw_bytes(),
+                        prog.compressed_bytes()
+                    );
+                    for (t, word) in prog.words.iter().enumerate() {
+                        print!("{t:4}: mask={:0w$b} ", word.mask, w = prog.slots_per_word);
+                        for op in &word.ops {
+                            print!("{op:012x} ");
+                        }
+                        if !word.imms.is_empty() {
+                            print!("| pool {:?}", word.imms);
+                        }
+                        println!();
                     }
-                    if !word.imms.is_empty() {
-                        print!("| pool {:?}", word.imms);
-                    }
-                    println!();
+                }
+                Err(e) => {
+                    eprintln!("error: cannot encode: {e}");
+                    std::process::exit(1);
                 }
             }
-            Err(e) => {
-                eprintln!("error: cannot encode: {e}");
-                std::process::exit(1);
-            }
-        },
+        }
         _ => {
             let cost = CostModel::paper_calibrated();
             let cycle = CycleModel::paper_calibrated();
-            println!("kernel     : {} (unroll x{})", kernel.name, opts.unroll.max(1));
+            println!(
+                "kernel     : {} (unroll x{})",
+                kernel.name,
+                opts.unroll.max(1)
+            );
             println!("machine    : {}", opts.arch);
-            println!("cost       : {:.2} (baseline-relative)", cost.cost(&opts.arch));
+            println!(
+                "cost       : {:.2} (baseline-relative)",
+                cost.cost(&opts.arch)
+            );
             println!("cycle time : {:.2}x baseline", cycle.derate(&opts.arch));
-            println!("ops        : {} ({} moves)", result.assignment.code.ops.len(), result.move_count);
+            println!(
+                "ops        : {} ({} moves)",
+                result.assignment.code.ops.len(),
+                result.move_count
+            );
             println!(
                 "schedule   : {} cycles/iter (critical path {}, {:.2} cycles/output)",
                 result.length,
@@ -169,7 +181,11 @@ fn main() {
                 if result.fits() {
                     String::new()
                 } else {
-                    format!(" — SPILLS ({} over, +{} cycles)", result.pressure.spill_excess(), result.spill_penalty)
+                    format!(
+                        " — SPILLS ({} over, +{} cycles)",
+                        result.pressure.spill_excess(),
+                        result.spill_penalty
+                    )
                 }
             );
         }

@@ -63,9 +63,7 @@ pub fn compile_for(
 /// The most common imports, for examples and quick experiments.
 pub mod prelude {
     pub use crate::compile_for;
-    pub use cfp_dse::{
-        select, speedup_table, Exploration, ExploreConfig, Range, Selection,
-    };
+    pub use cfp_dse::{select, speedup_table, Exploration, ExploreConfig, Range, Selection};
     pub use cfp_frontend::compile_kernel;
     pub use cfp_ir::{Interpreter, Kernel, MemImage};
     pub use cfp_kernels::Benchmark;

@@ -1,10 +1,11 @@
 //! Shared generators for the workspace property tests: random (but
-//! well-formed) kernels and random valid architectures.
+//! well-formed) kernels and random valid architectures, driven by the
+//! std-only `cfp_testkit::Rng`.
 #![allow(dead_code)] // each test binary uses a subset
 
+use cfp_testkit::Rng;
 use custom_fit::ir::{CarriedInit, KernelBuilder, MemSpace, Operand, Pred, Ty, Vreg};
 use custom_fit::prelude::*;
-use proptest::prelude::*;
 
 /// A recipe for one random kernel: a list of op codes interpreted
 /// against the values produced so far.
@@ -14,12 +15,21 @@ pub struct KernelRecipe {
     pub carried_seed: bool,
 }
 
-pub fn recipe() -> impl Strategy<Value = KernelRecipe> {
-    (
-        proptest::collection::vec((0_u8..8, any::<u8>(), any::<u8>(), -64_i64..64), 1..40),
-        any::<bool>(),
-    )
-        .prop_map(|(ops, carried_seed)| KernelRecipe { ops, carried_seed })
+/// Draw a random recipe: 1..40 ops, each `(opcode, src1, src2, imm)`.
+pub fn recipe(rng: &mut Rng) -> KernelRecipe {
+    let len = rng.index(39) + 1;
+    let ops = rng.vec_of(len, |r| {
+        (
+            r.range_u32(0..=7) as u8,
+            r.next_u32() as u8,
+            r.next_u32() as u8,
+            r.range_i64(-64..=63),
+        )
+    });
+    KernelRecipe {
+        ops,
+        carried_seed: rng.gen_bool(),
+    }
 }
 
 /// Materialize a recipe into a verified kernel. All values stay small
@@ -113,20 +123,20 @@ pub fn build(recipe: &KernelRecipe) -> Kernel {
     kernel
 }
 
-pub fn arch_strategy() -> impl Strategy<Value = ArchSpec> {
-    (
-        prop_oneof![Just(1_u32), Just(2), Just(4), Just(8), Just(16)],
-        prop_oneof![Just(64_u32), Just(128), Just(256), Just(512)],
-        1_u32..=4,
-        2_u32..=8,
-        prop_oneof![Just(1_u32), Just(2), Just(4), Just(8)],
-    )
-        .prop_filter_map("cluster shape must divide", |(a, r, p2, l2, c)| {
-            let m = (a / 2).max(1);
-            ArchSpec::new(a, m, r, p2, l2, c).ok()
-        })
+/// Draw a random valid architecture covering the experiment's axes.
+pub fn arch(rng: &mut Rng) -> ArchSpec {
+    loop {
+        let a = *rng.pick(&[1_u32, 2, 4, 8, 16]);
+        let r = *rng.pick(&[64_u32, 128, 256, 512]);
+        let p2 = rng.range_u32(1..=4);
+        let l2 = rng.range_u32(2..=8);
+        let c = *rng.pick(&[1_u32, 2, 4, 8]);
+        let m = (a / 2).max(1);
+        if let Ok(spec) = ArchSpec::new(a, m, r, p2, l2, c) {
+            return spec;
+        }
+    }
 }
-
 
 /// Iterations the shared workloads run for.
 pub const N_ITERS: u64 = 8;

@@ -5,60 +5,63 @@
 
 mod common;
 
-use common::{arch_strategy, build, recipe};
+use cfp_testkit::cases;
+use common::{arch, build, recipe};
 use custom_fit::prelude::*;
 use custom_fit::sched::{decode, encode, EncodeError};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
-
-    #[test]
-    fn encode_decode_roundtrip(r in recipe(), spec in arch_strategy()) {
+#[test]
+fn encode_decode_roundtrip() {
+    cases(0xe2c0_0001, 32, |rng| {
+        let r = recipe(rng);
+        let spec = arch(rng);
         let kernel = build(&r);
         let machine = MachineResources::from_spec(&spec);
         let result = compile(&kernel, &machine);
 
         match encode(&result.assignment, &result.schedule, &machine) {
             Ok(program) => {
-                prop_assert!(result.fits(), "encoding succeeded despite spilling");
+                assert!(result.fits(), "encoding succeeded despite spilling");
                 // One word per cycle, every op present exactly once.
-                prop_assert_eq!(program.words.len(), result.schedule.length as usize);
+                assert_eq!(program.words.len(), result.schedule.length as usize);
                 let encoded: usize = program.words.iter().map(|w| w.ops.len()).sum();
-                prop_assert_eq!(encoded, result.assignment.code.ops.len());
+                assert_eq!(encoded, result.assignment.code.ops.len());
 
                 let decoded = decode(&program);
-                prop_assert_eq!(decoded.len(), program.words.len());
+                assert_eq!(decoded.len(), program.words.len());
                 for (word, dec) in program.words.iter().zip(&decoded) {
-                    prop_assert_eq!(word.mask.count_ones() as usize, dec.len());
+                    assert_eq!(word.mask.count_ones() as usize, dec.len());
                     for (slot, op) in dec {
-                        prop_assert!(*slot < 64, "slot index sane");
-                        prop_assert!(*slot < program.slots_per_word, "slot in range");
-                        prop_assert!((1..=30).contains(&op.opcode), "valid opcode");
+                        assert!(*slot < 64, "slot index sane");
+                        assert!(*slot < program.slots_per_word, "slot in range");
+                        assert!((1..=30).contains(&op.opcode), "valid opcode");
                         // Register fields fit the banks.
                         for f in [op.src1, op.src2, op.src3] {
                             if let custom_fit::sched::encode::SrcField::Reg(r) = f {
-                                prop_assert!(u32::from(r) < spec.regs);
+                                assert!(u32::from(r) < spec.regs);
                             }
                             if let custom_fit::sched::encode::SrcField::Imm(i) = f {
-                                prop_assert!((i as usize) < word.imms.len());
+                                assert!((i as usize) < word.imms.len());
                             }
                         }
                     }
                 }
                 // Compression never loses to the raw layout by more than
                 // the per-word mask overhead.
-                prop_assert!(
-                    program.compressed_bytes()
-                        <= program.raw_bytes() + 8 * program.words.len()
+                assert!(
+                    program.compressed_bytes() <= program.raw_bytes() + 8 * program.words.len()
                 );
             }
             Err(EncodeError::Alloc(_)) => {
-                prop_assert!(!result.fits(), "allocation failed though pressure fits: {:?}", result.pressure);
+                assert!(
+                    !result.fits(),
+                    "allocation failed though pressure fits: {:?}",
+                    result.pressure
+                );
             }
-            Err(e) => return Err(TestCaseError::fail(format!("unexpected encode error: {e}"))),
+            Err(e) => panic!("unexpected encode error: {e}"),
         }
-    }
+    });
 }
 
 #[test]

@@ -32,6 +32,8 @@ fn explore() -> Exploration {
         archs: slice(),
         benches: vec![Benchmark::A, Benchmark::D, Benchmark::H],
         threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        progress: false,
+        reuse: true,
     };
     Exploration::run(&config)
 }
@@ -108,7 +110,12 @@ fn paper_shapes_hold_on_the_reduced_space() {
     for col in 0..ex.benches.len() {
         let pts = dse::scatter(&ex, col);
         let front = dse::frontier(&pts);
-        assert!(front.len() >= 3, "{}: frontier {:?}", ex.benches[col], front.len());
+        assert!(
+            front.len() >= 3,
+            "{}: frontier {:?}",
+            ex.benches[col],
+            front.len()
+        );
     }
 
     // 6. Cheap machines exist on every frontier start: the cheapest point

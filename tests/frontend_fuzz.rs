@@ -5,8 +5,8 @@
 
 mod common;
 
+use cfp_testkit::{cases, Rng};
 use custom_fit::frontend::compile_kernel;
-use proptest::prelude::*;
 
 fn check_total(src: &str) {
     match compile_kernel(src, &[("k", 3), ("w", 2)]) {
@@ -46,69 +46,76 @@ const SEEDS: &[&str] = &[
     }",
 ];
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+/// Arbitrary printable-ish text of up to `max` chars.
+fn arbitrary_text(rng: &mut Rng, max: usize) -> String {
+    let len = rng.index(max + 1);
+    (0..len)
+        .map(|_| {
+            // Mostly ASCII with occasional multibyte chars, like \PC.
+            match rng.index(20) {
+                0 => '\u{00e9}',
+                1 => '\u{4e16}',
+                2 => '\t',
+                _ => char::from(rng.range_u32(0x20..=0x7e) as u8),
+            }
+        })
+        .collect()
+}
 
-    /// Arbitrary bytes: the compiler is total.
-    #[test]
-    fn compiler_is_total_on_arbitrary_text(src in "\\PC{0,300}") {
-        check_total(&src);
-    }
+/// Arbitrary bytes: the compiler is total.
+#[test]
+fn compiler_is_total_on_arbitrary_text() {
+    cases(0xf022_0001, 64, |rng| {
+        check_total(&arbitrary_text(rng, 300));
+    });
+}
 
-    /// Structured soup from the DSL's own vocabulary: much deeper
-    /// penetration into the parser.
-    #[test]
-    fn compiler_is_total_on_token_soup(
-        words in proptest::collection::vec(
-            prop_oneof![
-                Just("kernel"), Just("loop"), Just("for"), Just("if"), Just("else"),
-                Just("var"), Just("local"), Just("in"), Just("out"), Just("inout"),
-                Just("const"), Just("u8"), Just("i16"), Just("i32"), Just("l1"),
-                Just("l2"), Just("produces"), Just("min"), Just("i"), Just("x"),
-                Just("s"), Just("d"), Just("0"), Just("1"), Just("255"), Just("+"),
-                Just("-"), Just("*"), Just(">>"), Just("<<"), Just("?"), Just(":"),
-                Just("("), Just(")"), Just("{"), Just("}"), Just("["), Just("]"),
-                Just(";"), Just(","), Just("="), Just("=="), Just(".."),
-            ],
-            0..60,
-        )
-    ) {
-        check_total(&words.join(" "));
-    }
+/// Structured soup from the DSL's own vocabulary: much deeper
+/// penetration into the parser.
+#[test]
+fn compiler_is_total_on_token_soup() {
+    const WORDS: &[&str] = &[
+        "kernel", "loop", "for", "if", "else", "var", "local", "in", "out", "inout", "const", "u8",
+        "i16", "i32", "l1", "l2", "produces", "min", "i", "x", "s", "d", "0", "1", "255", "+", "-",
+        "*", ">>", "<<", "?", ":", "(", ")", "{", "}", "[", "]", ";", ",", "=", "==", "..",
+    ];
+    cases(0xf022_0002, 64, |rng| {
+        let n = rng.index(60);
+        let soup = rng.vec_of(n, |r| *r.pick(WORDS)).join(" ");
+        check_total(&soup);
+    });
+}
 
-    /// Single-byte mutations of valid kernels.
-    #[test]
-    fn compiler_is_total_on_mutated_kernels(
-        seed in 0..SEEDS.len(),
-        pos in 0_usize..200,
-        byte in 0_u8..=127,
-    ) {
-        let mut src = SEEDS[seed].to_owned();
+/// Single-byte mutations of valid kernels.
+#[test]
+fn compiler_is_total_on_mutated_kernels() {
+    cases(0xf022_0003, 64, |rng| {
+        let mut src = rng.pick(SEEDS).to_string();
         if !src.is_empty() {
-            let pos = pos % src.len();
+            let pos = rng.index(src.len());
+            let byte = rng.range_u32(0..=127) as u8;
             if src.is_char_boundary(pos) && src.is_char_boundary(pos + 1) {
                 src.replace_range(pos..pos + 1, &char::from(byte).to_string());
             }
         }
         check_total(&src);
-    }
+    });
+}
 
-    /// Deleting a random slice of a valid kernel.
-    #[test]
-    fn compiler_is_total_on_truncated_kernels(
-        seed in 0..SEEDS.len(),
-        a in 0_usize..200,
-        b in 0_usize..200,
-    ) {
-        let src = SEEDS[seed];
-        let (lo, hi) = (a.min(b) % src.len(), a.max(b) % src.len());
+/// Deleting a random slice of a valid kernel.
+#[test]
+fn compiler_is_total_on_truncated_kernels() {
+    cases(0xf022_0004, 64, |rng| {
+        let src = *rng.pick(SEEDS);
+        let (a, b) = (rng.index(src.len()), rng.index(src.len()));
+        let (lo, hi) = (a.min(b), a.max(b));
         if src.is_char_boundary(lo) && src.is_char_boundary(hi) {
             let mut s = String::new();
             s.push_str(&src[..lo]);
             s.push_str(&src[hi..]);
             check_total(&s);
         }
-    }
+    });
 }
 
 #[test]

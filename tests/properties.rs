@@ -12,19 +12,25 @@
 
 mod common;
 
-use common::{arch_strategy, bind_inputs, build, recipe, N_ITERS};
+use cfp_testkit::cases;
+use common::{arch, bind_inputs, build, recipe, N_ITERS};
 use custom_fit::prelude::*;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
-    #[test]
-    fn optimizer_and_unroller_preserve_semantics(r in recipe(), unroll in 1_u32..=4) {
-        let unroll = if N_ITERS % u64::from(unroll) == 0 { unroll } else { 1 };
+#[test]
+fn optimizer_and_unroller_preserve_semantics() {
+    cases(0x5eed_0001, 24, |rng| {
+        let r = recipe(rng);
+        let unroll = rng.range_u32(1..=4);
+        let unroll = if N_ITERS % u64::from(unroll) == 0 {
+            unroll
+        } else {
+            1
+        };
         let kernel = build(&r);
         let mut mem_ref = bind_inputs(&kernel);
-        Interpreter::new().run(&kernel, &mut mem_ref, N_ITERS).expect("reference runs");
+        Interpreter::new()
+            .run(&kernel, &mut mem_ref, N_ITERS)
+            .expect("reference runs");
 
         let mut opt = kernel.clone();
         custom_fit::opt::optimize(&mut opt);
@@ -35,50 +41,73 @@ proptest! {
             .run(&opt, &mut mem_opt, N_ITERS / u64::from(unroll))
             .expect("optimized runs");
         for i in 0..4 {
-            prop_assert_eq!(mem_ref.array(i), mem_opt.array(i), "array {}", i);
+            assert_eq!(mem_ref.array(i), mem_opt.array(i), "array {i}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn schedules_simulate_like_the_interpreter(r in recipe(), spec in arch_strategy()) {
+#[test]
+fn schedules_simulate_like_the_interpreter() {
+    cases(0x5eed_0002, 24, |rng| {
+        let r = recipe(rng);
+        let spec = arch(rng);
         let kernel = build(&r);
         let machine = MachineResources::from_spec(&spec);
         let result = compile(&kernel, &machine);
 
         let mut mem_ref = bind_inputs(&kernel);
-        Interpreter::new().run(&kernel, &mut mem_ref, N_ITERS).expect("reference runs");
+        Interpreter::new()
+            .run(&kernel, &mut mem_ref, N_ITERS)
+            .expect("reference runs");
         let mut mem_sim = bind_inputs(&kernel);
         simulate(&kernel, &result, &machine, &mut mem_sim, N_ITERS)
-            .map_err(|e| TestCaseError::fail(format!("{spec}: {e}")))?;
+            .unwrap_or_else(|e| panic!("{spec}: {e}"));
         for i in 0..4 {
-            prop_assert_eq!(mem_ref.array(i), mem_sim.array(i), "array {}", i);
+            assert_eq!(mem_ref.array(i), mem_sim.array(i), "array {i}");
         }
         // Structural sanity alongside: the schedule respects the
         // dependence-graph lower bound.
-        prop_assert!(result.length >= result.critical_path);
-    }
+        assert!(result.length >= result.critical_path);
+    });
+}
 
-    #[test]
-    fn cost_and_cycle_models_are_monotone(spec in arch_strategy()) {
+#[test]
+fn cost_and_cycle_models_are_monotone() {
+    cases(0x5eed_0003, 32, |rng| {
+        let spec = arch(rng);
         let cost = CostModel::paper_calibrated();
         let cycle = CycleModel::paper_calibrated();
         let c0 = cost.cost(&spec);
-        prop_assert!(c0.is_finite() && c0 > 0.0);
+        assert!(c0.is_finite() && c0 > 0.0);
         // Grow each resource in turn; cost must not drop.
         let grow = [
-            ArchSpec { alus: spec.alus * 2, muls: spec.muls * 2, ..spec },
-            ArchSpec { regs: spec.regs * 2, ..spec },
-            ArchSpec { l2_ports: spec.l2_ports + 1, ..spec },
+            ArchSpec {
+                alus: spec.alus * 2,
+                muls: spec.muls * 2,
+                ..spec
+            },
+            ArchSpec {
+                regs: spec.regs * 2,
+                ..spec
+            },
+            ArchSpec {
+                l2_ports: spec.l2_ports + 1,
+                ..spec
+            },
         ];
         for g in grow {
             if g.validate().is_ok() {
-                prop_assert!(cost.cost(&g) >= c0 - 1e-12, "{} vs {}", g, spec);
+                assert!(cost.cost(&g) >= c0 - 1e-12, "{g} vs {spec}");
             }
         }
         // Cycle time never improves when ALUs per cluster grow.
-        let wider = ArchSpec { alus: spec.alus * 2, muls: spec.muls, ..spec };
+        let wider = ArchSpec {
+            alus: spec.alus * 2,
+            muls: spec.muls,
+            ..spec
+        };
         if wider.validate().is_ok() {
-            prop_assert!(cycle.derate(&wider) >= cycle.derate(&spec) - 1e-12);
+            assert!(cycle.derate(&wider) >= cycle.derate(&spec) - 1e-12);
         }
-    }
+    });
 }

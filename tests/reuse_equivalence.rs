@@ -1,0 +1,109 @@
+//! The compilation-reuse layer must be invisible: every result it hands
+//! out has to be bit-identical to what a from-scratch compile produces.
+//! Three layers of evidence, innermost first:
+//!
+//! 1. the phase split (`prepare` → `compile_core` → `finish`) equals the
+//!    one-shot `compile`, and the core really is independent of the
+//!    register-file size — the invariant the memo keys encode;
+//! 2. `evaluate_cached` through a shared [`CompileCache`] equals the
+//!    direct `evaluate` on random architectures;
+//! 3. a whole `Exploration::run` with reuse on reproduces the
+//!    cache-disabled run exactly (speedups, costs, derates, unrolls,
+//!    logical compilation counts).
+
+mod common;
+
+use cfp_testkit::cases;
+use custom_fit::dse::explore::{Exploration, ExploreConfig};
+use custom_fit::dse::{evaluate, evaluate_cached, CompileCache, PlanCache};
+use custom_fit::prelude::*;
+use custom_fit::sched::{compile, compile_core, finish, prepare};
+
+#[test]
+fn memoized_phases_reproduce_direct_compiles_bit_for_bit() {
+    cases(0x2e05_0001, 20, |rng| {
+        let kernel = common::build(&common::recipe(rng));
+        let spec = common::arch(rng);
+        let machine = MachineResources::from_spec(&spec);
+
+        let direct = compile(&kernel, &machine);
+        let prepared = prepare(&kernel, &machine);
+        let core = compile_core(&prepared, &machine);
+        assert_eq!(finish(&core, &machine), direct, "{spec}");
+
+        // Every sibling differing only in register-file size must share
+        // the prepared form and the scheduled core bit for bit — the
+        // invariant that makes (plan, signature) a sound memo key.
+        for regs in [64_u32, 128, 256, 512] {
+            if regs == spec.regs {
+                continue;
+            }
+            let sib = ArchSpec::new(
+                spec.alus,
+                spec.muls,
+                regs,
+                spec.l2_ports,
+                spec.l2_latency,
+                spec.clusters,
+            )
+            .expect("register sizes divide every cluster count here");
+            assert_eq!(sib.sched_signature(), spec.sched_signature());
+            let m2 = MachineResources::from_spec(&sib);
+            assert_eq!(prepare(&kernel, &m2), prepared, "{spec} vs {sib}");
+            assert_eq!(compile_core(&prepared, &m2), core, "{spec} vs {sib}");
+            // Serving the sibling from the shared core equals compiling
+            // it from scratch.
+            assert_eq!(finish(&core, &m2), compile(&kernel, &m2), "{sib}");
+        }
+    });
+}
+
+#[test]
+fn cached_evaluation_matches_direct_evaluation() {
+    let benches = [Benchmark::A, Benchmark::D, Benchmark::G];
+    let plans = PlanCache::build(&benches, &[64, 128, 256, 512], &[1, 2, 4]);
+    let memo = CompileCache::new();
+    cases(0x2e05_0002, 40, |rng| {
+        let spec = common::arch(rng);
+        let bench = *rng.pick(&benches);
+        let cached = evaluate_cached(&spec, bench, &plans, &memo);
+        let direct = evaluate(&spec, bench, &plans);
+        assert_eq!(cached, direct, "{spec} on {bench}");
+    });
+    // 40 evaluations over a small space must have revisited signatures.
+    assert!(memo.core_hits() > 0);
+}
+
+#[test]
+fn exploration_is_identical_with_reuse_on_and_off() {
+    let on = ExploreConfig::smoke();
+    let mut off = on.clone();
+    off.reuse = false;
+    let e_on = Exploration::run(&on);
+    let e_off = Exploration::run(&off);
+
+    assert_eq!(e_on.benches, e_off.benches);
+    assert_eq!(e_on.baseline.outcomes, e_off.baseline.outcomes);
+    for a in 0..e_on.archs.len() {
+        let (x, y) = (&e_on.archs[a], &e_off.archs[a]);
+        assert_eq!(x.spec, y.spec);
+        assert_eq!(x.cost.to_bits(), y.cost.to_bits(), "{}", x.spec);
+        assert_eq!(x.derate.to_bits(), y.derate.to_bits(), "{}", x.spec);
+        assert_eq!(x.outcomes, y.outcomes, "{}", x.spec);
+        let (su_on, su_off) = (e_on.speedup_row(a), e_off.speedup_row(a));
+        let on_bits: Vec<u64> = su_on.iter().map(|s| s.to_bits()).collect();
+        let off_bits: Vec<u64> = su_off.iter().map(|s| s.to_bits()).collect();
+        assert_eq!(on_bits, off_bits, "{}", x.spec);
+    }
+    // Same logical work, different physical work.
+    assert_eq!(e_on.stats.compilations, e_off.stats.compilations);
+    assert!(e_on.stats.cache_hits > 0);
+    assert_eq!(e_off.stats.cache_hits, 0);
+    assert_eq!(e_off.stats.unique_schedules, 0);
+    assert!(
+        e_on.stats.unique_schedules < e_on.stats.compilations,
+        "reuse saved nothing: {} schedules for {} compilations",
+        e_on.stats.unique_schedules,
+        e_on.stats.compilations
+    );
+}
