@@ -10,12 +10,18 @@
 //! seconds instead of minutes); `--csv` emits the figures' raw data;
 //! `--save FILE` persists the exploration and `--load FILE` replays a
 //! saved one instead of recomputing (see `cfp_dse::io`).
+//!
+//! `--checkpoint FILE` journals completed `(architecture, benchmark)`
+//! units to FILE as the exploration runs; add `--resume` to pick up an
+//! interrupted run from the same journal (bit-identical to an
+//! uninterrupted run — see `cfp_dse::checkpoint`).
 
 use cfp_bench::exhibits;
+use cfp_dse::Checkpoint;
 use cfp_kernels::Benchmark;
 
 const USAGE: &str =
-    "usage: exhibits [table1..table10 | figure1..figure4 | search | correction | codesize | pipelining | priority | spill | all]... [--fast] [--csv]";
+    "usage: exhibits [table1..table10 | figure1..figure4 | search | correction | codesize | pipelining | priority | spill | all]... [--fast] [--csv] [--save FILE] [--load FILE] [--checkpoint FILE [--resume]]";
 
 fn value_after(args: &[String], flag: &str) -> Option<String> {
     args.iter()
@@ -29,6 +35,18 @@ fn main() {
     let csv = args.iter().any(|a| a == "--csv");
     let save = value_after(&args, "--save");
     let load = value_after(&args, "--load");
+    let resume = args.iter().any(|a| a == "--resume");
+    let checkpoint = value_after(&args, "--checkpoint").map(|path| {
+        if resume {
+            Checkpoint::resume(path)
+        } else {
+            Checkpoint::new(path)
+        }
+    });
+    if resume && checkpoint.is_none() {
+        eprintln!("error: --resume needs --checkpoint FILE\n{USAGE}");
+        std::process::exit(2);
+    }
     let mut skip_next = false;
     let mut wanted: Vec<String> = args
         .iter()
@@ -37,7 +55,7 @@ fn main() {
                 skip_next = false;
                 return false;
             }
-            if *a == "--save" || *a == "--load" {
+            if *a == "--save" || *a == "--load" || *a == "--checkpoint" {
                 skip_next = true;
                 return false;
             }
@@ -87,7 +105,21 @@ fn main() {
             "running the {} exploration (use --fast for a sampled space)...",
             if fast { "sampled" } else { "full 192-point" }
         );
-        Some(exhibits::run_exploration(fast))
+        match exhibits::run_exploration_checkpointed(fast, checkpoint) {
+            Ok(ex) => {
+                if ex.stats.resumed_units > 0 {
+                    eprintln!(
+                        "resumed {} completed units from the checkpoint journal",
+                        ex.stats.resumed_units
+                    );
+                }
+                Some(ex)
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
     } else {
         None
     };

@@ -5,7 +5,7 @@
 //! record produced from these.
 
 use cfp_dse::report::TextTable;
-use cfp_dse::{Exploration, ExploreConfig};
+use cfp_dse::{Checkpoint, Exploration, ExploreConfig, ExploreError};
 use cfp_kernels::Benchmark;
 use cfp_machine::{paper, ArchSpec, CostModel, CycleModel, DesignSpace};
 
@@ -93,6 +93,23 @@ pub fn table3(ex: &Exploration) -> String {
         "  evaluation stage".to_owned(),
         format!("{:.2}s", ex.stats.eval_wall.as_secs_f64()),
         "-".to_owned(),
+    ]);
+    // Robustness accounting: quarantined units mean degraded coverage,
+    // and the exhibit says so rather than hiding it in a log.
+    t.row([
+        "  quarantined units".to_owned(),
+        ex.stats.failed_units.to_string(),
+        "n/a (a crash lost the run)".to_owned(),
+    ]);
+    t.row([
+        "    of which fuel-exhausted".to_owned(),
+        ex.stats.fuel_exhausted.to_string(),
+        "n/a".to_owned(),
+    ]);
+    t.row([
+        "  units resumed from checkpoint".to_owned(),
+        ex.stats.resumed_units.to_string(),
+        "n/a".to_owned(),
     ]);
     format!("Table 3: experiment computation time\n{t}")
 }
@@ -570,6 +587,24 @@ pub fn extension_spill() -> String {
 /// The exploration every speedup exhibit is computed from.
 #[must_use]
 pub fn run_exploration(fast: bool) -> Exploration {
+    match run_exploration_checkpointed(fast, None) {
+        Ok(ex) => ex,
+        // No checkpoint involved, so this is EmptyConfig/BaselineFailed —
+        // a broken build, not an operational condition to recover from.
+        Err(e) => panic!("exhibit exploration failed: {e}"),
+    }
+}
+
+/// [`run_exploration`] with an optional checkpoint journal attached, for
+/// the `exhibits` binary's `--checkpoint`/`--resume` flags.
+///
+/// # Errors
+/// Any [`ExploreError`] from the run — with a checkpoint, that includes
+/// an unusable or mismatched journal.
+pub fn run_exploration_checkpointed(
+    fast: bool,
+    checkpoint: Option<Checkpoint>,
+) -> Result<Exploration, ExploreError> {
     let config = if fast {
         let space = DesignSpace::paper();
         // Every 8th base point, all arrangements: quick but same shape.
@@ -588,14 +623,16 @@ pub fn run_exploration(fast: bool) -> Exploration {
         ExploreConfig {
             archs,
             benches: Benchmark::TABLE_COLUMNS.to_vec(),
-            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
-            progress: false,
-            reuse: true,
+            checkpoint,
+            ..ExploreConfig::default()
         }
     } else {
-        ExploreConfig::paper()
+        ExploreConfig {
+            checkpoint,
+            ..ExploreConfig::paper()
+        }
     };
-    Exploration::run(&config)
+    Exploration::try_run(&config)
 }
 
 #[cfg(test)]
@@ -623,11 +660,13 @@ mod tests {
             ],
             benches: vec![Benchmark::D, Benchmark::G],
             threads: 1,
-            progress: false,
-            reuse: true,
+            ..ExploreConfig::default()
         };
         let ex = Exploration::run(&cfg);
-        assert!(table3(&ex).contains("# architectures"));
+        let t3 = table3(&ex);
+        assert!(t3.contains("# architectures"));
+        assert!(t3.contains("quarantined units"), "{t3}");
+        assert!(t3.contains("resumed from checkpoint"), "{t3}");
         let t = table8_10(&ex, 10.0);
         assert!(t.contains("Table 9"), "{t}");
         let fig = figure(&ex, &[Benchmark::D], "Figure 3");

@@ -51,16 +51,21 @@ impl CorrectionModel {
 
         let mut factors = vec![HashMap::<u32, (f64, f64)>::new(); ex.benches.len()];
         for g in chosen {
-            let mono = g
-                .iter()
-                .find(|&&i| ex.archs[i].spec.clusters == 1)
-                .copied()
-                .expect("filtered above");
+            // The groups were filtered to contain a single-cluster member,
+            // but stay total if that invariant ever breaks.
+            let Some(mono) = g.iter().find(|&&i| ex.archs[i].spec.clusters == 1).copied() else {
+                continue;
+            };
             for &i in g {
                 let c = ex.archs[i].spec.clusters;
                 for (b, acc) in factors.iter_mut().enumerate() {
-                    let ratio = ex.archs[i].outcomes[b].cycles_per_output
-                        / ex.archs[mono].outcomes[b].cycles_per_output;
+                    let ratio = ex.archs[i].outcomes[b].cycles_per_output()
+                        / ex.archs[mono].outcomes[b].cycles_per_output();
+                    // A quarantined unit has no measurement (NaN); it
+                    // cannot contribute a sample to the fit.
+                    if !ratio.is_finite() {
+                        continue;
+                    }
                     let e = acc.entry(c).or_insert((0.0, 0.0));
                     e.0 += ratio;
                     e.1 += 1.0;
@@ -84,7 +89,8 @@ impl CorrectionModel {
             .archs
             .iter()
             .position(|a| a.spec.clusters == 1 && base_key(&a.spec) == base_key(&spec))
-            .map(|m| ex.archs[m].outcomes[b].cycles_per_output)?;
+            .map(|m| ex.archs[m].outcomes[b].cycles_per_output())
+            .filter(|c| c.is_finite())?;
         let f = *self.factors[b].get(&spec.clusters)?;
         Some(mono_cpo * f)
     }
@@ -120,7 +126,10 @@ pub fn ablation(ex: &Exploration, samples: usize) -> AblationReport {
             let Some(pred) = model.predict(ex, i, b) else {
                 continue;
             };
-            let truth = arch.outcomes[b].cycles_per_output;
+            let truth = arch.outcomes[b].cycles_per_output();
+            if !truth.is_finite() {
+                continue; // a quarantined unit has no truth to score against
+            }
             let rel = ((pred - truth) / truth).abs();
             points += 1;
             sum += rel;
@@ -133,30 +142,29 @@ pub fn ablation(ex: &Exploration, samples: usize) -> AblationReport {
     let mut agree = 0_usize;
     for bound in [5.0, 10.0, 15.0] {
         for b in 0..ex.benches.len() {
+            // NaN speedups (quarantined units) are excluded from both
+            // argmaxes; total_cmp keeps the comparison total regardless.
             let truth_best = (0..ex.archs.len())
-                .filter(|&i| ex.archs[i].cost <= bound)
-                .max_by(|&x, &y| {
-                    ex.speedup(x, b)
-                        .partial_cmp(&ex.speedup(y, b))
-                        .expect("finite")
-                });
+                .filter(|&i| ex.archs[i].cost <= bound && ex.speedup(i, b).is_finite())
+                .max_by(|&x, &y| ex.speedup(x, b).total_cmp(&ex.speedup(y, b)));
             let approx_value = |i: usize| -> f64 {
                 let cpo = if ex.archs[i].spec.clusters == 1 {
-                    Some(ex.archs[i].outcomes[b].cycles_per_output)
+                    Some(ex.archs[i].outcomes[b].cycles_per_output())
                 } else {
                     model.predict(ex, i, b)
                 };
-                cpo.map_or(f64::NEG_INFINITY, |c| {
-                    ex.baseline.outcomes[b].cycles_per_output / (c * ex.archs[i].derate)
-                })
+                let v = cpo.map_or(f64::NEG_INFINITY, |c| {
+                    ex.baseline.outcomes[b].cycles_per_output() / (c * ex.archs[i].derate)
+                });
+                if v.is_nan() {
+                    f64::NEG_INFINITY
+                } else {
+                    v
+                }
             };
             let approx_best = (0..ex.archs.len())
                 .filter(|&i| ex.archs[i].cost <= bound)
-                .max_by(|&x, &y| {
-                    approx_value(x)
-                        .partial_cmp(&approx_value(y))
-                        .expect("finite")
-                });
+                .max_by(|&x, &y| approx_value(x).total_cmp(&approx_value(y)));
             if let (Some(t), Some(a)) = (truth_best, approx_best) {
                 decisions += 1;
                 // Agreement up to near-ties: the approximate winner's true
@@ -197,8 +205,7 @@ mod tests {
             archs,
             benches: vec![Benchmark::D, Benchmark::H],
             threads: 1,
-            progress: false,
-            reuse: true,
+            ..ExploreConfig::default()
         })
     }
 

@@ -1,0 +1,318 @@
+//! The typed error layer of the exploration stack.
+//!
+//! The sweep's promise is that *one pathological candidate never takes
+//! down a run*: every way an `(architecture, benchmark)` unit can go
+//! wrong is a value here, so `explore` can quarantine the unit, record
+//! why, and keep going. The taxonomy converges the per-crate errors
+//! ([`cfp_sched::SchedError`], checkpoint I/O, caught panics) into:
+//!
+//! * [`EvalError`] — one evaluation refusing to produce a measurement;
+//! * [`FailReason`] — the quarantine record kept for a failed unit
+//!   (serializable, comparable, and honest about its [`FailKind`]);
+//! * [`CheckpointError`] — the resume journal being unusable;
+//! * [`ExploreError`] — a whole run being unable to proceed.
+
+use cfp_kernels::Benchmark;
+use cfp_sched::SchedError;
+use std::error::Error;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Why one `(architecture, benchmark)` evaluation produced no
+/// measurement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// The plan cache has no un-unrolled plan for this benchmark and
+    /// residency budget — the cache was built for a different space.
+    MissingPlan {
+        /// The benchmark whose plan is missing.
+        bench: Benchmark,
+        /// The residency budget looked up.
+        budget: usize,
+    },
+    /// The back end refused a compilation.
+    Sched {
+        /// The benchmark being evaluated.
+        bench: Benchmark,
+        /// The unroll factor being compiled when the error struck.
+        unroll: u32,
+        /// The scheduler's verdict.
+        source: SchedError,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::MissingPlan { bench, budget } => write!(
+                f,
+                "plan cache has no unroll-1 plan for benchmark {bench} at budget {budget}"
+            ),
+            EvalError::Sched {
+                bench,
+                unroll,
+                source,
+            } => write!(f, "compiling {bench} at unroll {unroll}: {source}"),
+        }
+    }
+}
+
+impl Error for EvalError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EvalError::MissingPlan { .. } => None,
+            EvalError::Sched { source, .. } => Some(source),
+        }
+    }
+}
+
+/// The class of a quarantined unit's failure — coarse on purpose, so it
+/// survives serialization and drives the Table 3 counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailKind {
+    /// The evaluation panicked and was caught at the unit boundary.
+    Panic,
+    /// The compile fuel budget ran out before any measurement existed.
+    FuelExhausted,
+    /// A typed evaluation error (anything in [`EvalError`] that is not
+    /// fuel exhaustion).
+    Error,
+}
+
+impl FailKind {
+    /// Stable one-word token used by the CSV and journal formats.
+    #[must_use]
+    pub fn token(self) -> &'static str {
+        match self {
+            FailKind::Panic => "panic",
+            FailKind::FuelExhausted => "fuel",
+            FailKind::Error => "error",
+        }
+    }
+
+    /// Parse a [`FailKind::token`].
+    #[must_use]
+    pub fn from_token(s: &str) -> Option<Self> {
+        match s {
+            "panic" => Some(FailKind::Panic),
+            "fuel" => Some(FailKind::FuelExhausted),
+            "error" => Some(FailKind::Error),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FailKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+/// The quarantine record of one failed `(architecture, benchmark)` unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailReason {
+    /// The failure class.
+    pub kind: FailKind,
+    /// Human-readable detail (panic message or error rendering).
+    pub message: String,
+}
+
+impl FailReason {
+    /// Build a reason from a caught panic payload.
+    #[must_use]
+    pub fn from_panic(payload: &(dyn std::any::Any + Send)) -> Self {
+        let message = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied())
+            .unwrap_or("<non-string panic payload>")
+            .to_owned();
+        FailReason {
+            kind: FailKind::Panic,
+            message,
+        }
+    }
+}
+
+impl From<EvalError> for FailReason {
+    fn from(e: EvalError) -> Self {
+        let kind = match &e {
+            EvalError::Sched {
+                source: SchedError::FuelExhausted { .. },
+                ..
+            } => FailKind::FuelExhausted,
+            _ => FailKind::Error,
+        };
+        FailReason {
+            kind,
+            message: e.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for FailReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind, self.message)
+    }
+}
+
+/// The checkpoint journal being unusable (see `crate::checkpoint`).
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Reading or writing the journal failed.
+    Io {
+        /// The journal path.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The journal exists but does not parse.
+    Corrupt {
+        /// 1-based line number of the first bad line.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The journal was written by a different exploration configuration.
+    Mismatch {
+        /// Fingerprint of the configuration being run.
+        expected: u64,
+        /// Fingerprint recorded in the journal.
+        found: u64,
+    },
+    /// A journal already exists and resuming was not requested.
+    Exists(PathBuf),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io { path, source } => {
+                write!(f, "checkpoint journal {}: {source}", path.display())
+            }
+            CheckpointError::Corrupt { line, message } => {
+                write!(f, "checkpoint journal line {line}: {message}")
+            }
+            CheckpointError::Mismatch { expected, found } => write!(
+                f,
+                "checkpoint journal was written by a different configuration \
+                 (fingerprint {found:016x}, this run is {expected:016x})"
+            ),
+            CheckpointError::Exists(path) => write!(
+                f,
+                "checkpoint journal {} already exists; resume it or remove it",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CheckpointError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// A whole exploration run being unable to proceed (as opposed to one
+/// quarantined unit, which the run absorbs and reports).
+#[derive(Debug)]
+pub enum ExploreError {
+    /// The configuration has no architectures or no benchmarks.
+    EmptyConfig,
+    /// The baseline architecture failed to evaluate; every speedup is a
+    /// ratio against it, so there is nothing meaningful to report.
+    BaselineFailed(FailReason),
+    /// A worker thread died outside the quarantine boundary — a harness
+    /// bug, not a candidate failure.
+    WorkerLost,
+    /// The checkpoint journal could not be used.
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExploreError::EmptyConfig => {
+                f.write_str("exploration needs at least one architecture and one benchmark")
+            }
+            ExploreError::BaselineFailed(r) => write!(f, "baseline evaluation failed: {r}"),
+            ExploreError::WorkerLost => {
+                f.write_str("a worker thread panicked outside the unit quarantine")
+            }
+            ExploreError::Checkpoint(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for ExploreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExploreError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for ExploreError {
+    fn from(e: CheckpointError) -> Self {
+        ExploreError::Checkpoint(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fail_kind_tokens_round_trip() {
+        for kind in [FailKind::Panic, FailKind::FuelExhausted, FailKind::Error] {
+            assert_eq!(FailKind::from_token(kind.token()), Some(kind));
+        }
+        assert_eq!(FailKind::from_token("weird"), None);
+    }
+
+    #[test]
+    fn fuel_exhaustion_maps_to_its_own_kind() {
+        let fuel: FailReason = EvalError::Sched {
+            bench: Benchmark::A,
+            unroll: 1,
+            source: SchedError::FuelExhausted { budget: 9 },
+        }
+        .into();
+        assert_eq!(fuel.kind, FailKind::FuelExhausted);
+        let cap: FailReason = EvalError::Sched {
+            bench: Benchmark::A,
+            unroll: 1,
+            source: SchedError::CycleCapExceeded { cap: 4 },
+        }
+        .into();
+        assert_eq!(cap.kind, FailKind::Error);
+    }
+
+    #[test]
+    fn panic_payloads_are_extracted() {
+        let r = FailReason::from_panic(&"boom".to_string());
+        assert_eq!(r.kind, FailKind::Panic);
+        assert_eq!(r.message, "boom");
+        let s: &(dyn std::any::Any + Send) = &"static boom";
+        assert_eq!(FailReason::from_panic(s).message, "static boom");
+    }
+
+    #[test]
+    fn errors_display_usefully() {
+        let e = ExploreError::Checkpoint(CheckpointError::Mismatch {
+            expected: 1,
+            found: 2,
+        });
+        assert!(e.to_string().contains("different configuration"));
+        assert!(EvalError::MissingPlan {
+            bench: Benchmark::A,
+            budget: 32
+        }
+        .to_string()
+        .contains("budget 32"));
+    }
+}

@@ -14,10 +14,11 @@
 //! `(benchmark, budget, unroll)` in a [`PlanCache`] and shared by all
 //! architectures.
 
+use crate::error::{EvalError, FailReason};
 use crate::memo::CompileCache;
 use cfp_kernels::Benchmark;
 use cfp_machine::{ArchSpec, MachineResources};
-use cfp_sched::{compile, compile_core, prepare, spill_penalty_cycles};
+use cfp_sched::{finish, prepare, spill_penalty_cycles, try_compile_core, Fuel, SchedError};
 use std::collections::HashMap;
 
 /// Unroll factors the experiment sweeps, ascending.
@@ -90,11 +91,14 @@ impl PlanCache {
     }
 
     fn intern(&mut self, kernel: cfp_ir::Kernel) -> PlanId {
+        // Plan counts are benches × budgets × unrolls — a few hundred at
+        // most, so the index always fits; saturating keeps the cast
+        // panic-free without inventing an unreachable error path.
         if let Some(i) = self.kernels.iter().position(|k| *k == kernel) {
-            return PlanId(u32::try_from(i).expect("small"));
+            return PlanId(u32::try_from(i).unwrap_or(u32::MAX));
         }
         self.kernels.push(kernel);
-        PlanId(u32::try_from(self.kernels.len() - 1).expect("small"))
+        PlanId(u32::try_from(self.kernels.len() - 1).unwrap_or(u32::MAX))
     }
 
     /// Look up a plan.
@@ -138,9 +142,9 @@ impl PlanCache {
     }
 }
 
-/// The evaluation of one `(architecture, benchmark)` pair.
+/// One successful `(architecture, benchmark)` measurement.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct EvalOutcome {
+pub struct Measurement {
     /// Cycles per output unit at the chosen unroll factor, including any
     /// spill penalty (architecture cycles — multiply by the derate for
     /// time).
@@ -153,30 +157,103 @@ pub struct EvalOutcome {
     pub compilations: u32,
 }
 
+/// The evaluation of one `(architecture, benchmark)` pair: either a
+/// [`Measurement`], or a quarantine record explaining why this unit
+/// produced none. Failed units never abort a sweep — they ride along so
+/// the exploration can report degraded coverage honestly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalOutcome {
+    /// The evaluation completed.
+    Done(Measurement),
+    /// The evaluation was quarantined.
+    Failed {
+        /// Why (caught panic, exhausted fuel budget, or a typed error).
+        reason: FailReason,
+    },
+}
+
+impl EvalOutcome {
+    /// The measurement, if the unit completed.
+    #[must_use]
+    pub fn measurement(&self) -> Option<&Measurement> {
+        match self {
+            EvalOutcome::Done(m) => Some(m),
+            EvalOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// The quarantine record, if the unit failed.
+    #[must_use]
+    pub fn failure(&self) -> Option<&FailReason> {
+        match self {
+            EvalOutcome::Done(_) => None,
+            EvalOutcome::Failed { reason } => Some(reason),
+        }
+    }
+
+    /// Whether the unit completed.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        matches!(self, EvalOutcome::Done(_))
+    }
+
+    /// Cycles per output, or NaN for a quarantined unit. NaN is the
+    /// honest missing-data value here: it propagates through speedups
+    /// and means the analysis layers must (and do) treat the pair as
+    /// incomparable rather than silently ranking it.
+    #[must_use]
+    pub fn cycles_per_output(&self) -> f64 {
+        self.measurement().map_or(f64::NAN, |m| m.cycles_per_output)
+    }
+
+    /// Compilations this unit performed (0 for a quarantined unit).
+    #[must_use]
+    pub fn compilations(&self) -> u32 {
+        self.measurement().map_or(0, |m| m.compilations)
+    }
+}
+
 /// The unroll sweep shared by the direct and memoized evaluation paths.
-/// `compile_one` returns `(fits, cycles_per_iter)` for one plan; how it
-/// gets them — fresh compile or cache lookup — is the caller's business.
+/// `compile_one` returns `(fits, cycles_per_iter)` for one plan under
+/// the given fuel; how — fresh compile or cache lookup — is the caller's
+/// business. Each unroll factor gets a fresh budget of `fuel_budget`
+/// steps. A compile error at `u = 1` fails the whole unit; at deeper
+/// unrolls it stops the sweep and keeps the best result so far, exactly
+/// like the paper's spill rule — deeper unrolling is an optimization,
+/// and an optimization that goes over budget is simply not taken.
 fn unroll_sweep(
     bench: Benchmark,
     budget: usize,
     plans: &PlanCache,
-    mut compile_one: impl FnMut(PlanId) -> (bool, u32),
-) -> EvalOutcome {
-    let mut best: Option<EvalOutcome> = None;
+    fuel_budget: Option<u64>,
+    mut compile_one: impl FnMut(PlanId, &mut Fuel) -> Result<(bool, u32), SchedError>,
+) -> Result<Measurement, EvalError> {
+    let mut best: Option<Measurement> = None;
     let mut compilations = 0;
 
     for &u in &UNROLL_SWEEP {
         let Some(id) = plans.id(bench, budget, u) else {
             break; // body cap reached; larger unrolls only grow
         };
-        let (fits, cycles) = compile_one(id);
+        let mut fuel = Fuel::from_budget(fuel_budget);
+        let (fits, cycles) = match compile_one(id, &mut fuel) {
+            Ok(r) => r,
+            Err(_) if best.is_some() => break,
+            Err(source) => {
+                return Err(EvalError::Sched {
+                    bench,
+                    unroll: u,
+                    source,
+                })
+            }
+        };
         compilations += 1;
         if !fits && u > 1 {
             break; // the paper's rule: spilling stops the sweep
         }
         let cpo = f64::from(cycles) / f64::from(plans.kernel(id).outputs_per_iter);
         if best.as_ref().is_none_or(|b| cpo < b.cycles_per_output) {
-            best = Some(EvalOutcome {
+            best = Some(Measurement {
                 cycles_per_output: cpo,
                 unroll: u,
                 spilled: !fits,
@@ -187,9 +264,11 @@ fn unroll_sweep(
             break; // u == 1 spilled: keep the penalized result, stop
         }
     }
-    let mut out = best.expect("unroll sweep always evaluates u = 1");
+    let Some(mut out) = best else {
+        return Err(EvalError::MissingPlan { bench, budget });
+    };
     out.compilations = compilations;
-    out
+    Ok(out)
 }
 
 /// Evaluate one benchmark on one architecture.
@@ -197,14 +276,41 @@ fn unroll_sweep(
 /// # Panics
 /// Panics if the cache is missing the un-unrolled plan for the
 /// benchmark (build the cache with the same benchmarks and register
-/// sizes as the space being explored).
+/// sizes as the space being explored). Sweeps over untrusted candidates
+/// should call [`try_evaluate`].
 #[must_use]
-pub fn evaluate(spec: &ArchSpec, bench: Benchmark, cache: &PlanCache) -> EvalOutcome {
+pub fn evaluate(spec: &ArchSpec, bench: Benchmark, cache: &PlanCache) -> Measurement {
+    match try_evaluate(spec, bench, cache, None) {
+        Ok(m) => m,
+        Err(e) => panic!("evaluation failed without a fuel budget: {e}"),
+    }
+}
+
+/// [`evaluate`] with failures as values and an optional per-compilation
+/// step budget.
+///
+/// # Errors
+/// [`EvalError::MissingPlan`] on a mismatched plan cache;
+/// [`EvalError::Sched`] when the un-unrolled compilation itself goes
+/// over budget (deeper unrolls going over merely stop the sweep).
+pub fn try_evaluate(
+    spec: &ArchSpec,
+    bench: Benchmark,
+    cache: &PlanCache,
+    fuel_budget: Option<u64>,
+) -> Result<Measurement, EvalError> {
     let machine = MachineResources::from_spec(spec);
-    unroll_sweep(bench, residency_budget(spec.regs), cache, |id| {
-        let result = compile(cache.kernel(id), &machine);
-        (result.fits(), result.cycles_per_iter())
-    })
+    unroll_sweep(
+        bench,
+        residency_budget(spec.regs),
+        cache,
+        fuel_budget,
+        |id, fuel| {
+            let core = try_compile_core(&prepare(cache.kernel(id), &machine), &machine, fuel)?;
+            let result = finish(&core, &machine);
+            Ok((result.fits(), result.cycles_per_iter()))
+        },
+    )
 }
 
 /// Evaluate one benchmark on one architecture, sharing compile work
@@ -224,27 +330,59 @@ pub fn evaluate_cached(
     bench: Benchmark,
     cache: &PlanCache,
     memo: &CompileCache,
-) -> EvalOutcome {
+) -> Measurement {
+    match try_evaluate_cached(spec, bench, cache, memo, None) {
+        Ok(m) => m,
+        Err(e) => panic!("evaluation failed without a fuel budget: {e}"),
+    }
+}
+
+/// [`try_evaluate`] through the compile cache.
+///
+/// Budget verdicts stay deterministic under memoization: cores are
+/// computed under unlimited fuel and record the steps they cost
+/// ([`cfp_sched::SchedCore::steps`]); every lookup — hit or miss —
+/// charges that price against this unit's own fuel. A compilation
+/// therefore passes or fails the budget identically whether it was
+/// scheduled here or served from another architecture's work, on any
+/// thread interleaving.
+///
+/// # Errors
+/// As [`try_evaluate`].
+pub fn try_evaluate_cached(
+    spec: &ArchSpec,
+    bench: Benchmark,
+    cache: &PlanCache,
+    memo: &CompileCache,
+    fuel_budget: Option<u64>,
+) -> Result<Measurement, EvalError> {
     let machine = MachineResources::from_spec(spec);
     let sig = spec.sched_signature();
-    unroll_sweep(bench, residency_budget(spec.regs), cache, |id| {
-        let core = memo.core(id, sig, || {
-            let prepared = memo.prepared(id, machine.l2_latency, || {
-                prepare(cache.kernel(id), &machine)
-            });
-            compile_core(&prepared, &machine)
-        });
-        let excess: u32 = core
-            .peak
-            .iter()
-            .zip(&machine.clusters)
-            .map(|(&p, c)| p.saturating_sub(c.regs))
-            .sum();
-        (
-            excess == 0,
-            core.length + spill_penalty_cycles(excess, &machine),
-        )
-    })
+    unroll_sweep(
+        bench,
+        residency_budget(spec.regs),
+        cache,
+        fuel_budget,
+        |id, fuel| {
+            let core = memo.try_core(id, sig, || {
+                let prepared = memo.prepared(id, machine.l2_latency, || {
+                    prepare(cache.kernel(id), &machine)
+                });
+                try_compile_core(&prepared, &machine, &mut Fuel::unlimited())
+            })?;
+            fuel.spend(core.steps)?;
+            let excess: u32 = core
+                .peak
+                .iter()
+                .zip(&machine.clusters)
+                .map(|(&p, c)| p.saturating_sub(c.regs))
+                .sum();
+            Ok((
+                excess == 0,
+                core.length + spill_penalty_cycles(excess, &machine),
+            ))
+        },
+    )
 }
 
 #[cfg(test)]

@@ -6,8 +6,15 @@
 //! recompiling anything — the same role the paper's collected
 //! measurement logs played. The format is a plain CSV, one row per
 //! `(architecture, benchmark)`, self-describing and diff-friendly.
+//!
+//! Quarantined units survive the round trip: a failed unit's row carries
+//! `failed:<kind>:<escaped message>` in the `cycles_per_output` column
+//! (zeros elsewhere), so a degraded run's CSV is honest about exactly
+//! which pairs have no measurement and why.
 
-use crate::eval::EvalOutcome;
+use crate::checkpoint::{escape, unescape};
+use crate::error::{FailKind, FailReason};
+use crate::eval::{EvalOutcome, Measurement};
 use crate::explore::{ArchEval, Exploration, RunStats};
 use cfp_kernels::Benchmark;
 use cfp_machine::ArchSpec;
@@ -44,16 +51,26 @@ pub fn to_csv(ex: &Exploration) -> String {
     out.push('\n');
     let row = |arch: &ArchEval, is_baseline: bool, out: &mut String| {
         for (b, o) in ex.benches.iter().zip(&arch.outcomes) {
+            let (cycles, unroll, spilled, compilations) = match o {
+                EvalOutcome::Done(m) => (
+                    m.cycles_per_output.to_string(),
+                    m.unroll,
+                    u8::from(m.spilled),
+                    m.compilations,
+                ),
+                EvalOutcome::Failed { reason } => (
+                    format!("failed:{}:{}", reason.kind.token(), escape(&reason.message)),
+                    0,
+                    0,
+                    0,
+                ),
+            };
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{cycles},{unroll},{spilled},{compilations},{}\n",
                 arch.spec.to_string().replace(' ', "/"),
                 b,
                 arch.cost,
                 arch.derate,
-                o.cycles_per_output,
-                o.unroll,
-                u8::from(o.spilled),
-                o.compilations,
                 u8::from(is_baseline),
             ));
         }
@@ -107,13 +124,29 @@ pub fn from_csv(text: &str) -> Result<Exploration, ParseError> {
         let num = |s: &str| -> Result<f64, ParseError> {
             s.parse().map_err(|e| err(format!("bad number `{s}`: {e}")))
         };
+        let int = |s: &str| -> Result<u32, ParseError> {
+            s.parse().map_err(|e| err(format!("bad count `{s}`: {e}")))
+        };
         let cost = num(f[2])?;
         let derate = num(f[3])?;
-        let outcome = EvalOutcome {
-            cycles_per_output: num(f[4])?,
-            unroll: num(f[5])? as u32,
-            spilled: f[6] == "1",
-            compilations: num(f[7])? as u32,
+        let outcome = if let Some(rest) = f[4].strip_prefix("failed:") {
+            let (token, message) = rest
+                .split_once(':')
+                .ok_or_else(|| err(format!("bad failure field `{}`", f[4])))?;
+            let kind = FailKind::from_token(token)
+                .ok_or_else(|| err(format!("unknown failure kind `{token}`")))?;
+            let message =
+                unescape(message).ok_or_else(|| err("bad escape in failure message".to_owned()))?;
+            EvalOutcome::Failed {
+                reason: FailReason { kind, message },
+            }
+        } else {
+            EvalOutcome::Done(Measurement {
+                cycles_per_output: num(f[4])?,
+                unroll: int(f[5])?,
+                spilled: f[6] == "1",
+                compilations: int(f[7])?,
+            })
         };
         let is_baseline = f[8] == "1";
 
@@ -133,7 +166,12 @@ pub fn from_csv(text: &str) -> Result<Exploration, ParseError> {
     let mut baseline: Option<ArchEval> = None;
     let mut archs = Vec::new();
     for key in order {
-        let (cost, derate, outcomes) = rows.remove(&key).expect("keyed above");
+        // Every key in `order` was inserted into `rows` above, so a miss
+        // cannot happen; skipping (rather than unwrapping) keeps the
+        // parser total.
+        let Some((cost, derate, outcomes)) = rows.remove(&key) else {
+            continue;
+        };
         if outcomes.len() != benches.len() {
             return Err(ParseError {
                 line: 0,
@@ -165,13 +203,28 @@ pub fn from_csv(text: &str) -> Result<Exploration, ParseError> {
         .iter()
         .chain(std::iter::once(&baseline))
         .flat_map(|a| &a.outcomes)
-        .map(|o| u64::from(o.compilations))
+        .map(|o| u64::from(o.compilations()))
         .sum();
+    let failed_units = archs
+        .iter()
+        .flat_map(|a| &a.outcomes)
+        .filter(|o| !o.is_done())
+        .count() as u64;
+    let fuel_exhausted = archs
+        .iter()
+        .flat_map(|a| &a.outcomes)
+        .filter(|o| {
+            o.failure()
+                .is_some_and(|r| r.kind == FailKind::FuelExhausted)
+        })
+        .count() as u64;
     Ok(Exploration {
         benches,
         stats: RunStats {
             compilations,
             architectures: archs.len(),
+            failed_units,
+            fuel_exhausted,
             // Timings and cache accounting are run-time facts the CSV
             // deliberately does not persist.
             ..RunStats::default()
@@ -213,25 +266,64 @@ mod tests {
     }
 
     #[test]
+    fn failed_units_round_trip_with_their_reasons() {
+        let mut ex = small();
+        ex.archs[1].outcomes[0] = EvalOutcome::Failed {
+            reason: FailReason {
+                kind: FailKind::Panic,
+                message: "index 3,7 out of bounds\nat eval".to_owned(),
+            },
+        };
+        ex.archs[2].outcomes[1] = EvalOutcome::Failed {
+            reason: FailReason {
+                kind: FailKind::FuelExhausted,
+                message: "fuel budget 100 exhausted".to_owned(),
+            },
+        };
+        let csv = to_csv(&ex);
+        assert!(!csv.contains('\r'), "messages are escaped into one line");
+        let back = from_csv(&csv).expect("parses");
+        assert_eq!(back.archs[1].outcomes[0], ex.archs[1].outcomes[0]);
+        assert_eq!(back.archs[2].outcomes[1], ex.archs[2].outcomes[1]);
+        assert_eq!(back.stats.failed_units, 2);
+        assert_eq!(back.stats.fuel_exhausted, 1);
+        // The failed pairs stay visibly unmeasured after the round trip.
+        assert!(back.speedup(1, 0).is_nan());
+        assert!(back.speedup(2, 1).is_nan());
+    }
+
+    #[test]
     fn rejects_malformed_input() {
         assert!(from_csv("").is_err());
         assert!(from_csv("not,the,header\n").is_err());
         let ex = small();
         let csv = to_csv(&ex);
-        // Chop a field off some row.
+        // Chop a field off some row; a line with no comma at all is left
+        // as-is (and the parser rejects its field count anyway).
         let broken: String = csv
             .lines()
             .enumerate()
             .map(|(i, l)| {
                 if i == 2 {
-                    l.rsplit_once(',').map(|(a, _)| a.to_owned()).unwrap()
+                    l.rsplit_once(',')
+                        .map_or_else(String::new, |(a, _)| a.to_owned())
                 } else {
                     l.to_owned()
                 }
             })
             .collect::<Vec<_>>()
             .join("\n");
-        assert!(from_csv(&broken).is_err());
+        let err = from_csv(&broken).expect_err("malformed");
+        assert_eq!(err.line, 3, "error names the broken line");
+        // Garbage failure fields are named, not panicked over.
+        let mut lines: Vec<String> = csv.lines().map(str::to_owned).collect();
+        let f: Vec<&str> = lines[1].split(',').collect();
+        lines[1] = format!(
+            "{},{},{},{},failed:weird:msg,0,0,0,{}",
+            f[0], f[1], f[2], f[3], f[8]
+        );
+        let err = from_csv(&lines.join("\n")).expect_err("unknown kind");
+        assert!(err.message.contains("weird"), "{err}");
     }
 
     #[test]

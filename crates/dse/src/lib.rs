@@ -15,8 +15,13 @@
 //! * [`explore`] — the exhaustive parallel sweep over the design space
 //!   in `(architecture, benchmark)` work units, with the cost and
 //!   cycle-time models attached and Table 3-style run statistics
-//!   (logical compilations, cache hits, unique schedules, per-stage
-//!   timings);
+//!   (logical compilations, cache hits, unique schedules, quarantined
+//!   units, per-stage timings);
+//! * [`error`] — the typed failure taxonomy: per-unit [`EvalError`]s,
+//!   quarantine [`FailReason`]s, and run-level [`ExploreError`]s, so a
+//!   pathological candidate is a reported value, never a lost sweep;
+//! * [`checkpoint`] — crash-consistent journaling of completed units and
+//!   bit-identical resume of interrupted sweeps;
 //! * [`mod@select`] — COST/RANGE architecture selection (Tables 8–10);
 //! * [`pareto`] — scatter points and best-alternative frontiers
 //!   (Figures 3–4);
@@ -39,8 +44,15 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// The exploration stack promises its failures are typed values; an
+// unwrap/expect in non-test code needs a written justification (a
+// sibling `#[allow]` with a comment) or a Result path instead. CI runs
+// clippy with `-D warnings`, so this gate is enforced.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod checkpoint;
 pub mod correction;
+pub mod error;
 pub mod eval;
 pub mod explore;
 pub mod io;
@@ -51,7 +63,12 @@ pub mod search;
 pub mod select;
 pub mod tables;
 
-pub use eval::{evaluate, evaluate_cached, EvalOutcome, PlanCache, PlanId};
+pub use checkpoint::Checkpoint;
+pub use error::{CheckpointError, EvalError, ExploreError, FailKind, FailReason};
+pub use eval::{
+    evaluate, evaluate_cached, try_evaluate, try_evaluate_cached, EvalOutcome, Measurement,
+    PlanCache, PlanId,
+};
 pub use explore::{ArchEval, Exploration, ExploreConfig, RunStats};
 pub use io::{from_csv, to_csv};
 pub use memo::{CompileCache, ShardedMap};

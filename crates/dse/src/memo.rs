@@ -23,7 +23,7 @@ use cfp_sched::{Prepared, SchedCore};
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hash, RandomState};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Shard count: enough that the paper-scale sweep (≲ a few hundred
 /// distinct keys, ≲ dozens of threads) rarely collides, small enough to
@@ -51,6 +51,15 @@ impl<K: Eq + Hash, V> Default for ShardedMap<K, V> {
     }
 }
 
+/// Lock a memo shard, recovering from poisoning. A panic in *another*
+/// thread can only have happened outside `f` (compute runs with the lock
+/// released), so the map itself is never mid-mutation when poisoned;
+/// every stored value is a completed, pure function of its key. Throwing
+/// the data away over a dead neighbor would be strictly worse.
+fn lock_shard<K, V>(shard: &Mutex<HashMap<K, Arc<V>>>) -> MutexGuard<'_, HashMap<K, Arc<V>>> {
+    shard.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 impl<K: Eq + Hash + Clone, V> ShardedMap<K, V> {
     fn shard(&self, key: &K) -> &Mutex<HashMap<K, Arc<V>>> {
         let h = self.hasher.hash_one(key) as usize;
@@ -61,20 +70,31 @@ impl<K: Eq + Hash + Clone, V> ShardedMap<K, V> {
     /// outside the shard lock; see the module docs for the (benign)
     /// duplicate-compute race this allows.
     pub fn get_or_insert_with(&self, key: &K, f: impl FnOnce() -> V) -> Arc<V> {
+        match self.try_get_or_insert_with(key, || Ok::<V, std::convert::Infallible>(f())) {
+            Ok(v) => v,
+            Err(never) => match never {},
+        }
+    }
+
+    /// [`Self::get_or_insert_with`] for fallible computations: an `Err`
+    /// from `f` is returned to the caller and nothing is cached, so a
+    /// failed compilation is re-attempted (and fails identically — every
+    /// computation here is deterministic) rather than poisoning the map.
+    pub fn try_get_or_insert_with<E>(
+        &self,
+        key: &K,
+        f: impl FnOnce() -> Result<V, E>,
+    ) -> Result<Arc<V>, E> {
         let shard = self.shard(key);
-        if let Some(v) = shard.lock().expect("memo shard poisoned").get(key) {
+        if let Some(v) = lock_shard(shard).get(key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(v);
+            return Ok(Arc::clone(v));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let value = Arc::new(f());
-        Arc::clone(
-            shard
-                .lock()
-                .expect("memo shard poisoned")
-                .entry(key.clone())
-                .or_insert(value),
-        )
+        let value = Arc::new(f()?);
+        Ok(Arc::clone(
+            lock_shard(shard).entry(key.clone()).or_insert(value),
+        ))
     }
 
     /// Lookups that found an entry.
@@ -89,10 +109,7 @@ impl<K: Eq + Hash + Clone, V> ShardedMap<K, V> {
 
     /// Distinct keys stored.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("memo shard poisoned").len())
-            .sum()
+        self.shards.iter().map(|s| lock_shard(s).len()).sum()
     }
 
     /// Whether nothing has been memoized.
@@ -141,6 +158,17 @@ impl CompileCache {
         f: impl FnOnce() -> SchedCore,
     ) -> Arc<SchedCore> {
         self.cores.get_or_insert_with(&(id, sig), f)
+    }
+
+    /// [`Self::core`] for fallible compilations: only successful cores
+    /// are cached, and an `Err` from `f` comes straight back.
+    pub fn try_core<E>(
+        &self,
+        id: PlanId,
+        sig: SchedSignature,
+        f: impl FnOnce() -> Result<SchedCore, E>,
+    ) -> Result<Arc<SchedCore>, E> {
+        self.cores.try_get_or_insert_with(&(id, sig), f)
     }
 
     /// Schedule lookups served from the cache.
@@ -219,5 +247,41 @@ mod tests {
         // produces the same value and only one copy is kept.
         assert!(computed.load(Ordering::Relaxed) >= 10);
         assert_eq!(map.hits() + map.misses(), 800);
+    }
+
+    #[test]
+    fn failed_computations_are_not_cached() {
+        let map: ShardedMap<u32, u32> = ShardedMap::default();
+        let e = map.try_get_or_insert_with(&1, || Err::<u32, &str>("nope"));
+        assert_eq!(e, Err("nope"));
+        assert!(map.is_empty());
+        // A later success on the same key computes and caches normally.
+        let v = map.try_get_or_insert_with(&1, || Ok::<u32, &str>(11));
+        assert_eq!(*v.expect("succeeds"), 11);
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn a_poisoned_shard_keeps_serving_its_values() {
+        let map = Arc::new(ShardedMap::<u32, u32>::default());
+        for k in 0..50 {
+            map.get_or_insert_with(&k, || k * 2);
+        }
+        // Poison every shard: panic while holding each lock in turn.
+        for shard in &map.shards {
+            let _ = std::thread::scope(|s| {
+                s.spawn(move || {
+                    let _guard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+                    panic!("poison the shard");
+                })
+                .join()
+            });
+        }
+        assert!(map.shards.iter().any(|s| s.lock().is_err()), "poisoned");
+        // Reads and writes still work on the recovered data.
+        for k in 0..50 {
+            assert_eq!(*map.get_or_insert_with(&k, || unreachable!()), k * 2);
+        }
+        assert_eq!(*map.get_or_insert_with(&100, || 7), 7);
     }
 }

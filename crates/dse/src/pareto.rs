@@ -31,6 +31,13 @@ pub fn scatter(exploration: &Exploration, bench: usize) -> Vec<ScatterPoint> {
             cost: arch.cost,
             speedup: exploration.speedup(i, bench),
         };
+        // A quarantined unit has no speedup (NaN); it cannot be "the
+        // best arrangement" of its base point, and letting it into the
+        // map would block finite arrangements (NaN comparisons are all
+        // false), so it is skipped outright.
+        if !p.speedup.is_finite() {
+            continue;
+        }
         best.entry(key)
             .and_modify(|cur| {
                 let better = p.speedup > cur.speedup + 1e-12
@@ -42,12 +49,7 @@ pub fn scatter(exploration: &Exploration, bench: usize) -> Vec<ScatterPoint> {
             .or_insert(p);
     }
     let mut points: Vec<ScatterPoint> = best.into_values().collect();
-    points.sort_by(|a, b| {
-        a.cost
-            .partial_cmp(&b.cost)
-            .expect("finite")
-            .then(a.spec.cmp(&b.spec))
-    });
+    points.sort_by(|a, b| a.cost.total_cmp(&b.cost).then(a.spec.cmp(&b.spec)));
     points
 }
 

@@ -42,7 +42,8 @@ impl SplitMix64 {
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0);
-        usize::try_from(self.next_u64() % (n as u64)).expect("fits")
+        // The remainder is < n, which already fits in usize.
+        (self.next_u64() % (n as u64)) as usize
     }
 
     /// Uniform float in `[0, 1)`.

@@ -56,14 +56,17 @@ pub fn select(
     cost_bound: f64,
     range: Range,
 ) -> Option<Selection> {
+    let target_su = |a: usize| exploration.speedup(a, target);
+    let overall = |a: usize| Exploration::harmonic_mean(&exploration.speedup_row(a));
+    // Quarantined units surface as NaN speedups, which poison the row's
+    // harmonic mean; a designer cannot pick an architecture with missing
+    // measurements, so such rows are out of the running entirely.
     let affordable: Vec<usize> = (0..exploration.archs.len())
-        .filter(|&a| exploration.archs[a].cost <= cost_bound)
+        .filter(|&a| exploration.archs[a].cost <= cost_bound && overall(a).is_finite())
         .collect();
     if affordable.is_empty() {
         return None;
     }
-    let target_su = |a: usize| exploration.speedup(a, target);
-    let overall = |a: usize| Exploration::harmonic_mean(&exploration.speedup_row(a));
 
     let candidates: Vec<usize> = match range {
         Range::Infinite => affordable.clone(),
@@ -85,13 +88,11 @@ pub fn select(
     // results are deterministic.
     let winner = candidates.into_iter().min_by(|&x, &y| {
         overall(y)
-            .partial_cmp(&overall(x))
-            .expect("speedups are finite")
+            .total_cmp(&overall(x))
             .then(
                 exploration.archs[x]
                     .cost
-                    .partial_cmp(&exploration.archs[y].cost)
-                    .expect("costs are finite"),
+                    .total_cmp(&exploration.archs[y].cost),
             )
             .then(exploration.archs[x].spec.cmp(&exploration.archs[y].spec))
     })?;

@@ -6,6 +6,7 @@
 
 use crate::cluster::{assign, Assignment};
 use crate::ddg::Ddg;
+use crate::error::{Fuel, SchedError};
 use crate::list::{self, Schedule};
 use crate::loopcode::LoopCode;
 use crate::regalloc::{peak_pressure, PressureReport};
@@ -92,24 +93,53 @@ pub struct SchedCore {
     pub move_count: usize,
     /// The dependence-graph lower bound on the iteration.
     pub critical_path: u32,
+    /// Scheduler steps this compilation cost (deterministic — loop
+    /// trips, not time). A memoizing caller charges this against its own
+    /// [`Fuel`] on a cache hit, so budget verdicts come out identical
+    /// whether a compilation was computed or reused.
+    pub steps: u64,
 }
 
 /// Run the machine-dependent phase on a prepared plan: cluster
 /// assignment, list scheduling, and peak register pressure.
+///
+/// # Panics
+/// Panics if the scheduler hits its internal cycle cap; sweeps over
+/// untrusted candidates should call [`try_compile_core`].
 #[must_use]
 pub fn compile_core(prepared: &Prepared, machine: &MachineResources) -> SchedCore {
+    match try_compile_core(prepared, machine, &mut Fuel::unlimited()) {
+        Ok(core) => core,
+        Err(e) => panic!("compilation failed under unlimited fuel: {e}"),
+    }
+}
+
+/// [`compile_core`] with failures as values: the scheduler runs under
+/// `fuel`, and a candidate that cannot be scheduled within the budget
+/// (or within the cycle cap) returns a [`SchedError`] instead of
+/// aborting or hanging the calling worker.
+///
+/// # Errors
+/// Whatever [`list::try_schedule`] reports.
+pub fn try_compile_core(
+    prepared: &Prepared,
+    machine: &MachineResources,
+    fuel: &mut Fuel,
+) -> Result<SchedCore, SchedError> {
+    let before = fuel.spent();
     let assignment = assign(&prepared.code, &prepared.ddg, machine);
     let ddg = Ddg::build(&assignment.code);
-    let schedule = list::schedule(&assignment, &ddg, machine);
+    let schedule = list::try_schedule(&assignment, &ddg, machine, fuel)?;
     let peak = peak_pressure(&assignment, &schedule, machine.cluster_count());
-    SchedCore {
+    Ok(SchedCore {
         length: schedule.length,
         critical_path: ddg.critical_path(),
         move_count: assignment.move_count,
+        steps: fuel.spent() - before,
         schedule,
         assignment,
         peak,
-    }
+    })
 }
 
 /// Judge a scheduled core against a concrete machine's register files:
@@ -139,9 +169,27 @@ pub fn finish(core: &SchedCore, machine: &MachineResources) -> CompileResult {
 /// Equivalent to [`prepare`] → [`compile_core`] → [`finish`]; the phases
 /// are public so callers that sweep many machines can cache the first
 /// two (see `cfp-dse`).
+///
+/// # Panics
+/// As [`compile_core`]; use [`try_compile`] to get failures as values.
 #[must_use]
 pub fn compile(kernel: &Kernel, machine: &MachineResources) -> CompileResult {
     finish(&compile_core(&prepare(kernel, machine), machine), machine)
+}
+
+/// [`compile`] under a step budget, with failures as values.
+///
+/// # Errors
+/// Whatever [`try_compile_core`] reports.
+pub fn try_compile(
+    kernel: &Kernel,
+    machine: &MachineResources,
+    fuel: &mut Fuel,
+) -> Result<CompileResult, SchedError> {
+    Ok(finish(
+        &try_compile_core(&prepare(kernel, machine), machine, fuel)?,
+        machine,
+    ))
 }
 
 /// Cycles of spill traffic per iteration when `excess` values do not fit.

@@ -51,6 +51,7 @@ pub mod cluster;
 pub mod compile;
 pub mod ddg;
 pub mod encode;
+pub mod error;
 pub mod list;
 pub mod loopcode;
 pub mod modulo;
@@ -59,13 +60,17 @@ pub mod simulate;
 
 pub use cluster::Assignment;
 pub use compile::{
-    compile, compile_core, finish, prepare, spill_penalty_cycles, CompileResult, Prepared,
-    SchedCore,
+    compile, compile_core, finish, prepare, spill_penalty_cycles, try_compile, try_compile_core,
+    CompileResult, Prepared, SchedCore,
 };
 pub use ddg::{Ddg, Dep, DepKind};
 pub use encode::{decode, encode, EncodeError, Program};
-pub use list::{render, schedule, schedule_with, Placement, Priority, Schedule};
+pub use error::{Fuel, SchedError};
+pub use list::{
+    render, schedule, schedule_with, schedule_with_fuel, try_schedule, Placement, Priority,
+    Schedule,
+};
 pub use loopcode::{FuClass, LoopCode, OpOrigin, SOp};
-pub use modulo::{modulo_schedule, ModuloSchedule, OmegaDep};
+pub use modulo::{modulo_schedule, try_modulo_schedule, ModuloSchedule, OmegaDep};
 pub use regalloc::{peak_pressure, pressure, PressureReport};
 pub use simulate::{simulate, SimError, SimStats};

@@ -14,6 +14,7 @@
 
 use crate::cluster::Assignment;
 use crate::ddg::Ddg;
+use crate::error::{Fuel, SchedError};
 use crate::loopcode::{FuClass, OpOrigin};
 use cfp_machine::MachineResources;
 
@@ -73,16 +74,32 @@ pub enum Priority {
 /// # Panics
 /// Panics if the schedule exceeds an internal cycle cap (indicates a
 /// resource the code needs but the machine lacks entirely — prevented by
-/// `ArchSpec` validation and cluster assignment).
+/// `ArchSpec` validation and cluster assignment). Sweeps over untrusted
+/// machine candidates should call [`try_schedule`] instead.
 #[must_use]
 pub fn schedule(assignment: &Assignment, ddg: &Ddg, machine: &MachineResources) -> Schedule {
-    let cp = schedule_with(assignment, ddg, machine, Priority::CriticalPath);
-    let so = schedule_with(assignment, ddg, machine, Priority::SourceOrder);
-    if so.length < cp.length {
-        so
-    } else {
-        cp
+    match try_schedule(assignment, ddg, machine, &mut Fuel::unlimited()) {
+        Ok(s) => s,
+        Err(e) => panic!("list scheduling failed under unlimited fuel: {e}"),
     }
+}
+
+/// [`schedule`], but failures are values: the portfolio stops with a
+/// [`SchedError`] when `fuel` runs out or the cycle cap is hit, so one
+/// pathological candidate cannot hang or abort a design-space sweep.
+///
+/// # Errors
+/// [`SchedError::FuelExhausted`] when `fuel` runs dry;
+/// [`SchedError::CycleCapExceeded`] past the internal cycle cap.
+pub fn try_schedule(
+    assignment: &Assignment,
+    ddg: &Ddg,
+    machine: &MachineResources,
+    fuel: &mut Fuel,
+) -> Result<Schedule, SchedError> {
+    let cp = schedule_with_fuel(assignment, ddg, machine, Priority::CriticalPath, fuel)?;
+    let so = schedule_with_fuel(assignment, ddg, machine, Priority::SourceOrder, fuel)?;
+    Ok(if so.length < cp.length { so } else { cp })
 }
 
 /// [`schedule`] with an explicit priority function.
@@ -96,6 +113,25 @@ pub fn schedule_with(
     machine: &MachineResources,
     priority: Priority,
 ) -> Schedule {
+    match schedule_with_fuel(assignment, ddg, machine, priority, &mut Fuel::unlimited()) {
+        Ok(s) => s,
+        Err(e) => panic!("list scheduling failed under unlimited fuel: {e}"),
+    }
+}
+
+/// The scheduler proper: one priority function, an explicit step budget.
+/// Fuel is spent once per issue scan, proportionally to the number of
+/// ready ops examined, so the budget bounds real work — not just cycles.
+///
+/// # Errors
+/// As [`try_schedule`].
+pub fn schedule_with_fuel(
+    assignment: &Assignment,
+    ddg: &Ddg,
+    machine: &MachineResources,
+    priority: Priority,
+    fuel: &mut Fuel,
+) -> Result<Schedule, SchedError> {
     let code = &assignment.code;
     let n = code.ops.len();
     let branch = code.branch_index();
@@ -123,7 +159,9 @@ pub fn schedule_with(
 
     let mut t = 0_u32;
     while scheduled < total_non_branch {
-        assert!(t < MAX_CYCLES, "scheduler exceeded cycle cap");
+        if t >= MAX_CYCLES {
+            return Err(SchedError::CycleCapExceeded { cap: MAX_CYCLES });
+        }
         // Ops that can legally issue this cycle, best priority first.
         match priority {
             Priority::CriticalPath => {
@@ -136,6 +174,7 @@ pub fn schedule_with(
         let mut issued_any = true;
         while issued_any {
             issued_any = false;
+            fuel.spend(1 + ready.len() as u64)?;
             let mut next_ready = Vec::with_capacity(ready.len());
             for &i in &ready {
                 if issue[i] != u32::MAX {
@@ -222,7 +261,7 @@ pub fn schedule_with(
             cluster: assignment.cluster_of_op[i],
         })
         .collect();
-    Schedule { placements, length }
+    Ok(Schedule { placements, length })
 }
 
 /// Pretty-print a schedule as one line per cycle (used by examples and
@@ -381,6 +420,36 @@ mod tests {
             let best = schedule(&a, &ddg, &m);
             assert_eq!(best.length, cp.length.min(so.length), "{spec}");
         }
+    }
+
+    #[test]
+    fn tiny_fuel_stops_the_scheduler_with_a_typed_error() {
+        let k = compile_kernel(WIDE, &[]).unwrap();
+        let m = MachineResources::from_spec(&ArchSpec::new(4, 2, 128, 2, 4, 1).unwrap());
+        let code = LoopCode::build(&k, &m);
+        let pre = Ddg::build(&code);
+        let a = assign(&code, &pre, &m);
+        let ddg = Ddg::build(&a.code);
+        let mut fuel = Fuel::limited(1);
+        let err = try_schedule(&a, &ddg, &m, &mut fuel).expect_err("one step cannot be enough");
+        assert_eq!(err, SchedError::FuelExhausted { budget: 1 });
+    }
+
+    #[test]
+    fn ample_fuel_reproduces_the_unlimited_schedule() {
+        let k = compile_kernel(WIDE, &[]).unwrap();
+        let m = MachineResources::from_spec(&ArchSpec::new(4, 2, 128, 2, 4, 1).unwrap());
+        let code = LoopCode::build(&k, &m);
+        let pre = Ddg::build(&code);
+        let a = assign(&code, &pre, &m);
+        let ddg = Ddg::build(&a.code);
+        let mut fuel = Fuel::limited(1 << 20);
+        let budgeted = try_schedule(&a, &ddg, &m, &mut fuel).expect("plenty of fuel");
+        assert_eq!(budgeted, schedule(&a, &ddg, &m));
+        // Fuel spending is deterministic, so the leftover is too.
+        let mut again = Fuel::limited(1 << 20);
+        let _ = try_schedule(&a, &ddg, &m, &mut again).expect("plenty of fuel");
+        assert_eq!(fuel.remaining(), again.remaining());
     }
 
     #[test]

@@ -23,6 +23,7 @@
 
 use crate::cluster::Assignment;
 use crate::ddg::Ddg;
+use crate::error::{Fuel, SchedError};
 use crate::loopcode::{FuClass, LoopCode};
 use cfp_ir::Vreg;
 use cfp_machine::{MachineResources, MemLevel};
@@ -140,7 +141,9 @@ pub fn omega_deps(code: &LoopCode, ddg: &Ddg) -> Vec<OmegaDep> {
                 if k <= 0 {
                     continue; // same-iteration (intra) or b-before-a direction
                 }
-                u32::try_from(k).expect("positive")
+                // A distance beyond u32 never constrains a real II;
+                // saturate instead of trusting the cast.
+                u32::try_from(k).unwrap_or(u32::MAX)
             } else {
                 // Differing strides or a dynamic index: conservative.
                 1
@@ -320,6 +323,31 @@ pub fn modulo_schedule(
     machine: &MachineResources,
     list_length: u32,
 ) -> Option<ModuloSchedule> {
+    // Unlimited fuel never exhausts; keep the total signature anyway.
+    try_modulo_schedule(
+        assignment,
+        ddg,
+        machine,
+        list_length,
+        &mut Fuel::unlimited(),
+    )
+    .unwrap_or_default()
+}
+
+/// [`modulo_schedule`] under a step budget: each placement attempt at
+/// each candidate II spends fuel, so a machine whose II search space is
+/// pathologically large degrades to [`SchedError::FuelExhausted`]
+/// instead of stalling an exploration worker.
+///
+/// # Errors
+/// [`SchedError::FuelExhausted`] when `fuel` runs dry mid-search.
+pub fn try_modulo_schedule(
+    assignment: &Assignment,
+    ddg: &Ddg,
+    machine: &MachineResources,
+    list_length: u32,
+    fuel: &mut Fuel,
+) -> Result<Option<ModuloSchedule>, SchedError> {
     let code = &assignment.code;
     let n = code.ops.len();
     let deps = omega_deps(code, ddg);
@@ -363,6 +391,7 @@ pub fn modulo_schedule(
                 .unwrap_or(0);
             let mut placed = false;
             for slot in est..est + ii {
+                fuel.spend(1)?;
                 if table.fits(op, cluster, slot, machine) {
                     table.take(op, cluster, slot);
                     slots[i] = slot;
@@ -383,14 +412,14 @@ pub fn modulo_schedule(
             continue;
         }
         let pressure_estimate = pipeline_pressure(code, assignment, &slots, ii, machine);
-        return Some(ModuloSchedule {
+        return Ok(Some(ModuloSchedule {
             ii,
             slots,
             mii,
             pressure_estimate,
-        });
+        }));
     }
-    None
+    Ok(None)
 }
 
 /// Register-pressure estimate under pipelining: a value live `L` flat

@@ -114,6 +114,78 @@ impl Rng {
     }
 }
 
+/// Deterministic fault injection for robustness tests: a SplitMix64-keyed
+/// "panic on unit `k`" hook.
+///
+/// A sweep that wants to prove it survives worker failures hands each
+/// work unit's index to [`FaultInjector::fire`]; the injector panics on a
+/// pseudo-random but fully seed-determined subset of units. Because the
+/// decision is a pure function of `(seed, unit)`, a test can precompute
+/// the exact set of doomed units with [`FaultInjector::tripped_among`]
+/// and assert that a fault-tolerant sweep quarantines exactly those and
+/// nothing else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultInjector {
+    seed: u64,
+    /// Trips on average once per `denominator` units.
+    denominator: u64,
+}
+
+/// The panic message prefix used by [`FaultInjector::fire`]; quarantine
+/// layers and panic-hook filters can key on it.
+pub const INJECTED_FAULT: &str = "injected fault";
+
+impl FaultInjector {
+    /// An injector that trips, on average, one unit in `denominator`
+    /// (deterministically in `seed`).
+    ///
+    /// # Panics
+    /// Panics if `denominator` is zero.
+    #[must_use]
+    pub fn one_in(seed: u64, denominator: u64) -> Self {
+        assert!(denominator > 0, "denominator must be positive");
+        FaultInjector { seed, denominator }
+    }
+
+    /// The injector's seed (for labelling failures).
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The injector's trip rate denominator.
+    #[must_use]
+    pub fn denominator(&self) -> u64 {
+        self.denominator
+    }
+
+    /// Whether unit `k` is doomed — a pure function of `(seed, k)`.
+    #[must_use]
+    pub fn trips(&self, unit: u64) -> bool {
+        // One SplitMix64 step keyed by the unit index: equal quality to
+        // the stream generator, but random access by unit.
+        let mut probe = Rng::new(self.seed ^ unit.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        probe.below(self.denominator) == 0
+    }
+
+    /// The exact doomed subset of units `0..n`, ascending — what a test
+    /// compares a quarantine report against.
+    #[must_use]
+    pub fn tripped_among(&self, n: u64) -> Vec<u64> {
+        (0..n).filter(|&k| self.trips(k)).collect()
+    }
+
+    /// Panic if unit `k` is doomed; a no-op otherwise.
+    ///
+    /// # Panics
+    /// On doomed units, with a message starting with [`INJECTED_FAULT`].
+    pub fn fire(&self, unit: u64) {
+        if self.trips(unit) {
+            panic!("{INJECTED_FAULT}: unit {unit} (seed {})", self.seed);
+        }
+    }
+}
+
 /// Run `n` property cases. Case `i` receives a generator seeded with
 /// `seed_base + i`; a panic inside the closure is re-raised with the
 /// case seed attached, so the failure replays as
@@ -172,6 +244,30 @@ mod tests {
         }
         for c in counts {
             assert!((800..1200).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn fault_injector_is_deterministic_and_seed_sensitive() {
+        let a = FaultInjector::one_in(7, 4);
+        let b = FaultInjector::one_in(7, 4);
+        let c = FaultInjector::one_in(8, 4);
+        assert_eq!(a.tripped_among(200), b.tripped_among(200));
+        assert_ne!(a.tripped_among(200), c.tripped_among(200));
+        // Roughly 1-in-4 of 200 units trip; seed quality keeps it loose.
+        let n = a.tripped_among(200).len();
+        assert!((20..=90).contains(&n), "tripped {n}/200");
+        for k in a.tripped_among(200) {
+            assert!(a.trips(k));
+        }
+    }
+
+    #[test]
+    fn fault_injector_fires_exactly_on_doomed_units() {
+        let inj = FaultInjector::one_in(1234, 3);
+        for k in 0..100 {
+            let fired = std::panic::catch_unwind(|| inj.fire(k)).is_err();
+            assert_eq!(fired, inj.trips(k), "unit {k}");
         }
     }
 

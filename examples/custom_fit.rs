@@ -43,9 +43,7 @@ fn main() {
     let config = ExploreConfig {
         archs,
         benches: vec![bench],
-        threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
-        progress: false,
-        reuse: true,
+        ..ExploreConfig::default()
     };
     println!(
         "exploring {} architectures for benchmark {bench} ({})",

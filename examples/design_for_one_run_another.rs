@@ -31,9 +31,7 @@ fn main() {
     let config = ExploreConfig {
         archs,
         benches: benches.clone(),
-        threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
-        progress: false,
-        reuse: true,
+        ..ExploreConfig::default()
     };
     println!(
         "exploring {} architectures x {} benchmarks...",

@@ -29,9 +29,7 @@ fn main() {
     let config = ExploreConfig {
         archs,
         benches: vec![Benchmark::D, Benchmark::G, Benchmark::H],
-        threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
-        progress: false,
-        reuse: true,
+        ..ExploreConfig::default()
     };
     println!(
         "exploring {} architectures x {} benchmarks (the oracle)...",

@@ -6,8 +6,16 @@
 //! `BENCH_explore.json`. Std-only on purpose: it runs under the tier-1
 //! offline build, unlike the criterion benches in `crates/bench`.
 //!
-//! Usage: `cargo run --release --bin bench_explore [-- <out.json>]`
+//! Usage: `cargo run --release --bin bench_explore [-- <out.json>]
+//!         [--checkpoint FILE [--resume]]`
+//!
+//! With `--checkpoint` the reuse-enabled exploration journals its
+//! completed units to FILE (and `--resume` picks an interrupted journal
+//! back up). Checkpointing forces a single repetition and replayed units
+//! cost no compute, so the reported wall-clock speedup is only
+//! meaningful for a run that started from an empty journal.
 
+use custom_fit::dse::checkpoint::Checkpoint;
 use custom_fit::dse::explore::{Exploration, ExploreConfig, RunStats};
 use custom_fit::prelude::*;
 use std::time::Instant;
@@ -40,9 +48,12 @@ fn slice() -> Vec<ArchSpec> {
 }
 
 /// Run the exploration `REPS` times and keep the fastest wall time (the
-/// runs are deterministic, so they differ only in OS noise).
-fn run(reuse: bool) -> (Exploration, f64) {
+/// runs are deterministic, so they differ only in OS noise). With a
+/// checkpoint attached there is exactly one rep: re-running against a
+/// now-complete journal would only measure the replay.
+fn run(reuse: bool, checkpoint: Option<Checkpoint>) -> (Exploration, f64) {
     const REPS: usize = 3;
+    let reps = if checkpoint.is_some() { 1 } else { REPS };
     let cfg = ExploreConfig {
         archs: slice(),
         benches: vec![
@@ -52,14 +63,20 @@ fn run(reuse: bool) -> (Exploration, f64) {
             Benchmark::G,
             Benchmark::H,
         ],
-        threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
-        progress: false,
         reuse,
+        checkpoint,
+        ..ExploreConfig::default()
     };
     let mut best: Option<(Exploration, f64)> = None;
-    for _ in 0..REPS {
+    for _ in 0..reps {
         let t = Instant::now();
-        let ex = Exploration::run(&cfg);
+        let ex = match Exploration::try_run(&cfg) {
+            Ok(ex) => ex,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        };
         let s = t.elapsed().as_secs_f64();
         if best.as_ref().is_none_or(|(_, b)| s < *b) {
             best = Some((ex, s));
@@ -71,13 +88,17 @@ fn run(reuse: bool) -> (Exploration, f64) {
 fn stats_json(s: &RunStats) -> String {
     format!(
         "{{\"compilations\": {}, \"cache_hits\": {}, \"unique_schedules\": {}, \
-         \"unique_plans\": {}, \"architectures\": {}, \"plan_wall_s\": {:.4}, \
+         \"unique_plans\": {}, \"architectures\": {}, \"failed_units\": {}, \
+         \"fuel_exhausted\": {}, \"resumed_units\": {}, \"plan_wall_s\": {:.4}, \
          \"eval_wall_s\": {:.4}, \"wall_s\": {:.4}}}",
         s.compilations,
         s.cache_hits,
         s.unique_schedules,
         s.unique_plans,
         s.architectures,
+        s.failed_units,
+        s.fuel_exhausted,
+        s.resumed_units,
         s.plan_wall.as_secs_f64(),
         s.eval_wall.as_secs_f64(),
         s.wall.as_secs_f64()
@@ -85,8 +106,38 @@ fn stats_json(s: &RunStats) -> String {
 }
 
 fn main() {
-    let out = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let resume = args.iter().any(|a| a == "--resume");
+    let checkpoint = args
+        .iter()
+        .position(|a| a == "--checkpoint")
+        .and_then(|i| args.get(i + 1).cloned())
+        .map(|path| {
+            if resume {
+                Checkpoint::resume(path)
+            } else {
+                Checkpoint::new(path)
+            }
+        });
+    if resume && checkpoint.is_none() {
+        eprintln!("error: --resume needs --checkpoint FILE");
+        std::process::exit(2);
+    }
+    let mut skip_next = false;
+    let out = args
+        .iter()
+        .find(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--checkpoint" {
+                skip_next = true;
+                return false;
+            }
+            !a.starts_with("--")
+        })
+        .cloned()
         .unwrap_or_else(|| "BENCH_explore.json".to_string());
 
     // Warm-up: touch every plan once so neither timed run pays lazy OS
@@ -99,14 +150,25 @@ fn main() {
     }
 
     eprintln!("running exploration with compile reuse disabled...");
-    let (off, off_s) = run(false);
+    let (off, off_s) = run(false, None);
     eprintln!("  {:.2}s ({} compilations)", off_s, off.stats.compilations);
     eprintln!("running the same exploration with compile reuse enabled...");
-    let (on, on_s) = run(true);
+    // The journal (if any) is attached to the reuse-on run only. The
+    // fingerprint deliberately ignores `reuse` (it cannot change
+    // results), so one journal would satisfy both runs — and the second
+    // would silently replay instead of measuring anything.
+    let (on, on_s) = run(true, checkpoint);
     eprintln!(
         "  {:.2}s ({} compilations, {} cache hits, {} unique schedules)",
         on_s, on.stats.compilations, on.stats.cache_hits, on.stats.unique_schedules
     );
+    if on.stats.resumed_units > 0 {
+        eprintln!(
+            "  ({} units replayed from the checkpoint journal — wall-clock \
+             speedup below is not a clean measurement)",
+            on.stats.resumed_units
+        );
+    }
 
     // The two runs must agree exactly — the cache is pure reuse.
     assert_eq!(off.stats.compilations, on.stats.compilations);

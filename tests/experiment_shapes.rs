@@ -31,9 +31,7 @@ fn explore() -> Exploration {
     let config = ExploreConfig {
         archs: slice(),
         benches: vec![Benchmark::A, Benchmark::D, Benchmark::H],
-        threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
-        progress: false,
-        reuse: true,
+        ..ExploreConfig::default()
     };
     Exploration::run(&config)
 }

@@ -1,0 +1,127 @@
+//! Panic isolation under deterministic fault injection.
+//!
+//! [`FaultInjector`] dooms a seed-determined subset of `(architecture,
+//! benchmark)` unit indices; the sweep must quarantine exactly those
+//! units (as [`FailKind::Panic`] with the injected message), leave every
+//! other unit bit-identical to a fault-free run, and never touch the
+//! baseline. This lives in its own test binary because it installs a
+//! process-global panic hook to keep the injected panics out of the test
+//! output.
+
+use cfp_testkit::{FaultInjector, INJECTED_FAULT};
+use custom_fit::dse::error::FailKind;
+use custom_fit::dse::explore::{Exploration, ExploreConfig};
+use custom_fit::prelude::*;
+use std::sync::Once;
+
+/// Silence the default panic report for injected faults only; real
+/// panics still print. Installed once for the whole test binary.
+fn quiet_injected_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.contains(INJECTED_FAULT));
+            if !injected {
+                default(info);
+            }
+        }));
+    });
+}
+
+fn config() -> ExploreConfig {
+    let mut cfg = ExploreConfig::smoke();
+    cfg.benches = vec![Benchmark::D, Benchmark::G];
+    cfg
+}
+
+#[test]
+fn quarantine_catches_exactly_the_doomed_units() {
+    quiet_injected_panics();
+    let clean_cfg = config();
+    let clean = Exploration::run(&clean_cfg);
+
+    let injector = FaultInjector::one_in(0xfa17, 4);
+    let mut cfg = config();
+    cfg.fault = Some(injector);
+    let faulty = Exploration::run(&cfg);
+
+    let nb = cfg.benches.len();
+    let units = (cfg.archs.len() * nb) as u64;
+    let doomed = injector.tripped_among(units);
+    assert!(
+        !doomed.is_empty() && (doomed.len() as u64) < units,
+        "seed must doom some but not all of {units} units (got {})",
+        doomed.len()
+    );
+
+    // The baseline is keyed off the unit space and never injected.
+    assert_eq!(clean.baseline.outcomes, faulty.baseline.outcomes);
+
+    let mut failed = 0_u64;
+    for (i, (c, f)) in clean
+        .archs
+        .iter()
+        .flat_map(|a| &a.outcomes)
+        .zip(faulty.archs.iter().flat_map(|a| &a.outcomes))
+        .enumerate()
+    {
+        if doomed.contains(&(i as u64)) {
+            failed += 1;
+            let reason = f
+                .failure()
+                .unwrap_or_else(|| panic!("doomed unit {i} was not quarantined: {f:?}"));
+            assert_eq!(reason.kind, FailKind::Panic, "unit {i}");
+            assert!(
+                reason.message.contains(INJECTED_FAULT),
+                "unit {i}: {}",
+                reason.message
+            );
+        } else {
+            assert_eq!(c, f, "survivor unit {i} must be bit-identical");
+        }
+    }
+    assert_eq!(faulty.stats.failed_units, failed);
+    assert_eq!(faulty.stats.failed_units, doomed.len() as u64);
+    assert_eq!(faulty.stats.fuel_exhausted, 0);
+
+    // Determinism: the same seed dooms the same units again.
+    let again = Exploration::run(&cfg);
+    for (x, y) in faulty.archs.iter().zip(&again.archs) {
+        assert_eq!(x.outcomes, y.outcomes, "{}", x.spec);
+    }
+}
+
+#[test]
+fn failed_rows_lose_selection_and_survive_csv() {
+    quiet_injected_panics();
+    let injector = FaultInjector::one_in(0xfa17, 4);
+    let mut cfg = config();
+    cfg.fault = Some(injector);
+    let ex = Exploration::run(&cfg);
+
+    // Any architecture with a quarantined unit has a NaN harmonic mean
+    // and must never be selected.
+    for t in 0..ex.benches.len() {
+        if let Some(sel) = custom_fit::dse::select(&ex, t, 1e9, custom_fit::dse::Range::Infinite) {
+            assert!(
+                ex.archs[sel.arch_index]
+                    .outcomes
+                    .iter()
+                    .all(|o| o.is_done()),
+                "selected {} with a quarantined unit",
+                sel.spec
+            );
+        }
+    }
+
+    // The CSV round trip preserves quarantine records exactly.
+    let back = custom_fit::dse::from_csv(&custom_fit::dse::to_csv(&ex)).expect("parses");
+    assert_eq!(back.stats.failed_units, ex.stats.failed_units);
+    for (x, y) in ex.archs.iter().zip(&back.archs) {
+        assert_eq!(x.outcomes, y.outcomes, "{}", x.spec);
+    }
+}

@@ -14,6 +14,7 @@
 mod common;
 
 use cfp_testkit::cases;
+use custom_fit::dse::checkpoint::Checkpoint;
 use custom_fit::dse::explore::{Exploration, ExploreConfig};
 use custom_fit::dse::{evaluate, evaluate_cached, CompileCache, PlanCache};
 use custom_fit::prelude::*;
@@ -106,4 +107,22 @@ fn exploration_is_identical_with_reuse_on_and_off() {
         e_on.stats.unique_schedules,
         e_on.stats.compilations
     );
+
+    // And checkpointing is equally invisible: journaling every unit to
+    // disk as it lands must not change a single bit of the results.
+    let path = std::env::temp_dir().join(format!(
+        "cfp_reuse_equivalence_{}.journal",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let mut ck = on.clone();
+    ck.checkpoint = Some(Checkpoint::new(&path));
+    let e_ck = Exploration::run(&ck);
+    assert_eq!(e_ck.stats.resumed_units, 0);
+    assert_eq!(e_on.baseline.outcomes, e_ck.baseline.outcomes);
+    for (x, y) in e_on.archs.iter().zip(&e_ck.archs) {
+        assert_eq!(x.outcomes, y.outcomes, "{}", x.spec);
+    }
+    assert_eq!(e_on.stats.compilations, e_ck.stats.compilations);
+    let _ = std::fs::remove_file(&path);
 }
