@@ -84,6 +84,13 @@ pub fn table3(ex: &Exploration) -> String {
         ex.stats.unique_plans.to_string(),
         "n/a".to_owned(),
     ]);
+    // 0 unless an ablation driver ran the modulo scheduler and summed
+    // its II attempts in; the sweep itself is the loop-barrier line.
+    t.row([
+        "  modulo II attempts".to_owned(),
+        ex.stats.ii_attempts.to_string(),
+        "n/a (no pipelining)".to_owned(),
+    ]);
     t.row([
         "  planning stage".to_owned(),
         format!("{:.2}s", ex.stats.plan_wall.as_secs_f64()),
@@ -422,6 +429,7 @@ pub fn extension_pipelining() -> String {
         "barrier cycles/iter",
         "pipelined II",
         "MII bound",
+        "IIs tried",
         "gain",
     ]);
     for b in [
@@ -445,12 +453,14 @@ pub fn extension_pipelining() -> String {
                     r.length.to_string(),
                     ms.ii.to_string(),
                     ms.mii.to_string(),
+                    ms.ii_attempts.to_string(),
                     format!("{:.2}x", f64::from(r.length) / f64::from(ms.ii)),
                 ]),
                 None => t.row([
                     b.to_string(),
                     spec.to_string(),
                     r.length.to_string(),
+                    "-".to_owned(),
                     "-".to_owned(),
                     "-".to_owned(),
                     "-".to_owned(),

@@ -18,7 +18,9 @@ use crate::error::{EvalError, FailReason};
 use crate::memo::CompileCache;
 use cfp_kernels::Benchmark;
 use cfp_machine::{ArchSpec, MachineResources};
-use cfp_sched::{finish, prepare, spill_penalty_cycles, try_compile_core, Fuel, SchedError};
+use cfp_sched::{
+    finish, prepare, spill_penalty_cycles, try_compile_core_in, Fuel, SchedError, SchedScratch,
+};
 use std::collections::HashMap;
 
 /// Unroll factors the experiment sweeps, ascending.
@@ -139,6 +141,42 @@ impl PlanCache {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.plans.is_empty()
+    }
+}
+
+/// Per-worker reusable state for the evaluation loop: the scheduler's
+/// scratch arena plus the most recent machine lowering. One of these per
+/// worker thread makes the sweep's steady state allocation-free —
+/// consecutive units on a worker reuse every scheduling buffer, and the
+/// [`MachineResources`] lowering (a per-cluster `Vec`) is rebuilt only
+/// when the architecture actually changes between units, which the
+/// row-major unit order makes rare (each architecture's benchmarks run
+/// back to back).
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    machine: Option<(ArchSpec, MachineResources)>,
+    sched: SchedScratch,
+}
+
+impl EvalScratch {
+    /// A fresh scratch; buffers grow on first use and are reused after.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The lowered machine for `spec`, memoized against the previous
+    /// call. Returned alongside the scheduler scratch so callers can
+    /// hold both borrows at once.
+    fn machine_and_sched(&mut self, spec: &ArchSpec) -> (&MachineResources, &mut SchedScratch) {
+        let EvalScratch { machine, sched } = self;
+        if machine.as_ref().is_none_or(|(s, _)| s != spec) {
+            *machine = None; // stale lowering: rebuild below
+        }
+        let m = &machine
+            .get_or_insert_with(|| (*spec, MachineResources::from_spec(spec)))
+            .1;
+        (m, sched)
     }
 }
 
@@ -299,15 +337,32 @@ pub fn try_evaluate(
     cache: &PlanCache,
     fuel_budget: Option<u64>,
 ) -> Result<Measurement, EvalError> {
-    let machine = MachineResources::from_spec(spec);
+    try_evaluate_in(spec, bench, cache, fuel_budget, &mut EvalScratch::new())
+}
+
+/// [`try_evaluate`] with caller-provided scratch, the sweep's hot path.
+/// Results are bit-identical to a fresh scratch; reuse only removes
+/// allocation.
+///
+/// # Errors
+/// As [`try_evaluate`].
+pub fn try_evaluate_in(
+    spec: &ArchSpec,
+    bench: Benchmark,
+    cache: &PlanCache,
+    fuel_budget: Option<u64>,
+    scratch: &mut EvalScratch,
+) -> Result<Measurement, EvalError> {
+    let (machine, sched) = scratch.machine_and_sched(spec);
     unroll_sweep(
         bench,
         residency_budget(spec.regs),
         cache,
         fuel_budget,
         |id, fuel| {
-            let core = try_compile_core(&prepare(cache.kernel(id), &machine), &machine, fuel)?;
-            let result = finish(&core, &machine);
+            let core =
+                try_compile_core_in(&prepare(cache.kernel(id), machine), machine, fuel, sched)?;
+            let result = finish(&core, machine);
             Ok((result.fits(), result.cycles_per_iter()))
         },
     )
@@ -356,7 +411,31 @@ pub fn try_evaluate_cached(
     memo: &CompileCache,
     fuel_budget: Option<u64>,
 ) -> Result<Measurement, EvalError> {
-    let machine = MachineResources::from_spec(spec);
+    try_evaluate_cached_in(
+        spec,
+        bench,
+        cache,
+        memo,
+        fuel_budget,
+        &mut EvalScratch::new(),
+    )
+}
+
+/// [`try_evaluate_cached`] with caller-provided scratch. On a cache hit
+/// the scratch is untouched; on a miss the compile runs entirely inside
+/// it, so a worker thread's steady state allocates nothing either way.
+///
+/// # Errors
+/// As [`try_evaluate`].
+pub fn try_evaluate_cached_in(
+    spec: &ArchSpec,
+    bench: Benchmark,
+    cache: &PlanCache,
+    memo: &CompileCache,
+    fuel_budget: Option<u64>,
+    scratch: &mut EvalScratch,
+) -> Result<Measurement, EvalError> {
+    let (machine, sched) = scratch.machine_and_sched(spec);
     let sig = spec.sched_signature();
     unroll_sweep(
         bench,
@@ -366,9 +445,9 @@ pub fn try_evaluate_cached(
         |id, fuel| {
             let core = memo.try_core(id, sig, || {
                 let prepared = memo.prepared(id, machine.l2_latency, || {
-                    prepare(cache.kernel(id), &machine)
+                    prepare(cache.kernel(id), machine)
                 });
-                try_compile_core(&prepared, &machine, &mut Fuel::unlimited())
+                try_compile_core_in(&prepared, machine, &mut Fuel::unlimited(), sched)
             })?;
             fuel.spend(core.steps)?;
             let excess: u32 = core
@@ -379,7 +458,7 @@ pub fn try_evaluate_cached(
                 .sum();
             Ok((
                 excess == 0,
-                core.length + spill_penalty_cycles(excess, &machine),
+                core.length + spill_penalty_cycles(excess, machine),
             ))
         },
     )
@@ -433,6 +512,31 @@ mod tests {
             &cache,
         );
         assert!(out.unroll > 1, "{out:?}");
+    }
+
+    #[test]
+    fn a_reused_eval_scratch_changes_no_measurement() {
+        // One scratch across architectures and benchmarks (including a
+        // machine switch, which re-lowers the memoized resources) must
+        // reproduce the fresh-scratch measurements bit for bit.
+        let cache = small_cache();
+        let specs = [
+            ArchSpec::baseline(),
+            ArchSpec::new(8, 4, 256, 2, 4, 2).unwrap(),
+            ArchSpec::new(2, 1, 64, 1, 4, 1).unwrap(),
+        ];
+        let memo = CompileCache::new();
+        let mut scratch = EvalScratch::new();
+        for spec in &specs {
+            for b in [Benchmark::D, Benchmark::A] {
+                let fresh = try_evaluate(spec, b, &cache, None).unwrap();
+                let reused = try_evaluate_in(spec, b, &cache, None, &mut scratch).unwrap();
+                assert_eq!(fresh, reused, "{spec} {b}");
+                let cached =
+                    try_evaluate_cached_in(spec, b, &cache, &memo, None, &mut scratch).unwrap();
+                assert_eq!(fresh, cached, "{spec} {b} (cached)");
+            }
+        }
     }
 
     #[test]

@@ -19,7 +19,9 @@
 
 use crate::checkpoint::{self, Checkpoint};
 use crate::error::{ExploreError, FailKind, FailReason};
-use crate::eval::{try_evaluate, try_evaluate_cached, EvalOutcome, PlanCache, UNROLL_SWEEP};
+use crate::eval::{
+    try_evaluate_cached_in, try_evaluate_in, EvalOutcome, EvalScratch, PlanCache, UNROLL_SWEEP,
+};
 use crate::memo::CompileCache;
 use cfp_kernels::Benchmark;
 use cfp_machine::{ArchSpec, CostModel, CycleModel, DesignSpace};
@@ -150,6 +152,13 @@ pub struct RunStats {
     pub fuel_exhausted: u64,
     /// Units replayed from the checkpoint journal instead of evaluated.
     pub resumed_units: u64,
+    /// Modulo-scheduler II values attempted. The exhaustive sweep
+    /// list-schedules every unit (the paper's loop-barrier compiler
+    /// line), so [`Exploration::try_run`] always reports 0 here;
+    /// software-pipelining ablation drivers sum
+    /// [`cfp_sched::ModuloSchedule::ii_attempts`] into this slot so the
+    /// Table 3 exhibit can show what the II-skip search saves.
+    pub ii_attempts: u64,
     /// Time spent optimizing/unrolling plans (the plan-cache build).
     pub plan_wall: Duration,
     /// Time spent in the evaluation sweep proper.
@@ -236,36 +245,43 @@ impl Exploration {
         // and typed errors into `EvalOutcome::Failed` instead of letting
         // them take down the worker (and with it the whole sweep).
         // `AssertUnwindSafe` is sound here: the shared state crossing the
-        // boundary is the plan cache (read-only) and the compile memo,
+        // boundary is the plan cache (read-only), the compile memo,
         // whose shards hold only completed values (computes run outside
-        // the shard locks) and recover from poisoning explicitly.
-        let quarantined = |spec: &ArchSpec, bench: Benchmark, fault_unit: Option<u64>| {
-            let result = catch_unwind(AssertUnwindSafe(|| {
-                if let (Some(injector), Some(u)) = (&config.fault, fault_unit) {
-                    injector.fire(u);
+        // the shard locks) and recover from poisoning explicitly, and
+        // the worker's own scratch arena — every scratch consumer
+        // resizes and clears its buffers on entry, so a panic mid-unit
+        // leaves at worst stale data the next unit overwrites.
+        let quarantined =
+            |spec: &ArchSpec, bench: Benchmark, fault_unit: Option<u64>, sc: &mut EvalScratch| {
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    if let (Some(injector), Some(u)) = (&config.fault, fault_unit) {
+                        injector.fire(u);
+                    }
+                    match &memo {
+                        Some(memo) => {
+                            try_evaluate_cached_in(spec, bench, &cache, memo, config.fuel, sc)
+                        }
+                        None => try_evaluate_in(spec, bench, &cache, config.fuel, sc),
+                    }
+                }));
+                match result {
+                    Ok(Ok(m)) => EvalOutcome::Done(m),
+                    Ok(Err(e)) => EvalOutcome::Failed { reason: e.into() },
+                    Err(payload) => EvalOutcome::Failed {
+                        reason: FailReason::from_panic(payload.as_ref()),
+                    },
                 }
-                match &memo {
-                    Some(memo) => try_evaluate_cached(spec, bench, &cache, memo, config.fuel),
-                    None => try_evaluate(spec, bench, &cache, config.fuel),
-                }
-            }));
-            match result {
-                Ok(Ok(m)) => EvalOutcome::Done(m),
-                Ok(Err(e)) => EvalOutcome::Failed { reason: e.into() },
-                Err(payload) => EvalOutcome::Failed {
-                    reason: FailReason::from_panic(payload.as_ref()),
-                },
-            }
-        };
+            };
 
         // One work unit per (architecture, benchmark) pair: much finer
         // grains than whole architectures, so a few slow deep-unroll
         // evaluations cannot leave most worker threads idle at the tail
-        // of the sweep.
-        let eval_unit = |i: usize| -> EvalOutcome {
+        // of the sweep. The scratch is the worker's: units on one thread
+        // reuse its buffers back to back.
+        let eval_unit = |i: usize, sc: &mut EvalScratch| -> EvalOutcome {
             let spec = &config.archs[i / nb];
             let bench = config.benches[i % nb];
-            let out = quarantined(spec, bench, Some(i as u64));
+            let out = quarantined(spec, bench, Some(i as u64), sc);
             if progress {
                 let n = done.fetch_add(1, Ordering::Relaxed) + 1;
                 if n % 200 == 0 || n == units {
@@ -279,9 +295,10 @@ impl Exploration {
         // injection is keyed off unit indices and never hits it, but a
         // fuel budget small enough to starve it fails the run.
         let baseline_spec = ArchSpec::baseline();
+        let mut scratch = EvalScratch::new();
         let mut baseline_outcomes = Vec::with_capacity(nb);
         for &b in &config.benches {
-            match quarantined(&baseline_spec, b, None) {
+            match quarantined(&baseline_spec, b, None, &mut scratch) {
                 EvalOutcome::Done(m) => baseline_outcomes.push(EvalOutcome::Done(m)),
                 EvalOutcome::Failed { reason } => return Err(ExploreError::BaselineFailed(reason)),
             }
@@ -337,7 +354,7 @@ impl Exploration {
                 if slot.is_some() {
                     continue;
                 }
-                let out = eval_unit(i);
+                let out = eval_unit(i, &mut scratch);
                 let ok = record(i, &out);
                 *slot = Some(out);
                 if !ok {
@@ -354,6 +371,7 @@ impl Exploration {
                     let (next, stop, skip) = (&next, &stop, &skip);
                     let (eval_unit, record) = (&eval_unit, &record);
                     handles.push(scope.spawn(move || {
+                        let mut scratch = EvalScratch::new();
                         let mut mine = Vec::new();
                         loop {
                             if stop.load(Ordering::Relaxed) {
@@ -366,7 +384,7 @@ impl Exploration {
                             if skip[i] {
                                 continue;
                             }
-                            let out = eval_unit(i);
+                            let out = eval_unit(i, &mut scratch);
                             let ok = record(i, &out);
                             mine.push((i, out));
                             if !ok {
@@ -433,6 +451,9 @@ impl Exploration {
                 failed_units,
                 fuel_exhausted,
                 resumed_units,
+                // The sweep is the paper's loop-barrier line: no modulo
+                // scheduling runs here. Ablation drivers fill this in.
+                ii_attempts: 0,
                 plan_wall,
                 eval_wall,
                 wall: start.elapsed(),

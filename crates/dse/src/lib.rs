@@ -66,8 +66,8 @@ pub mod tables;
 pub use checkpoint::Checkpoint;
 pub use error::{CheckpointError, EvalError, ExploreError, FailKind, FailReason};
 pub use eval::{
-    evaluate, evaluate_cached, try_evaluate, try_evaluate_cached, EvalOutcome, Measurement,
-    PlanCache, PlanId,
+    evaluate, evaluate_cached, try_evaluate, try_evaluate_cached, try_evaluate_cached_in,
+    try_evaluate_in, EvalOutcome, EvalScratch, Measurement, PlanCache, PlanId,
 };
 pub use explore::{ArchEval, Exploration, ExploreConfig, RunStats};
 pub use io::{from_csv, to_csv};

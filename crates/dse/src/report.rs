@@ -1,5 +1,6 @@
 //! Plain-text and CSV rendering of exploration results.
 
+use crate::explore::RunStats;
 use crate::pareto::ScatterPoint;
 
 /// A simple aligned text table.
@@ -68,6 +69,59 @@ impl std::fmt::Display for TextTable {
     }
 }
 
+/// Render the run's accounting counters as a two-column table: the
+/// paper's Table 3 quantities plus the reuse, robustness, and scheduler
+/// counters this reproduction adds (`ii_attempts` is nonzero only for
+/// software-pipelining ablation runs — the exhaustive sweep
+/// list-schedules every unit).
+#[must_use]
+pub fn run_stats_table(stats: &RunStats) -> TextTable {
+    let mut t = TextTable::new(["counter", "value"]);
+    t.row([
+        "compilations (logical)".to_owned(),
+        stats.compilations.to_string(),
+    ])
+    .row([
+        "  of which cache hits".to_owned(),
+        stats.cache_hits.to_string(),
+    ])
+    .row([
+        "unique schedules".to_owned(),
+        stats.unique_schedules.to_string(),
+    ])
+    .row(["unique plans".to_owned(), stats.unique_plans.to_string()])
+    .row(["architectures".to_owned(), stats.architectures.to_string()])
+    .row([
+        "modulo II attempts".to_owned(),
+        stats.ii_attempts.to_string(),
+    ])
+    .row([
+        "quarantined units".to_owned(),
+        stats.failed_units.to_string(),
+    ])
+    .row([
+        "  of which fuel-exhausted".to_owned(),
+        stats.fuel_exhausted.to_string(),
+    ])
+    .row([
+        "resumed from checkpoint".to_owned(),
+        stats.resumed_units.to_string(),
+    ])
+    .row([
+        "planning wall".to_owned(),
+        format!("{:.3}s", stats.plan_wall.as_secs_f64()),
+    ])
+    .row([
+        "evaluation wall".to_owned(),
+        format!("{:.3}s", stats.eval_wall.as_secs_f64()),
+    ])
+    .row([
+        "total wall".to_owned(),
+        format!("{:.3}s", stats.wall.as_secs_f64()),
+    ]);
+    t
+}
+
 /// Render a cost/speedup scatter as ASCII art (cost on x, speedup on y),
 /// with frontier points drawn as `#` and the rest as `*`.
 #[must_use]
@@ -123,6 +177,19 @@ mod tests {
         assert!(lines[0].contains("name") && lines[0].contains("value"));
         assert!(lines[2].ends_with('1'));
         assert_eq!(t.to_csv(), "name,value\na,1\nlong-name,22\n");
+    }
+
+    #[test]
+    fn run_stats_table_lists_every_counter() {
+        let stats = RunStats {
+            compilations: 120,
+            ii_attempts: 7,
+            ..RunStats::default()
+        };
+        let s = run_stats_table(&stats).to_string();
+        assert!(s.contains("compilations (logical)") && s.contains("120"));
+        assert!(s.contains("modulo II attempts") && s.contains('7'));
+        assert!(s.contains("total wall"));
     }
 
     #[test]

@@ -12,9 +12,10 @@
 
 use crate::ddg::Ddg;
 use crate::loopcode::{FuClass, LoopCode, OpOrigin, SOp};
+use crate::scratch::SchedScratch;
 use cfp_ir::{Operand, Vreg};
 use cfp_machine::{MachineResources, ALU_LATENCY};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 /// The result of cluster assignment.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,35 +38,81 @@ pub struct Assignment {
 /// whose IMUL count is zero — excluded by `ArchSpec` validation).
 #[must_use]
 pub fn assign(code: &LoopCode, ddg: &Ddg, machine: &MachineResources) -> Assignment {
+    assign_in(code, ddg, machine, &mut SchedScratch::new())
+}
+
+/// [`assign`] with working memory from `scratch`: the priority order,
+/// value-home table, per-cluster load estimates, and copy-vreg cache all
+/// live in reused flat arrays instead of fresh maps.
+///
+/// # Panics
+/// As [`assign`].
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn assign_in(
+    code: &LoopCode,
+    ddg: &Ddg,
+    machine: &MachineResources,
+    scratch: &mut SchedScratch,
+) -> Assignment {
+    const NO_HOME: u32 = u32::MAX;
     let nc = machine.cluster_count();
     let n = code.ops.len();
-    let resident: HashSet<Vreg> = code.resident.iter().copied().collect();
+    let nv = code.vreg_limit as usize;
+
+    let SchedScratch {
+        order,
+        home,
+        vflags,
+        alu_load,
+        mem_load,
+        copy_of,
+        uses_tmp,
+        ..
+    } = scratch;
+
+    // Bit 0 of `vflags[v]`: v is resident (a broadcast loop constant).
+    vflags.clear();
+    vflags.resize(nv, 0);
+    for v in &code.resident {
+        vflags[v.index()] |= 1;
+    }
+    // `home[v]` is the value's home cluster, `NO_HOME` until assigned.
+    // Copy vregs are appended past `nv` as moves are inserted.
+    home.clear();
+    home.resize(nv, NO_HOME);
 
     // Priority order: critical-path height, then original position.
-    let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| ddg.height[b].cmp(&ddg.height[a]).then(a.cmp(&b)));
+    order.clear();
+    order.extend(0..u32::try_from(n).expect("op count fits u32"));
+    order.sort_unstable_by(|&a, &b| {
+        ddg.height[b as usize]
+            .cmp(&ddg.height[a as usize])
+            .then(a.cmp(&b))
+    });
 
     let mut cluster_of_op = vec![0_u32; n];
-    let mut home_of: HashMap<Vreg, u32> = HashMap::new();
-    let mut alu_load = vec![0_f64; nc];
-    let mut mem_load = vec![0_f64; nc];
+    alu_load.clear();
+    alu_load.resize(nc, 0.0);
+    mem_load.clear();
+    mem_load.resize(nc, 0.0);
 
     if nc > 1 {
-        for &i in &order {
-            let op = &code.ops[i];
+        for &i in order.iter() {
+            let op = &code.ops[i as usize];
             let mut best: Option<(f64, u32)> = None;
             for c in 0..nc {
                 if !allowed(op, c, machine) {
                     continue;
                 }
+                let cu = u32::try_from(c).expect("small");
                 let comm: f64 = op
                     .uses
                     .iter()
-                    .filter(|u| !resident.contains(u))
+                    .filter(|u| vflags[u.index()] & 1 == 0)
                     .filter(|u| {
-                        home_of
-                            .get(u)
-                            .is_some_and(|&h| h != u32::try_from(c).expect("small"))
+                        let h = home[u.index()];
+                        h != NO_HOME && h != cu
                     })
                     .count() as f64;
                 let balance = match op.class {
@@ -74,32 +121,30 @@ pub fn assign(code: &LoopCode, ddg: &Ddg, machine: &MachineResources) -> Assignm
                 };
                 let score = comm * 2.0 + balance;
                 if best.is_none_or(|(s, _)| score < s) {
-                    best = Some((score, u32::try_from(c).expect("small")));
+                    best = Some((score, cu));
                 }
             }
             let (_, c) = best.expect("every op has a legal cluster");
-            cluster_of_op[i] = c;
+            cluster_of_op[i as usize] = c;
             match op.class {
                 FuClass::Mem(_) => mem_load[c as usize] += 1.0,
                 _ => alu_load[c as usize] += 1.0,
             }
             if let Some(d) = op.def {
-                home_of.insert(d, c);
+                home[d.index()] = c;
             }
             // Provisionally home live-in operands at their first consumer.
             for u in &op.uses {
-                if !resident.contains(u) {
-                    home_of.entry(*u).or_insert(c);
+                if vflags[u.index()] & 1 == 0 && home[u.index()] == NO_HOME {
+                    home[u.index()] = c;
                 }
             }
         }
         // A carried value stays in the cluster that computes the carried-out
         // register; the carried-in register therefore lives there too.
         for &(inp, out) in &code.carried {
-            if inp != out {
-                if let Some(&h) = home_of.get(&out) {
-                    home_of.insert(inp, h);
-                }
+            if inp != out && home[out.index()] != NO_HOME {
+                home[inp.index()] = home[out.index()];
             }
         }
     } else {
@@ -109,33 +154,41 @@ pub fn assign(code: &LoopCode, ddg: &Ddg, machine: &MachineResources) -> Assignm
             .filter_map(|o| o.def)
             .chain(code.live_ins.iter().copied())
         {
-            home_of.insert(v, 0);
+            home[v.index()] = 0;
         }
     }
     // Any live-in nobody read yet still needs a home.
     for &v in &code.live_ins {
-        home_of.entry(v).or_insert(0);
+        if home[v.index()] == NO_HOME {
+            home[v.index()] = 0;
+        }
     }
 
     // Insert moves for cross-cluster reads of non-resident values.
+    // `copy_of[v·nc + c]` caches the copy vreg of `v` on cluster `c`;
+    // only original vregs are ever looked up (each op's uses are
+    // snapshotted before its own rewrite), so `nv · nc` entries suffice.
     let mut new_code = code.clone();
     let mut new_clusters = cluster_of_op.clone();
     let mut move_count = 0_usize;
-    let mut copy_cache: HashMap<(Vreg, u32), Vreg> = HashMap::new();
     if nc > 1 {
-        #[allow(clippy::needless_range_loop)] // indexes two parallel vecs
-        for i in 0..n {
-            let c = cluster_of_op[i];
-            let uses = new_code.ops[i].uses.clone();
-            for u in uses {
-                if resident.contains(&u) {
+        copy_of.clear();
+        copy_of.resize(nv * nc, NO_HOME);
+        for (i, &c) in cluster_of_op.iter().enumerate().take(n) {
+            uses_tmp.clear();
+            uses_tmp.extend_from_slice(&new_code.ops[i].uses);
+            for &u in uses_tmp.iter() {
+                if vflags[u.index()] & 1 != 0 {
                     continue;
                 }
-                let h = home_of[&u];
+                let h = home[u.index()];
                 if h == c {
                     continue;
                 }
-                let copy = *copy_cache.entry((u, c)).or_insert_with(|| {
+                let slot = u.index() * nc + c as usize;
+                let copy = if copy_of[slot] != NO_HOME {
+                    Vreg(copy_of[slot])
+                } else {
                     let v = Vreg(new_code.vreg_limit);
                     new_code.vreg_limit += 1;
                     new_code.ops.push(SOp {
@@ -147,14 +200,22 @@ pub fn assign(code: &LoopCode, ddg: &Ddg, machine: &MachineResources) -> Assignm
                         uses: vec![u],
                     });
                     new_clusters.push(c);
-                    home_of.insert(v, c);
+                    home.push(c);
+                    copy_of[slot] = v.0;
                     move_count += 1;
                     v
-                });
+                };
                 rewrite_use(&mut new_code.ops[i], u, copy);
             }
         }
     }
+
+    let home_of: HashMap<Vreg, u32> = home
+        .iter()
+        .enumerate()
+        .filter(|&(_, &h)| h != NO_HOME)
+        .map(|(v, &h)| (Vreg(u32::try_from(v).expect("vreg fits u32")), h))
+        .collect();
 
     Assignment {
         code: new_code,
@@ -193,6 +254,7 @@ mod tests {
     use super::*;
     use cfp_frontend::compile_kernel;
     use cfp_machine::ArchSpec;
+    use std::collections::HashSet;
 
     fn assigned(src: &str, spec: &ArchSpec) -> Assignment {
         let k = compile_kernel(src, &[]).unwrap();
@@ -282,6 +344,24 @@ mod tests {
             if inp != out {
                 assert_eq!(a.home_of[&inp], a.home_of[&out], "{inp}/{out}");
             }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_reproduces_fresh_assignments() {
+        let mut scratch = SchedScratch::new();
+        for spec in [
+            ArchSpec::new(2, 1, 128, 1, 4, 2).unwrap(),
+            ArchSpec::new(8, 4, 256, 1, 4, 4).unwrap(),
+            ArchSpec::new(4, 2, 128, 1, 4, 1).unwrap(),
+        ] {
+            let k = compile_kernel(WIDE, &[]).unwrap();
+            let m = MachineResources::from_spec(&spec);
+            let code = LoopCode::build(&k, &m);
+            let ddg = Ddg::build(&code);
+            let fresh = assign(&code, &ddg, &m);
+            let reused = assign_in(&code, &ddg, &m, &mut scratch);
+            assert_eq!(fresh, reused, "{spec}");
         }
     }
 }

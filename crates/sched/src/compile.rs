@@ -4,12 +4,13 @@
 //! good code for that architecture" step, minus the 50-second relink: the
 //! machine description is a runtime value.
 
-use crate::cluster::{assign, Assignment};
+use crate::cluster::{assign_in, Assignment};
 use crate::ddg::Ddg;
 use crate::error::{Fuel, SchedError};
 use crate::list::{self, Schedule};
 use crate::loopcode::LoopCode;
-use crate::regalloc::{peak_pressure, PressureReport};
+use crate::regalloc::{peak_pressure_in, PressureReport};
+use crate::scratch::SchedScratch;
 use cfp_ir::Kernel;
 use cfp_machine::MachineResources;
 
@@ -126,11 +127,27 @@ pub fn try_compile_core(
     machine: &MachineResources,
     fuel: &mut Fuel,
 ) -> Result<SchedCore, SchedError> {
+    try_compile_core_in(prepared, machine, fuel, &mut SchedScratch::new())
+}
+
+/// [`try_compile_core`] with working memory from `scratch`: cluster
+/// assignment, the post-assignment dependence graph, list scheduling, and
+/// the pressure analysis all draw their buffers from one reused arena, so
+/// a sweep's steady-state compilations allocate only their results.
+///
+/// # Errors
+/// Whatever [`list::try_schedule`] reports.
+pub fn try_compile_core_in(
+    prepared: &Prepared,
+    machine: &MachineResources,
+    fuel: &mut Fuel,
+    scratch: &mut SchedScratch,
+) -> Result<SchedCore, SchedError> {
     let before = fuel.spent();
-    let assignment = assign(&prepared.code, &prepared.ddg, machine);
-    let ddg = Ddg::build(&assignment.code);
-    let schedule = list::try_schedule(&assignment, &ddg, machine, fuel)?;
-    let peak = peak_pressure(&assignment, &schedule, machine.cluster_count());
+    let assignment = assign_in(&prepared.code, &prepared.ddg, machine, scratch);
+    let ddg = Ddg::build_in(&assignment.code, scratch);
+    let schedule = list::try_schedule_in(&assignment, &ddg, machine, fuel, scratch)?;
+    let peak = peak_pressure_in(&assignment, &schedule, machine.cluster_count(), scratch);
     Ok(SchedCore {
         length: schedule.length,
         critical_path: ddg.critical_path(),

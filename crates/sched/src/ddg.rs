@@ -8,10 +8,21 @@
 //! unequal strides or any dynamic index we are conservative. Arrays never
 //! alias each other. Cross-iteration memory ordering is guaranteed by the
 //! loop barrier (iterations do not overlap in the non-pipelined schedule).
+//!
+//! The graph is stored in compressed-sparse-row (CSR) form: one flat edge
+//! array grouped by consumer, one grouped by producer, each indexed by an
+//! `n + 1`-entry row-offset table. The exploration builds a graph once
+//! per cached plan and then reads it from every architecture of the
+//! sweep, so the layout is optimized for shared read-only traversal: a
+//! node's predecessors (or successors) are one contiguous slice, and the
+//! whole structure is four allocations regardless of edge count. Within
+//! each group, edges appear in the exact order the old `Vec<Vec<Dep>>`
+//! representation pushed them (the grouping sort is stable), so every
+//! downstream traversal sees the same sequence it always has.
 
 use crate::loopcode::LoopCode;
-use cfp_ir::{Inst, Vreg};
-use std::collections::HashMap;
+use crate::scratch::SchedScratch;
+use cfp_ir::Inst;
 
 /// Why an edge exists (affects its latency).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,26 +39,31 @@ pub enum DepKind {
     MemWaw,
 }
 
-/// One dependence edge.
+/// One dependence edge. Indices are `u32` so an edge packs into twelve
+/// bytes plus the kind — the graphs are read far more than built.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Dep {
     /// Producer op index.
-    pub from: usize,
+    pub from: u32,
     /// Consumer op index.
-    pub to: usize,
+    pub to: u32,
     /// Minimum issue-cycle separation: `issue(to) ≥ issue(from) + lat`.
     pub lat: u32,
     /// Classification.
     pub kind: DepKind,
 }
 
-/// The dependence graph.
+/// The dependence graph, in CSR form.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Ddg {
-    /// Edges grouped by consumer.
-    pub preds: Vec<Vec<Dep>>,
-    /// Edges grouped by producer.
-    pub succs: Vec<Vec<Dep>>,
+    /// All edges, grouped by consumer (`to`).
+    pred_edges: Vec<Dep>,
+    /// `pred_edges[pred_row[i]..pred_row[i + 1]]` are op `i`'s preds.
+    pred_row: Vec<u32>,
+    /// All edges, grouped by producer (`from`).
+    succ_edges: Vec<Dep>,
+    /// `succ_edges[succ_row[i]..succ_row[i + 1]]` are op `i`'s succs.
+    succ_row: Vec<u32>,
     /// Critical-path height of each op (its latency plus the longest
     /// path below it); the list scheduler's priority.
     pub height: Vec<u32>,
@@ -57,90 +73,135 @@ impl Ddg {
     /// Build the graph.
     #[must_use]
     pub fn build(code: &LoopCode) -> Self {
-        let n = code.ops.len();
-        let mut preds: Vec<Vec<Dep>> = vec![Vec::new(); n];
-        let mut succs: Vec<Vec<Dep>> = vec![Vec::new(); n];
-        let push = |d: Dep, preds: &mut Vec<Vec<Dep>>, succs: &mut Vec<Vec<Dep>>| {
-            preds[d.to].push(d);
-            succs[d.from].push(d);
-        };
+        Self::build_in(code, &mut SchedScratch::new())
+    }
 
-        // Register RAW edges.
-        let mut def_of: HashMap<Vreg, usize> = HashMap::new();
+    /// [`Ddg::build`] using `scratch` for every intermediate buffer, so a
+    /// sweep that builds many graphs allocates only the graphs themselves.
+    #[must_use]
+    pub fn build_in(code: &LoopCode, scratch: &mut SchedScratch) -> Self {
+        let n = code.ops.len();
+
+        // Collect every edge, in discovery order (register RAW first,
+        // then pairwise memory edges in program order) — the same order
+        // the nested-Vec representation pushed them.
+        let edges = &mut scratch.edge_buf;
+        edges.clear();
+
+        // Register RAW edges. `def_of` is a vreg-indexed table (the IR is
+        // single-assignment, so last-write-wins insertion is moot).
+        let def_of = &mut scratch.def_of;
+        def_of.clear();
+        def_of.resize(code.vreg_limit as usize, u32::MAX);
         for (i, op) in code.ops.iter().enumerate() {
             if let Some(d) = op.def {
-                def_of.insert(d, i);
+                def_of[d.index()] = u32::try_from(i).expect("op count fits u32");
             }
         }
         for (i, op) in code.ops.iter().enumerate() {
             for u in &op.uses {
-                if let Some(&p) = def_of.get(u) {
-                    push(
-                        Dep {
-                            from: p,
-                            to: i,
-                            lat: code.ops[p].latency,
-                            kind: DepKind::RegRaw,
-                        },
-                        &mut preds,
-                        &mut succs,
-                    );
+                let p = def_of[u.index()];
+                if p != u32::MAX {
+                    edges.push(Dep {
+                        from: p,
+                        to: u32::try_from(i).expect("op count fits u32"),
+                        lat: code.ops[p as usize].latency,
+                        kind: DepKind::RegRaw,
+                    });
                 }
             }
         }
 
         // Memory ordering edges, pairwise per array, program order.
-        let mems = code.mem_ops();
+        let mems = &mut scratch.mems_tmp;
+        mems.clear();
+        for (i, op) in code.ops.iter().enumerate() {
+            if matches!(op.class, crate::loopcode::FuClass::Mem(_)) {
+                mems.push(u32::try_from(i).expect("op count fits u32"));
+            }
+        }
         for (ai, &a) in mems.iter().enumerate() {
             for &b in &mems[ai + 1..] {
                 let (ia, ib) = (
-                    code.ops[a].inst.expect("mem ops are body ops"),
-                    code.ops[b].inst.expect("mem ops are body ops"),
+                    code.ops[a as usize].inst.expect("mem ops are body ops"),
+                    code.ops[b as usize].inst.expect("mem ops are body ops"),
                 );
                 let Some(kind) = mem_dep_kind(&ia, &ib) else {
                     continue;
                 };
                 let lat = match kind {
-                    DepKind::MemRaw => code.ops[a].latency,
-                    DepKind::MemWar => 1,
-                    DepKind::MemWaw => 1,
+                    DepKind::MemRaw => code.ops[a as usize].latency,
+                    DepKind::MemWar | DepKind::MemWaw => 1,
                     DepKind::RegRaw => unreachable!(),
                 };
-                push(
-                    Dep {
-                        from: a,
-                        to: b,
-                        lat,
-                        kind,
-                    },
-                    &mut preds,
-                    &mut succs,
-                );
+                edges.push(Dep {
+                    from: a,
+                    to: b,
+                    lat,
+                    kind,
+                });
             }
         }
 
-        // Critical-path heights (the graph is acyclic: register RAW edges
-        // follow single-assignment order and memory edges follow program
-        // order).
-        let mut height = vec![0_u32; n];
-        let order = topo_order(n, &succs);
-        for &i in order.iter().rev() {
-            let below = succs[i]
-                .iter()
-                .map(|d| d.lat + height[d.to])
-                .max()
-                .unwrap_or(0);
-            // Edge latencies already include the producer's latency, so a
-            // node's height is the longest chain hanging below it — or its
-            // own completion time if it is a sink.
-            height[i] = code.ops[i].latency.max(1).max(below);
-        }
+        let latency_of = |i: usize| code.ops[i].latency;
+        assemble(
+            n,
+            &scratch.edge_buf,
+            latency_of,
+            &mut scratch.row_tmp,
+            (&mut scratch.indeg, &mut scratch.topo),
+        )
+    }
 
-        Ddg {
-            preds,
-            succs,
-            height,
-        }
+    /// Rebuild a graph from an explicit edge list over `latencies.len()`
+    /// ops (op `i` has result latency `latencies[i]`). Edges keep their
+    /// input order within each CSR group. This is [`Ddg::build`] minus
+    /// the dependence analysis — the round-trip partner of
+    /// [`Ddg::edges`], used by the equivalence tests.
+    ///
+    /// # Panics
+    /// Panics if the edge list contains a cycle or an out-of-range index.
+    #[must_use]
+    pub fn from_edges(latencies: &[u32], edges: &[Dep]) -> Self {
+        let mut scratch = SchedScratch::new();
+        assemble(
+            latencies.len(),
+            edges,
+            |i| latencies[i],
+            &mut scratch.row_tmp,
+            (&mut scratch.indeg, &mut scratch.topo),
+        )
+    }
+
+    /// Number of ops the graph spans.
+    #[must_use]
+    pub fn op_count(&self) -> usize {
+        self.pred_row.len() - 1
+    }
+
+    /// Dependences into op `i` (its predecessors), in build order.
+    #[must_use]
+    pub fn preds(&self, i: usize) -> &[Dep] {
+        &self.pred_edges[self.pred_row[i] as usize..self.pred_row[i + 1] as usize]
+    }
+
+    /// Dependences out of op `i` (its successors), in build order.
+    #[must_use]
+    pub fn succs(&self, i: usize) -> &[Dep] {
+        &self.succ_edges[self.succ_row[i] as usize..self.succ_row[i + 1] as usize]
+    }
+
+    /// Number of predecessors of op `i`.
+    #[must_use]
+    pub fn pred_count(&self, i: usize) -> u32 {
+        self.pred_row[i + 1] - self.pred_row[i]
+    }
+
+    /// Every edge, grouped by consumer — the order the old nested-`Vec`
+    /// representation yielded from `preds.iter().flatten()`.
+    #[must_use]
+    pub fn edges(&self) -> &[Dep] {
+        &self.pred_edges
     }
 
     /// The length in cycles of the longest dependence chain — a lower
@@ -151,26 +212,92 @@ impl Ddg {
     }
 }
 
-fn topo_order(n: usize, succs: &[Vec<Dep>]) -> Vec<usize> {
-    let mut indeg = vec![0_usize; n];
-    for edges in succs {
-        for d in edges {
-            indeg[d.to] += 1;
+/// Group `edges` into the two CSR views and compute heights. The
+/// grouping is a stable counting sort, so edges sharing a consumer (or
+/// producer) keep their input order.
+fn assemble(
+    n: usize,
+    edges: &[Dep],
+    latency_of: impl Fn(usize) -> u32,
+    row_tmp: &mut Vec<u32>,
+    (indeg, topo): (&mut Vec<u32>, &mut Vec<u32>),
+) -> Ddg {
+    let m = edges.len();
+    let filler = Dep {
+        from: 0,
+        to: 0,
+        lat: 0,
+        kind: DepKind::RegRaw,
+    };
+
+    let group = |key: fn(&Dep) -> u32, row_tmp: &mut Vec<u32>| -> (Vec<Dep>, Vec<u32>) {
+        let mut row = vec![0_u32; n + 1];
+        for e in edges {
+            row[key(e) as usize + 1] += 1;
         }
+        for i in 0..n {
+            row[i + 1] += row[i];
+        }
+        // Scatter in input order through a cursor copy of the offsets —
+        // this is what keeps each group stable.
+        row_tmp.clear();
+        row_tmp.extend_from_slice(&row[..n]);
+        let mut grouped = vec![filler; m];
+        for e in edges {
+            let k = key(e) as usize;
+            grouped[row_tmp[k] as usize] = *e;
+            row_tmp[k] += 1;
+        }
+        (grouped, row)
+    };
+
+    let (pred_edges, pred_row) = group(|e| e.to, row_tmp);
+    let (succ_edges, succ_row) = group(|e| e.from, row_tmp);
+
+    // Critical-path heights over a reverse topological order (the graph
+    // is acyclic: register RAW edges follow single-assignment order and
+    // memory edges follow program order).
+    indeg.clear();
+    indeg.reserve(n);
+    for i in 0..n {
+        indeg.push(pred_row[i + 1] - pred_row[i]);
     }
-    let mut stack: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
-    let mut order = Vec::with_capacity(n);
-    while let Some(i) = stack.pop() {
-        order.push(i);
-        for d in &succs[i] {
-            indeg[d.to] -= 1;
-            if indeg[d.to] == 0 {
-                stack.push(d.to);
+    // `row_tmp` is free again after the grouping; it serves as the stack.
+    row_tmp.clear();
+    row_tmp.extend((0..n).filter(|&i| indeg[i] == 0).map(|i| i as u32));
+    topo.clear();
+    while let Some(i) = row_tmp.pop() {
+        topo.push(i);
+        for e in &succ_edges[succ_row[i as usize] as usize..succ_row[i as usize + 1] as usize] {
+            indeg[e.to as usize] -= 1;
+            if indeg[e.to as usize] == 0 {
+                row_tmp.push(e.to);
             }
         }
     }
-    assert_eq!(order.len(), n, "dependence graph must be acyclic");
-    order
+    assert_eq!(topo.len(), n, "dependence graph must be acyclic");
+
+    let mut height = vec![0_u32; n];
+    for &i in topo.iter().rev() {
+        let i = i as usize;
+        let below = succ_edges[succ_row[i] as usize..succ_row[i + 1] as usize]
+            .iter()
+            .map(|d| d.lat + height[d.to as usize])
+            .max()
+            .unwrap_or(0);
+        // Edge latencies already include the producer's latency, so a
+        // node's height is the longest chain hanging below it — or its
+        // own completion time if it is a sink.
+        height[i] = latency_of(i).max(1).max(below);
+    }
+
+    Ddg {
+        pred_edges,
+        pred_row,
+        succ_edges,
+        succ_row,
+        height,
+    }
 }
 
 /// Dependence between two memory ops in program order (`a` before `b`),
@@ -218,7 +345,8 @@ mod tests {
         // Find the multiply; its predecessor is the load (latency 8 on the
         // baseline's L2).
         let mul = lc.ops.iter().position(|o| o.class == FuClass::Mul).unwrap();
-        let raw: Vec<_> = g.preds[mul]
+        let raw: Vec<_> = g
+            .preds(mul)
             .iter()
             .filter(|d| d.kind == DepKind::RegRaw)
             .collect();
@@ -238,10 +366,9 @@ mod tests {
             }",
         );
         let g = Ddg::build(&lc);
-        let mem_edges: usize = g
-            .preds
+        let mem_edges = g
+            .edges()
             .iter()
-            .flatten()
             .filter(|d| d.kind != DepKind::RegRaw)
             .count();
         assert_eq!(mem_edges, 0, "offsets 0 and 1 never collide");
@@ -259,9 +386,8 @@ mod tests {
         );
         let g = Ddg::build(&lc);
         let raw = g
-            .preds
+            .edges()
             .iter()
-            .flatten()
             .any(|d| d.kind == DepKind::MemRaw && d.lat == 8);
         assert!(raw);
     }
@@ -279,9 +405,8 @@ mod tests {
         );
         let g = Ddg::build(&lc);
         assert!(g
-            .preds
+            .edges()
             .iter()
-            .flatten()
             .any(|d| d.kind == DepKind::MemWar && d.lat == 1));
     }
 
@@ -296,7 +421,7 @@ mod tests {
             }",
         );
         let g = Ddg::build(&lc);
-        assert!(g.preds.iter().flatten().any(|d| d.kind == DepKind::MemRaw));
+        assert!(g.edges().iter().any(|d| d.kind == DepKind::MemRaw));
     }
 
     #[test]
@@ -306,5 +431,56 @@ mod tests {
         let g = Ddg::build(&lc);
         // ld(8) + mul(2) + add(1) + mul(2) + st issues → ≥ 13.
         assert!(g.critical_path() >= 13, "{}", g.critical_path());
+    }
+
+    #[test]
+    fn csr_round_trips_through_its_edge_list() {
+        let lc = code_for(
+            "kernel k(in u8 s[], inout i32 b[], out i32 d[]) {
+                loop i {
+                    var x = b[i];
+                    b[i] = x + s[i];
+                    d[i] = x * 3;
+                }
+            }",
+        );
+        let g = Ddg::build(&lc);
+        let lats: Vec<u32> = lc.ops.iter().map(|o| o.latency).collect();
+        let rebuilt = Ddg::from_edges(&lats, g.edges());
+        // The consumer-grouped view and the heights round-trip exactly.
+        assert_eq!(rebuilt.edges(), g.edges());
+        assert_eq!(rebuilt.height, g.height);
+        for i in 0..g.op_count() {
+            assert_eq!(rebuilt.preds(i), g.preds(i), "op {i}");
+        }
+        // The producer-grouped views agree as multisets; within a group
+        // the rebuilt order may differ (input order was consumer-grouped)
+        // — no consumer of `succs` is order-sensitive.
+        let key = |d: &Dep| (d.from, d.to, d.lat);
+        for view in [&g, &rebuilt] {
+            let mut by_succ: Vec<Dep> = (0..view.op_count())
+                .flat_map(|i| view.succs(i))
+                .copied()
+                .collect();
+            let mut by_pred: Vec<Dep> = view.edges().to_vec();
+            by_succ.sort_unstable_by_key(key);
+            by_pred.sort_unstable_by_key(key);
+            assert_eq!(by_succ, by_pred);
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_builds_identical_graphs() {
+        let sources = [
+            "kernel k(in u8 s[], out i32 d[]) { loop i { d[i] = s[i] * 3; } }",
+            "kernel k(inout i32 b[], out i32 d[]) {
+                loop i { b[i] = 7; d[i] = b[i]; }
+            }",
+        ];
+        let mut scratch = SchedScratch::new();
+        for src in sources {
+            let lc = code_for(src);
+            assert_eq!(Ddg::build_in(&lc, &mut scratch), Ddg::build(&lc), "{src}");
+        }
     }
 }

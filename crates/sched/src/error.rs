@@ -99,6 +99,7 @@ impl Fuel {
     /// Returns [`SchedError::FuelExhausted`] once the budget is gone;
     /// every later call keeps failing, so a scheduler loop cannot limp
     /// past its own abort.
+    #[inline]
     pub fn spend(&mut self, steps: u64) -> Result<(), SchedError> {
         match &mut self.remaining {
             None => {
@@ -121,12 +122,14 @@ impl Fuel {
     }
 
     /// Steps left, if this budget is limited.
+    #[inline]
     #[must_use]
     pub fn remaining(&self) -> Option<u64> {
         self.remaining
     }
 
     /// Steps successfully spent so far (exhausted attempts not counted).
+    #[inline]
     #[must_use]
     pub fn spent(&self) -> u64 {
         self.spent

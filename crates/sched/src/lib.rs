@@ -56,21 +56,26 @@ pub mod list;
 pub mod loopcode;
 pub mod modulo;
 pub mod regalloc;
+pub mod scratch;
 pub mod simulate;
 
 pub use cluster::Assignment;
 pub use compile::{
     compile, compile_core, finish, prepare, spill_penalty_cycles, try_compile, try_compile_core,
-    CompileResult, Prepared, SchedCore,
+    try_compile_core_in, CompileResult, Prepared, SchedCore,
 };
 pub use ddg::{Ddg, Dep, DepKind};
 pub use encode::{decode, encode, EncodeError, Program};
 pub use error::{Fuel, SchedError};
 pub use list::{
-    render, schedule, schedule_with, schedule_with_fuel, try_schedule, Placement, Priority,
-    Schedule,
+    render, schedule, schedule_with, schedule_with_fuel, try_schedule, try_schedule_in, Placement,
+    Priority, Schedule,
 };
 pub use loopcode::{FuClass, LoopCode, OpOrigin, SOp};
-pub use modulo::{modulo_schedule, try_modulo_schedule, ModuloSchedule, OmegaDep};
+pub use modulo::{
+    modulo_schedule, omega_deps, rec_mii, res_mii, try_modulo_schedule, try_modulo_schedule_in,
+    ModuloSchedule, OmegaDep,
+};
 pub use regalloc::{peak_pressure, pressure, PressureReport};
+pub use scratch::SchedScratch;
 pub use simulate::{simulate, SimError, SimStats};

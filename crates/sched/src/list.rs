@@ -11,11 +11,27 @@
 //! * the loop is a barrier: the next iteration starts once every result
 //!   of this one is complete (no software pipelining — matching the
 //!   unroll-and-list-schedule discipline of the Multiflow line).
+//!
+//! Engineering (see DESIGN.md §11): the ready list is a `Vec` of packed
+//! `(priority, index)` keys kept in descending order — newly eligible
+//! ops wait in a calendar ring bucketed by earliest legal cycle (O(1)
+//! per op; dependence latencies bound how far ahead a cycle can be),
+//! graduate as one batch sorted and merged in a single linear pass, so
+//! the per-cycle issue scan walks the ready ops in place and a failed
+//! attempt costs a word read. Issue slots are `u64` bitmask rows, port
+//! busy masks refresh once per cycle, op class and latency are read
+//! from a packed side array, and every buffer lives in a caller-provided
+//! [`SchedScratch`]. Schedules, fuel verdicts, and
+//! [`crate::error::Fuel::spent`] step counts are bit-identical to the
+//! straightforward implementation — fuel still prices semantic scan
+//! events, not data-structure operations (`tests/sched_equivalence.rs`
+//! pins all three).
 
 use crate::cluster::Assignment;
 use crate::ddg::Ddg;
 use crate::error::{Fuel, SchedError};
 use crate::loopcode::{FuClass, OpOrigin};
+use crate::scratch::{row_has_room, row_take, SchedScratch};
 use cfp_machine::MachineResources;
 
 /// Where one op landed.
@@ -38,10 +54,15 @@ pub struct Schedule {
 }
 
 impl Schedule {
-    /// Ops grouped by cycle, for display and the simulator.
+    /// Ops grouped by cycle, for display and the simulator. Buckets are
+    /// sized by a counting pass first, so each is allocated exactly once.
     #[must_use]
     pub fn by_cycle(&self) -> Vec<Vec<usize>> {
-        let mut words = vec![Vec::new(); self.length as usize];
+        let mut counts = vec![0_usize; self.length as usize];
+        for p in &self.placements {
+            counts[p.cycle as usize] += 1;
+        }
+        let mut words: Vec<Vec<usize>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
         for (i, p) in self.placements.iter().enumerate() {
             words[p.cycle as usize].push(i);
         }
@@ -97,8 +118,38 @@ pub fn try_schedule(
     machine: &MachineResources,
     fuel: &mut Fuel,
 ) -> Result<Schedule, SchedError> {
-    let cp = schedule_with_fuel(assignment, ddg, machine, Priority::CriticalPath, fuel)?;
-    let so = schedule_with_fuel(assignment, ddg, machine, Priority::SourceOrder, fuel)?;
+    try_schedule_in(assignment, ddg, machine, fuel, &mut SchedScratch::new())
+}
+
+/// [`try_schedule`] with working memory from `scratch`. A worker thread
+/// sweeping many candidates passes the same arena every time and the
+/// steady state allocates nothing but the returned schedules.
+///
+/// # Errors
+/// As [`try_schedule`].
+pub fn try_schedule_in(
+    assignment: &Assignment,
+    ddg: &Ddg,
+    machine: &MachineResources,
+    fuel: &mut Fuel,
+    scratch: &mut SchedScratch,
+) -> Result<Schedule, SchedError> {
+    let cp = schedule_with_fuel_in(
+        assignment,
+        ddg,
+        machine,
+        Priority::CriticalPath,
+        fuel,
+        scratch,
+    )?;
+    let so = schedule_with_fuel_in(
+        assignment,
+        ddg,
+        machine,
+        Priority::SourceOrder,
+        fuel,
+        scratch,
+    )?;
     Ok(if so.length < cp.length { so } else { cp })
 }
 
@@ -132,28 +183,143 @@ pub fn schedule_with_fuel(
     priority: Priority,
     fuel: &mut Fuel,
 ) -> Result<Schedule, SchedError> {
+    schedule_with_fuel_in(
+        assignment,
+        ddg,
+        machine,
+        priority,
+        fuel,
+        &mut SchedScratch::new(),
+    )
+}
+
+/// Pack a ready-list key: priority in the high half, bit-inverted index
+/// in the low half, so descending key order is highest priority first
+/// and lowest index on ties — the exact order a sorted ready list
+/// produces. Indices are unique, so the order is total and no valid key
+/// is ever 0 (that would need op index `u32::MAX`), which frees 0 as the
+/// issued-op sentinel during a scan.
+#[inline]
+fn ready_key(pri: u32, i: usize) -> u64 {
+    (u64::from(pri) << 32) | u64::from(u32::MAX - i as u32)
+}
+
+#[inline]
+fn key_index(key: u64) -> usize {
+    (u32::MAX - (key as u32)) as usize
+}
+
+/// [`schedule_with_fuel`] with working memory from `scratch`.
+///
+/// # Errors
+/// As [`try_schedule`].
+#[allow(clippy::too_many_lines)] // the single hot loop of the back end
+pub fn schedule_with_fuel_in(
+    assignment: &Assignment,
+    ddg: &Ddg,
+    machine: &MachineResources,
+    priority: Priority,
+    fuel: &mut Fuel,
+    scratch: &mut SchedScratch,
+) -> Result<Schedule, SchedError> {
     let code = &assignment.code;
     let n = code.ops.len();
     let branch = code.branch_index();
+    let nc = machine.cluster_count();
+
+    let SchedScratch {
+        pending,
+        earliest,
+        issue,
+        ready,
+        cal,
+        stash,
+        op_meta,
+        port_base,
+        port_free,
+        port_busy,
+        slot_rows,
+        ..
+    } = scratch;
 
     // Dependence bookkeeping.
-    let mut pending = vec![0_usize; n];
-    for (i, preds) in ddg.preds.iter().enumerate() {
-        pending[i] = preds.len();
+    pending.clear();
+    pending.extend((0..n).map(|i| ddg.pred_count(i)));
+    earliest.clear();
+    earliest.resize(n, 0);
+    issue.clear();
+    issue.resize(n, u32::MAX);
+
+    // Per-(cluster, level) memory-port state: `port_free` holds each
+    // port's free-at cycle in one flat array (`port_base[2c + level]` is
+    // the slice start), `port_busy` mirrors it as a possibly-stale busy
+    // bitmask refreshed lazily when a port is requested.
+    port_base.clear();
+    port_base.push(0);
+    for c in 0..nc {
+        let prev = *port_base.last().expect("seeded");
+        port_base.push(prev + machine.clusters[c].l1_ports);
+        let prev = *port_base.last().expect("seeded");
+        port_base.push(prev + machine.clusters[c].l2_ports);
     }
-    let mut earliest = vec![0_u32; n];
-    let mut issue = vec![u32::MAX; n];
+    let total_ports = *port_base.last().expect("seeded") as usize;
+    port_free.clear();
+    port_free.resize(total_ports, 0);
+    port_busy.clear();
+    port_busy.resize(2 * nc, 0);
 
-    // Per-cluster resource state.
-    let nc = machine.cluster_count();
-    let mut l1_ports: Vec<Vec<u32>> = (0..nc)
-        .map(|c| vec![0; machine.clusters[c].l1_ports as usize])
-        .collect();
-    let mut l2_ports: Vec<Vec<u32>> = (0..nc)
-        .map(|c| vec![0; machine.clusters[c].l2_ports as usize])
-        .collect();
+    // Per-cycle issue-slot rows: one ALU row and one IMUL row per
+    // cluster, re-zeroed each cycle.
+    slot_rows.clear();
+    slot_rows.resize(2 * nc, 0);
 
-    let mut ready: Vec<usize> = (0..n).filter(|&i| pending[i] == 0 && i != branch).collect();
+    // Dense per-op descriptor `(latency << 3) | class code`, so the hot
+    // issue scan reads one packed word instead of chasing the full
+    // `SOp` structs (whose inline `Vec`s make the stride cache-hostile).
+    op_meta.clear();
+    op_meta.extend(code.ops.iter().map(|op| {
+        let class = match op.class {
+            FuClass::Alu => 0_u32,
+            FuClass::Mul => 1,
+            FuClass::Mem(cfp_machine::MemLevel::L1) => 2,
+            FuClass::Mem(cfp_machine::MemLevel::L2) => 3,
+            FuClass::Branch => 4,
+        };
+        (op.latency << 3) | class
+    }));
+
+    let pri_of = |i: usize| match priority {
+        Priority::CriticalPath => ddg.height[i],
+        Priority::SourceOrder => 0,
+    };
+
+    // Enabled-but-unissued ops live in one of two structures: `ready`
+    // (operands available this cycle; a `Vec` of packed keys kept in
+    // descending order, scanned in place each cycle) or `cal` (operands
+    // still in flight; a calendar ring of buckets indexed by earliest
+    // legal cycle mod the ring width). An op enabled at cycle `t` has
+    // its earliest cycle in `(t, t + max edge latency]`, so a ring of
+    // `max edge latency + 1` buckets never aliases two distinct cycles
+    // and both enqueue and graduation are O(1) per op. `in_play` counts
+    // both structures — the population the old single ready list held,
+    // which is what fuel is priced on.
+    let w = 1 + ddg.edges().iter().map(|d| d.lat).max().unwrap_or(0) as usize;
+    for bucket in cal.iter_mut() {
+        bucket.clear(); // stale entries from an errored prior run
+    }
+    if cal.len() < w {
+        cal.resize_with(w, Vec::new);
+    }
+    ready.clear();
+    stash.clear();
+    let mut in_play = 0_u64;
+    for (i, &p) in pending.iter().enumerate() {
+        if p == 0 && i != branch {
+            cal[0].push(i as u32);
+            in_play += 1;
+        }
+    }
+
     let mut scheduled = 0_usize;
     let total_non_branch = n - 1;
 
@@ -162,80 +328,149 @@ pub fn schedule_with_fuel(
         if t >= MAX_CYCLES {
             return Err(SchedError::CycleCapExceeded { cap: MAX_CYCLES });
         }
-        // Ops that can legally issue this cycle, best priority first.
-        match priority {
-            Priority::CriticalPath => {
-                ready.sort_by(|&a, &b| ddg.height[b].cmp(&ddg.height[a]).then(a.cmp(&b)));
-            }
-            Priority::SourceOrder => ready.sort_unstable(),
+        // Ops whose operands arrive at `t` graduate into the ready list:
+        // drain this cycle's calendar bucket, sort the batch descending,
+        // and merge it with the (already descending) survivors of
+        // earlier cycles in one backward pass. Failed attempts below
+        // never move, so a cycle with no graduates reuses the array
+        // untouched.
+        stash.clear();
+        let bucket = &mut cal[t as usize % w];
+        for &i in bucket.iter() {
+            let i = i as usize;
+            stash.push(ready_key(pri_of(i), i));
         }
-        let mut alu_used = vec![0_u32; nc];
-        let mut mul_used = vec![0_u32; nc];
-        let mut issued_any = true;
-        while issued_any {
-            issued_any = false;
-            fuel.spend(1 + ready.len() as u64)?;
-            let mut next_ready = Vec::with_capacity(ready.len());
-            for &i in &ready {
-                if issue[i] != u32::MAX {
-                    continue;
+        bucket.clear();
+        if !stash.is_empty() {
+            stash.sort_unstable_by(|a, b| b.cmp(a));
+            let r = ready.len();
+            let b = stash.len();
+            ready.resize(r + b, 0);
+            let (mut i, mut j, mut k) = (r, b, r + b);
+            while j > 0 {
+                if i > 0 && ready[i - 1] < stash[j - 1] {
+                    ready[k - 1] = ready[i - 1];
+                    i -= 1;
+                } else {
+                    ready[k - 1] = stash[j - 1];
+                    j -= 1;
                 }
-                if earliest[i] > t {
-                    next_ready.push(i);
-                    continue;
+                k -= 1;
+            }
+        }
+        // One fuel charge per issue scan, priced by the ops in play —
+        // identical to the sorted-list scheduler's accounting.
+        fuel.spend(1 + in_play)?;
+        for row in slot_rows.iter_mut() {
+            *row = 0;
+        }
+        // Port busy masks go stale between cycles; refresh each
+        // (cluster, level) at most once per cycle (ports taken this
+        // cycle stay busy, so one refresh at first use is exact).
+        let mut refreshed = 0_u64;
+        let mut issued_any = false;
+        for slot in ready.iter_mut() {
+            let i = key_index(*slot);
+            let c = assignment.cluster_of_op[i] as usize;
+            let cl = &machine.clusters[c];
+            let meta = op_meta[i];
+            let ok = match meta & 0b111 {
+                0 => {
+                    // ALU
+                    let row = &mut slot_rows[2 * c];
+                    if row_has_room(*row, cl.alus) {
+                        row_take(row, cl.alus);
+                        true
+                    } else {
+                        false
+                    }
                 }
-                let c = assignment.cluster_of_op[i] as usize;
-                let ok = match code.ops[i].class {
-                    FuClass::Alu => {
-                        if alu_used[c] < machine.clusters[c].alus {
-                            alu_used[c] += 1;
-                            true
-                        } else {
-                            false
+                // IMUL (also consumes an ALU issue slot)
+                1 if row_has_room(slot_rows[2 * c], cl.alus)
+                    && row_has_room(slot_rows[2 * c + 1], cl.mul_capable) =>
+                {
+                    row_take(&mut slot_rows[2 * c], cl.alus);
+                    row_take(&mut slot_rows[2 * c + 1], cl.mul_capable);
+                    true
+                }
+                code @ (2 | 3) => {
+                    // Mem, Level 1 or 2
+                    let latency = meta >> 3;
+                    let li = 2 * c + (code as usize - 2);
+                    let base = port_base[li] as usize;
+                    let cnt = (port_base[li + 1] - port_base[li]) as usize;
+                    let free = &mut port_free[base..base + cnt];
+                    if cnt <= 64 {
+                        if li >= 64 || refreshed & (1_u64 << li) == 0 {
+                            if li < 64 {
+                                refreshed |= 1_u64 << li;
+                            }
+                            // Drop ports whose access completed by `t`.
+                            let mut busy = port_busy[li];
+                            let mut scan = busy;
+                            while scan != 0 {
+                                let p = scan.trailing_zeros();
+                                if free[p as usize] <= t {
+                                    busy &= !(1_u64 << p);
+                                }
+                                scan &= scan - 1;
+                            }
+                            port_busy[li] = busy;
                         }
-                    }
-                    FuClass::Mul => {
-                        if alu_used[c] < machine.clusters[c].alus
-                            && mul_used[c] < machine.clusters[c].mul_capable
-                        {
-                            alu_used[c] += 1;
-                            mul_used[c] += 1;
-                            true
+                        let mask = if cnt == 64 {
+                            u64::MAX
                         } else {
-                            false
-                        }
-                    }
-                    FuClass::Mem(level) => {
-                        let ports = match level {
-                            cfp_machine::MemLevel::L1 => &mut l1_ports[c],
-                            cfp_machine::MemLevel::L2 => &mut l2_ports[c],
+                            (1_u64 << cnt) - 1
                         };
-                        match ports.iter_mut().find(|free_at| **free_at <= t) {
-                            Some(slot) => {
-                                *slot = t + code.ops[i].latency;
+                        let avail = !port_busy[li] & mask;
+                        if avail == 0 {
+                            false
+                        } else {
+                            let p = avail.trailing_zeros();
+                            free[p as usize] = t + latency;
+                            port_busy[li] |= 1_u64 << p;
+                            true
+                        }
+                    } else {
+                        // Graceful fallback for machines wider than the
+                        // mask: first-free linear scan, mask unused.
+                        match free.iter_mut().find(|free_at| **free_at <= t) {
+                            Some(free_slot) => {
+                                *free_slot = t + latency;
                                 true
                             }
                             None => false,
                         }
                     }
-                    FuClass::Branch => false, // placed separately
-                };
-                if ok {
-                    issue[i] = t;
-                    scheduled += 1;
-                    issued_any = true;
-                    for d in &ddg.succs[i] {
-                        pending[d.to] -= 1;
-                        earliest[d.to] = earliest[d.to].max(t + d.lat);
-                        if pending[d.to] == 0 && d.to != branch {
-                            next_ready.push(d.to);
-                        }
+                }
+                _ => false, // branch: placed separately
+            };
+            if ok {
+                *slot = 0; // issued: sentinel, compacted below
+                issue[i] = t;
+                scheduled += 1;
+                issued_any = true;
+                in_play -= 1;
+                for d in ddg.succs(i) {
+                    let to = d.to as usize;
+                    pending[to] -= 1;
+                    earliest[to] = earliest[to].max(t + d.lat);
+                    if pending[to] == 0 && to != branch {
+                        // Every dependence carries latency ≥ 1, so a
+                        // newly enabled op is never eligible this cycle
+                        // and the ready list is stable during the scan.
+                        cal[earliest[to] as usize % w].push(to as u32);
+                        in_play += 1;
                     }
-                } else {
-                    next_ready.push(i);
                 }
             }
-            ready = next_ready;
+        }
+        if issued_any {
+            ready.retain(|&key| key != 0);
+            // The old scheduler re-scanned after a productive pass and
+            // found nothing (monotone resources, latencies ≥ 1); charge
+            // that scan.
+            fuel.spend(1 + in_play)?;
         }
         t += 1;
     }
@@ -265,17 +500,21 @@ pub fn schedule_with_fuel(
 }
 
 /// Pretty-print a schedule as one line per cycle (used by examples and
-/// the quickstart).
+/// the quickstart). Allocation happens only here, at print time: the
+/// cycle walk uses a sorted index cursor, not per-cycle bucket vectors.
 #[must_use]
 pub fn render(schedule: &Schedule, assignment: &Assignment) -> String {
     use std::fmt::Write as _;
-    let mut out = String::new();
-    for (t, word) in schedule.by_cycle().iter().enumerate() {
+    let mut order: Vec<usize> = (0..schedule.placements.len()).collect();
+    order.sort_unstable_by_key(|&i| (schedule.placements[i].cycle, i));
+    let mut out = String::with_capacity(order.len() * 24 + schedule.length as usize * 8);
+    let mut cursor = 0_usize;
+    for t in 0..schedule.length {
         let _ = write!(out, "{t:4}: ");
-        if word.is_empty() {
-            out.push_str("(stall)");
-        }
-        for &i in word {
+        let start = cursor;
+        while cursor < order.len() && schedule.placements[order[cursor]].cycle == t {
+            let i = order[cursor];
+            cursor += 1;
             let op = &assignment.code.ops[i];
             let desc = match (&op.inst, op.origin) {
                 (Some(inst), _) => inst.to_string(),
@@ -287,6 +526,9 @@ pub fn render(schedule: &Schedule, assignment: &Assignment) -> String {
                 (None, OpOrigin::Body(_)) => unreachable!("body ops carry insts"),
             };
             let _ = write!(out, "[c{} {desc}]  ", assignment.cluster_of_op[i]);
+        }
+        if cursor == start {
+            out.push_str("(stall)");
         }
         out.push('\n');
     }
@@ -328,15 +570,13 @@ mod tests {
         for (i, p) in s.placements.iter().enumerate() {
             assert!(p.cycle < s.length, "op {i}");
         }
-        for (to, preds) in ddg.preds.iter().enumerate() {
-            for d in preds {
-                assert!(
-                    s.placements[d.to].cycle >= s.placements[d.from].cycle + d.lat,
-                    "dep {} -> {} violated",
-                    d.from,
-                    to
-                );
-            }
+        for d in ddg.edges() {
+            assert!(
+                s.placements[d.to as usize].cycle >= s.placements[d.from as usize].cycle + d.lat,
+                "dep {} -> {} violated",
+                d.from,
+                d.to
+            );
         }
     }
 
@@ -360,6 +600,22 @@ mod tests {
             assert!(alu <= m.clusters[0].alus, "alu oversubscribed");
             assert!(mul <= m.clusters[0].mul_capable, "mul oversubscribed");
         }
+    }
+
+    #[test]
+    fn by_cycle_buckets_cover_every_op_exactly_once() {
+        let (s, ..) = sched_for(WIDE, &ArchSpec::new(4, 2, 128, 2, 4, 1).unwrap());
+        let words = s.by_cycle();
+        assert_eq!(words.len(), s.length as usize);
+        let mut seen = vec![false; s.placements.len()];
+        for (t, word) in words.iter().enumerate() {
+            for &i in word {
+                assert_eq!(s.placements[i].cycle as usize, t);
+                assert!(!seen[i], "op {i} appears twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
     }
 
     #[test]
@@ -450,6 +706,30 @@ mod tests {
         let mut again = Fuel::limited(1 << 20);
         let _ = try_schedule(&a, &ddg, &m, &mut again).expect("plenty of fuel");
         assert_eq!(fuel.remaining(), again.remaining());
+    }
+
+    #[test]
+    fn a_reused_scratch_changes_nothing() {
+        let mut scratch = SchedScratch::new();
+        for spec in [
+            ArchSpec::new(4, 2, 128, 2, 4, 1).unwrap(),
+            ArchSpec::new(2, 1, 64, 1, 8, 1).unwrap(),
+            ArchSpec::new(8, 4, 256, 2, 4, 2).unwrap(),
+        ] {
+            let k = compile_kernel(WIDE, &[]).unwrap();
+            let m = MachineResources::from_spec(&spec);
+            let code = LoopCode::build(&k, &m);
+            let pre = Ddg::build(&code);
+            let a = assign(&code, &pre, &m);
+            let ddg = Ddg::build(&a.code);
+            let mut fresh_fuel = Fuel::limited(1 << 20);
+            let fresh = try_schedule(&a, &ddg, &m, &mut fresh_fuel).expect("fuel");
+            let mut reused_fuel = Fuel::limited(1 << 20);
+            let reused =
+                try_schedule_in(&a, &ddg, &m, &mut reused_fuel, &mut scratch).expect("fuel");
+            assert_eq!(fresh, reused, "{spec}");
+            assert_eq!(fresh_fuel.remaining(), reused_fuel.remaining(), "{spec}");
+        }
     }
 
     #[test]

@@ -13,6 +13,19 @@
 //! * resource-bound kernels (color conversion, median) collapse to the
 //!   resource bound, shedding the latency-drain tail the barrier pays.
 //!
+//! The II search starts at `max(ResMII, RecMII)` and walks upward, but it
+//! does not walk blindly: ops are placed in a fixed order, so the
+//! per-resource demand of the prefix up to a failed placement is the same
+//! at every II. That demand is carried out of the failed attempt and
+//! turned into a capacity bound — any II with `units × II < demand` must
+//! fail the same way — letting the search jump straight past provably
+//! infeasible IIs instead of probing each one (port-starved machines used
+//! to scan hundreds). [`ModuloSchedule::ii_attempts`] reports how many
+//! IIs were actually attempted. Fuel is spent per placement probe on
+//! attempted IIs only; skipped IIs cost nothing (the found schedule is
+//! identical, and the modulo scheduler is off the exploration's budgeted
+//! path).
+//!
 //! Scope: this is an *analytical* scheduler. Its output is validated
 //! structurally (every dependence satisfies
 //! `slot(to) ≥ slot(from) + lat − II·ω`, no modulo resource is
@@ -25,6 +38,7 @@ use crate::cluster::Assignment;
 use crate::ddg::Ddg;
 use crate::error::{Fuel, SchedError};
 use crate::loopcode::{FuClass, LoopCode};
+use crate::scratch::{row_has_room, row_take, SchedScratch};
 use cfp_ir::Vreg;
 use cfp_machine::{MachineResources, MemLevel};
 use std::collections::HashMap;
@@ -54,6 +68,9 @@ pub struct ModuloSchedule {
     /// Estimated registers needed per cluster, counting `⌈L/II⌉`
     /// overlapping instances per value.
     pub pressure_estimate: Vec<u32>,
+    /// Candidate IIs actually attempted (provably infeasible IIs are
+    /// skipped by the capacity bound and not counted).
+    pub ii_attempts: u32,
 }
 
 impl ModuloSchedule {
@@ -75,12 +92,11 @@ impl ModuloSchedule {
 #[must_use]
 pub fn omega_deps(code: &LoopCode, ddg: &Ddg) -> Vec<OmegaDep> {
     let mut deps: Vec<OmegaDep> = ddg
-        .preds
+        .edges()
         .iter()
-        .flatten()
         .map(|d| OmegaDep {
-            from: d.from,
-            to: d.to,
+            from: d.from as usize,
+            to: d.to as usize,
             lat: d.lat,
             omega: 0,
         })
@@ -248,69 +264,26 @@ pub fn rec_mii(n_ops: usize, deps: &[OmegaDep], hi_hint: u32) -> u32 {
     hi
 }
 
-/// Modulo reservation state for one candidate II.
-struct ModTable {
-    ii: u32,
-    alu: Vec<Vec<u32>>,      // [cluster][slot mod ii]
-    mul: Vec<Vec<u32>>,      // [cluster][slot mod ii]
-    mem: Vec<[Vec<u32>; 2]>, // [cluster][level][slot mod ii] busy counts
-    branch: Vec<u32>,        // [slot mod ii]
+/// Flat modulo-reservation-table indexing: one bitmask row per
+/// (resource, residue). Resources are numbered `0..4·nc + 1`:
+/// ALU per cluster, then IMUL per cluster, then the two memory levels
+/// per cluster, then the single branch unit. The same numbering indexes
+/// the demand counters the II-skip bound reads.
+#[inline]
+fn res_alu(c: usize) -> usize {
+    c
 }
-
-impl ModTable {
-    fn new(ii: u32, nc: usize) -> Self {
-        let z = vec![0_u32; ii as usize];
-        ModTable {
-            ii,
-            alu: vec![z.clone(); nc],
-            mul: vec![z.clone(); nc],
-            mem: (0..nc).map(|_| [z.clone(), z.clone()]).collect(),
-            branch: z,
-        }
-    }
-
-    fn fits(
-        &self,
-        op: &crate::loopcode::SOp,
-        cluster: usize,
-        slot: u32,
-        m: &MachineResources,
-    ) -> bool {
-        let s = (slot % self.ii) as usize;
-        let cl = &m.clusters[cluster];
-        match op.class {
-            FuClass::Alu => self.alu[cluster][s] < cl.alus,
-            FuClass::Mul => self.alu[cluster][s] < cl.alus && self.mul[cluster][s] < cl.mul_capable,
-            FuClass::Branch => self.branch[s] < u32::from(cl.has_branch),
-            FuClass::Mem(level) => {
-                if op.latency > self.ii {
-                    return false; // one access would saturate past an II
-                }
-                let li = usize::from(level == MemLevel::L2);
-                let ports = if li == 0 { cl.l1_ports } else { cl.l2_ports };
-                (0..op.latency)
-                    .all(|dt| self.mem[cluster][li][((slot + dt) % self.ii) as usize] < ports)
-            }
-        }
-    }
-
-    fn take(&mut self, op: &crate::loopcode::SOp, cluster: usize, slot: u32) {
-        let s = (slot % self.ii) as usize;
-        match op.class {
-            FuClass::Alu => self.alu[cluster][s] += 1,
-            FuClass::Mul => {
-                self.alu[cluster][s] += 1;
-                self.mul[cluster][s] += 1;
-            }
-            FuClass::Branch => self.branch[s] += 1,
-            FuClass::Mem(level) => {
-                let li = usize::from(level == MemLevel::L2);
-                for dt in 0..op.latency {
-                    self.mem[cluster][li][((slot + dt) % self.ii) as usize] += 1;
-                }
-            }
-        }
-    }
+#[inline]
+fn res_mul(nc: usize, c: usize) -> usize {
+    nc + c
+}
+#[inline]
+fn res_mem(nc: usize, c: usize, li: usize) -> usize {
+    2 * nc + 2 * c + li
+}
+#[inline]
+fn res_branch(nc: usize) -> usize {
+    4 * nc
 }
 
 /// Attempt modulo scheduling; returns `None` only if no II up to
@@ -348,75 +321,231 @@ pub fn try_modulo_schedule(
     list_length: u32,
     fuel: &mut Fuel,
 ) -> Result<Option<ModuloSchedule>, SchedError> {
+    try_modulo_schedule_in(
+        assignment,
+        ddg,
+        machine,
+        list_length,
+        fuel,
+        &mut SchedScratch::new(),
+    )
+}
+
+/// [`try_modulo_schedule`] with working memory from `scratch`: the
+/// reservation rows, slot array, intra-dependence index, and demand
+/// counters live in reused flat buffers.
+///
+/// # Errors
+/// As [`try_modulo_schedule`].
+#[allow(clippy::too_many_lines)] // one self-contained search loop
+pub fn try_modulo_schedule_in(
+    assignment: &Assignment,
+    ddg: &Ddg,
+    machine: &MachineResources,
+    list_length: u32,
+    fuel: &mut Fuel,
+    scratch: &mut SchedScratch,
+) -> Result<Option<ModuloSchedule>, SchedError> {
     let code = &assignment.code;
     let n = code.ops.len();
+    let nc = machine.cluster_count();
     let deps = omega_deps(code, ddg);
     let max_lat = code.ops.iter().map(|o| o.latency).max().unwrap_or(1);
     let mii = res_mii(code, assignment, machine)
         .max(rec_mii(n, &deps, list_length))
         .max(max_lat);
 
-    // Priority: intra-iteration height (critical path), descending.
-    let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| ddg.height[b].cmp(&ddg.height[a]).then(a.cmp(&b)));
+    let SchedScratch {
+        mod_rows,
+        mod_slots,
+        mod_pred_row,
+        mod_pred_from,
+        mod_pred_lat,
+        mod_demand,
+        ..
+    } = scratch;
 
-    let intra_preds: Vec<Vec<&OmegaDep>> = {
-        let mut v: Vec<Vec<&OmegaDep>> = vec![Vec::new(); n];
-        for d in &deps {
-            if d.omega == 0 {
-                v[d.to].push(d);
-            }
+    // Intra-iteration predecessors in CSR form, grouped by consumer —
+    // built once, shared by every II attempt.
+    mod_pred_row.clear();
+    mod_pred_row.resize(n + 1, 0);
+    for d in &deps {
+        if d.omega == 0 {
+            mod_pred_row[d.to + 1] += 1;
         }
-        v
-    };
+    }
+    for i in 0..n {
+        mod_pred_row[i + 1] += mod_pred_row[i];
+    }
+    let m_intra = mod_pred_row[n] as usize;
+    mod_pred_from.clear();
+    mod_pred_from.resize(m_intra, 0);
+    mod_pred_lat.clear();
+    mod_pred_lat.resize(m_intra, 0);
+    mod_slots.clear(); // borrow as the scatter cursor before its real job
+    mod_slots.extend_from_slice(&mod_pred_row[..n]);
+    for d in &deps {
+        if d.omega == 0 {
+            let at = mod_slots[d.to] as usize;
+            mod_pred_from[at] = u32::try_from(d.from).expect("op count fits u32");
+            mod_pred_lat[at] = d.lat;
+            mod_slots[d.to] += 1;
+        }
+    }
 
-    'outer: for ii in mii..=(4 * list_length.max(mii)) {
-        let mut table = ModTable::new(ii, machine.cluster_count());
-        let mut slots = vec![u32::MAX; n];
-        // Topological order over intra edges (original index order is
-        // one, by construction of the loop code), tie-ranked by height.
-        let mut sequence: Vec<usize> = (0..n).collect();
-        sequence.sort_by(|&a, &b| {
-            // Keep def-before-use: original position is a topo order for
-            // intra deps; bias by height within a small window.
-            a.cmp(&b)
-        });
-        for &i in &sequence {
+    let nres = 4 * nc + 1;
+    let limit = 4 * list_length.max(mii);
+    let mut ii_attempts = 0_u32;
+    let mut ii = mii;
+    'outer: while ii <= limit {
+        ii_attempts += 1;
+        let stride = ii as usize;
+        mod_rows.clear();
+        mod_rows.resize(nres * stride, 0);
+        mod_demand.clear();
+        mod_demand.resize(nres, 0);
+        mod_slots.clear();
+        mod_slots.resize(n, u32::MAX);
+        // Placement order: original index order, which is a topological
+        // order over intra deps by construction of the loop code. The
+        // order is II-independent, which is what makes the demand prefix
+        // reusable as a skip bound.
+        for i in 0..n {
             let op = &code.ops[i];
-            let cluster = assignment.cluster_of_op[i] as usize;
-            let est = intra_preds[i]
-                .iter()
-                .map(|d| slots[d.from].saturating_add(d.lat))
+            let c = assignment.cluster_of_op[i] as usize;
+            let cl = &machine.clusters[c];
+            // Account this op's demand up front so a failure's bound
+            // covers the op that needs the room, not just its prefix.
+            match op.class {
+                FuClass::Alu => mod_demand[res_alu(c)] += 1,
+                FuClass::Mul => {
+                    mod_demand[res_alu(c)] += 1;
+                    mod_demand[res_mul(nc, c)] += 1;
+                }
+                FuClass::Mem(level) => {
+                    let li = usize::from(level == MemLevel::L2);
+                    mod_demand[res_mem(nc, c, li)] += u64::from(op.latency);
+                }
+                FuClass::Branch => mod_demand[res_branch(nc)] += 1,
+            }
+            let est = (mod_pred_row[i] as usize..mod_pred_row[i + 1] as usize)
+                .map(|e| mod_slots[mod_pred_from[e] as usize].saturating_add(mod_pred_lat[e]))
                 .max()
                 .unwrap_or(0);
             let mut placed = false;
-            for slot in est..est + ii {
+            for slot in est..est.saturating_add(ii) {
                 fuel.spend(1)?;
-                if table.fits(op, cluster, slot, machine) {
-                    table.take(op, cluster, slot);
-                    slots[i] = slot;
+                let s = (slot % ii) as usize;
+                let ok = match op.class {
+                    FuClass::Alu => {
+                        let row = &mut mod_rows[res_alu(c) * stride + s];
+                        if row_has_room(*row, cl.alus) {
+                            row_take(row, cl.alus);
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    FuClass::Mul => {
+                        if row_has_room(mod_rows[res_alu(c) * stride + s], cl.alus)
+                            && row_has_room(mod_rows[res_mul(nc, c) * stride + s], cl.mul_capable)
+                        {
+                            row_take(&mut mod_rows[res_alu(c) * stride + s], cl.alus);
+                            row_take(&mut mod_rows[res_mul(nc, c) * stride + s], cl.mul_capable);
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    FuClass::Branch => {
+                        let row = &mut mod_rows[res_branch(nc) * stride + s];
+                        let units = u32::from(cl.has_branch);
+                        if row_has_room(*row, units) {
+                            row_take(row, units);
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    FuClass::Mem(level) => {
+                        let li = usize::from(level == MemLevel::L2);
+                        let ports = if li == 0 { cl.l1_ports } else { cl.l2_ports };
+                        let base = res_mem(nc, c, li) * stride;
+                        // A non-pipelined access occupies its port for
+                        // the full latency; one access longer than the
+                        // II would collide with itself.
+                        if op.latency > ii {
+                            false
+                        } else if (0..op.latency).all(|dt| {
+                            row_has_room(mod_rows[base + ((slot + dt) % ii) as usize], ports)
+                        }) {
+                            for dt in 0..op.latency {
+                                row_take(&mut mod_rows[base + ((slot + dt) % ii) as usize], ports);
+                            }
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                };
+                if ok {
+                    mod_slots[i] = slot;
                     placed = true;
                     break;
                 }
             }
             if !placed {
+                // The probe window spanned every residue, so this class
+                // is out of capacity. Demand is II-independent (fixed
+                // placement order), so any II whose total capacity
+                // `units × II` is below the demand fails the same way —
+                // jump straight past all of them.
+                let bound = |demand: u64, units: u32| -> Option<u32> {
+                    if units == 0 {
+                        return None; // the resource does not exist at any II
+                    }
+                    Some(u32::try_from(demand.div_ceil(u64::from(units))).unwrap_or(u32::MAX))
+                };
+                let next = match op.class {
+                    FuClass::Alu => bound(mod_demand[res_alu(c)], cl.alus),
+                    FuClass::Mul => match (
+                        bound(mod_demand[res_alu(c)], cl.alus),
+                        bound(mod_demand[res_mul(nc, c)], cl.mul_capable),
+                    ) {
+                        (Some(a), Some(m)) => Some(a.max(m)),
+                        _ => None,
+                    },
+                    FuClass::Branch => bound(mod_demand[res_branch(nc)], u32::from(cl.has_branch)),
+                    FuClass::Mem(level) => {
+                        let li = usize::from(level == MemLevel::L2);
+                        let ports = if li == 0 { cl.l1_ports } else { cl.l2_ports };
+                        bound(mod_demand[res_mem(nc, c, li)], ports)
+                    }
+                };
+                let Some(next) = next else {
+                    return Ok(None);
+                };
+                ii = (ii + 1).max(next);
                 continue 'outer;
             }
         }
         // Check every dependence (including carried ones) at this II.
         let ok = deps.iter().all(|d| {
-            i64::from(slots[d.to])
-                >= i64::from(slots[d.from]) + i64::from(d.lat) - i64::from(ii) * i64::from(d.omega)
+            i64::from(mod_slots[d.to])
+                >= i64::from(mod_slots[d.from]) + i64::from(d.lat)
+                    - i64::from(ii) * i64::from(d.omega)
         });
         if !ok {
+            ii += 1;
             continue;
         }
-        let pressure_estimate = pipeline_pressure(code, assignment, &slots, ii, machine);
+        let pressure_estimate = pipeline_pressure(code, assignment, mod_slots, ii, machine);
         return Ok(Some(ModuloSchedule {
             ii,
-            slots,
+            slots: mod_slots.clone(),
             mii,
             pressure_estimate,
+            ii_attempts,
         }));
     }
     Ok(None)
@@ -583,5 +712,67 @@ mod tests {
         assert!(ms.stages() >= 1);
         assert_eq!(ms.pressure_estimate.len(), 1);
         assert!(ms.pressure_estimate[0] > 0);
+    }
+
+    #[test]
+    fn the_ii_skip_never_skips_the_found_ii() {
+        // On a port-starved machine the search starts far above the list
+        // length; the skip bound must still land on the same II a linear
+        // scan finds, while attempting no more IIs than `found − mii + 1`.
+        for spec in [
+            ArchSpec::new(8, 4, 256, 1, 8, 1).unwrap(),
+            ArchSpec::new(2, 1, 64, 1, 4, 1).unwrap(),
+            ArchSpec::new(8, 4, 256, 4, 8, 1).unwrap(),
+        ] {
+            let k = compile_kernel(PARALLEL, &[]).unwrap();
+            let m = MachineResources::from_spec(&spec);
+            let code = LoopCode::build(&k, &m);
+            let pre = Ddg::build(&code);
+            let a = assign(&code, &pre, &m);
+            let ddg = Ddg::build(&a.code);
+            let list = crate::list::schedule(&a, &ddg, &m);
+            let ms = modulo_schedule(&a, &ddg, &m, list.length).expect("schedulable");
+            assert!(ms.ii >= ms.mii, "{spec}");
+            assert!(
+                ms.ii_attempts <= ms.ii - ms.mii + 1,
+                "{spec}: {} attempts for II {} from MII {}",
+                ms.ii_attempts,
+                ms.ii,
+                ms.mii
+            );
+            assert!(ms.ii_attempts >= 1, "{spec}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_reproduces_fresh_modulo_schedules() {
+        let mut scratch = SchedScratch::new();
+        for spec in [
+            ArchSpec::new(8, 4, 256, 1, 8, 1).unwrap(),
+            ArchSpec::new(4, 2, 128, 2, 4, 1).unwrap(),
+        ] {
+            let k = compile_kernel(PARALLEL, &[]).unwrap();
+            let m = MachineResources::from_spec(&spec);
+            let code = LoopCode::build(&k, &m);
+            let pre = Ddg::build(&code);
+            let a = assign(&code, &pre, &m);
+            let ddg = Ddg::build(&a.code);
+            let list = crate::list::schedule(&a, &ddg, &m);
+            let fresh = modulo_schedule(&a, &ddg, &m, list.length).expect("schedulable");
+            let reused = try_modulo_schedule_in(
+                &a,
+                &ddg,
+                &m,
+                list.length,
+                &mut Fuel::unlimited(),
+                &mut scratch,
+            )
+            .expect("unlimited")
+            .expect("schedulable");
+            assert_eq!(fresh.ii, reused.ii, "{spec}");
+            assert_eq!(fresh.slots, reused.slots, "{spec}");
+            assert_eq!(fresh.mii, reused.mii, "{spec}");
+            assert_eq!(fresh.ii_attempts, reused.ii_attempts, "{spec}");
+        }
     }
 }

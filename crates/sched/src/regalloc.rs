@@ -20,6 +20,7 @@
 
 use crate::cluster::Assignment;
 use crate::list::Schedule;
+use crate::scratch::SchedScratch;
 use cfp_ir::Vreg;
 use cfp_machine::MachineResources;
 use std::collections::{HashMap, HashSet};
@@ -74,39 +75,75 @@ pub fn pressure(
 /// otherwise-identical architecture.
 #[must_use]
 pub fn peak_pressure(assignment: &Assignment, schedule: &Schedule, clusters: usize) -> Vec<u32> {
+    peak_pressure_in(assignment, schedule, clusters, &mut SchedScratch::new())
+}
+
+/// [`peak_pressure`] with working memory from `scratch`: last-use times,
+/// resident-reader sets (one bitmask word per 64 clusters), and the
+/// interval diff arrays live in reused flat buffers.
+#[must_use]
+pub fn peak_pressure_in(
+    assignment: &Assignment,
+    schedule: &Schedule,
+    clusters: usize,
+    scratch: &mut SchedScratch,
+) -> Vec<u32> {
+    const NO_USE: u32 = u32::MAX; // cycles are < 2^20, so MAX is free
     let code = &assignment.code;
     let nc = clusters;
     let len = schedule.length as usize;
-    let resident: HashSet<Vreg> = code.resident.iter().copied().collect();
-    let carried_out: HashSet<Vreg> = code.carried.iter().map(|&(_, o)| o).collect();
-    let carried_in: HashSet<Vreg> = code.carried.iter().map(|&(i, _)| i).collect();
+    let nv = code.vreg_limit as usize;
 
-    // Last read cycle of every value.
-    let mut last_use: HashMap<Vreg, u32> = HashMap::new();
-    // Clusters reading each resident value.
-    let mut resident_readers: HashMap<Vreg, HashSet<u32>> = HashMap::new();
+    let SchedScratch {
+        vflags,
+        last_use,
+        reader_mask,
+        diff,
+        ..
+    } = scratch;
+
+    // Bit 0: resident (broadcast loop constant); bit 1: carried out.
+    vflags.clear();
+    vflags.resize(nv, 0);
+    for v in &code.resident {
+        vflags[v.index()] |= 1;
+    }
+    for &(_, o) in &code.carried {
+        vflags[o.index()] |= 2;
+    }
+    // A carried-in value also occupies its register until the boundary
+    // latch overwrites it, but it may be overwritten as soon as its last
+    // reader has issued; only the last read matters, so carried-in needs
+    // no flag of its own.
+
+    // Last read cycle of every non-resident value; for resident values, a
+    // bitmask of the clusters reading them.
+    let words = nc.div_ceil(64);
+    last_use.clear();
+    last_use.resize(nv, NO_USE);
+    reader_mask.clear();
+    reader_mask.resize(nv * words, 0);
     for (i, op) in code.ops.iter().enumerate() {
         let t = schedule.placements[i].cycle;
         for u in &op.uses {
-            if resident.contains(u) {
-                resident_readers
-                    .entry(*u)
-                    .or_default()
-                    .insert(schedule.placements[i].cluster);
+            if vflags[u.index()] & 1 != 0 {
+                let c = schedule.placements[i].cluster as usize;
+                reader_mask[u.index() * words + c / 64] |= 1_u64 << (c % 64);
             } else {
-                let e = last_use.entry(*u).or_insert(t);
-                *e = (*e).max(t);
+                let e = &mut last_use[u.index()];
+                *e = if *e == NO_USE { t } else { (*e).max(t) };
             }
         }
     }
 
-    // Interval diff arrays per cluster.
-    let mut diff = vec![vec![0_i32; len + 1]; nc];
+    // Interval diff arrays, one `len + 1` run per cluster.
+    diff.clear();
+    diff.resize(nc * (len + 1), 0);
     let mut add = |c: usize, from: usize, to: usize| {
         let to = to.min(len);
         if from < to {
-            diff[c][from] += 1;
-            diff[c][to] -= 1;
+            diff[c * (len + 1) + from] += 1;
+            diff[c * (len + 1) + to] -= 1;
         }
     };
 
@@ -115,40 +152,49 @@ pub fn peak_pressure(assignment: &Assignment, schedule: &Schedule, clusters: usi
         let Some(d) = op.def else { continue };
         let c = schedule.placements[i].cluster as usize;
         let start = schedule.placements[i].cycle as usize;
-        let end = if carried_out.contains(&d) {
+        let end = if vflags[d.index()] & 2 != 0 {
             len
         } else {
-            last_use.get(&d).map_or(start + 1, |&u| (u as usize) + 1)
+            match last_use[d.index()] {
+                NO_USE => start + 1,
+                u => (u as usize) + 1,
+            }
         };
         add(c, start, end.max(start + 1));
     }
     // Live-in values (carried-in, non-resident).
     for &v in &code.live_ins {
-        if resident.contains(&v) {
+        if vflags[v.index()] & 1 != 0 {
             continue;
         }
         let c = assignment.home_of.get(&v).copied().unwrap_or(0) as usize;
-        let end = last_use.get(&v).map_or(1, |&u| (u as usize) + 1);
-        // A carried-in value also occupies its register until the
-        // boundary latch overwrites it, but it may be overwritten as soon
-        // as its last reader has issued; use the last read.
-        let _ = carried_in;
+        let end = match last_use[v.index()] {
+            NO_USE => 1,
+            u => (u as usize) + 1,
+        };
         add(c, 0, end);
     }
     // Resident values: whole loop, in every reading cluster.
-    for (v, readers) in &resident_readers {
-        let _ = v;
-        for &c in readers {
-            add(c as usize, 0, len);
+    for v in 0..nv {
+        if vflags[v] & 1 == 0 {
+            continue;
+        }
+        for w in 0..words {
+            let mut mask = reader_mask[v * words + w];
+            while mask != 0 {
+                let c = w * 64 + mask.trailing_zeros() as usize;
+                add(c, 0, len);
+                mask &= mask - 1;
+            }
         }
     }
 
     let mut peak = vec![0_u32; nc];
-    for c in 0..nc {
+    for (c, p) in peak.iter_mut().enumerate() {
         let mut cur = 0_i32;
-        for d in diff[c].iter().take(len) {
+        for d in diff[c * (len + 1)..].iter().take(len) {
             cur += d;
-            peak[c] = peak[c].max(u32::try_from(cur.max(0)).expect("non-negative"));
+            *p = (*p).max(u32::try_from(cur.max(0)).expect("non-negative"));
         }
     }
     peak

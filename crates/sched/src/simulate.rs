@@ -282,26 +282,27 @@ fn validate_resources(result: &CompileResult, machine: &MachineResources) -> Res
     let code = &result.assignment.code;
     let nc = machine.cluster_count();
     let len = result.schedule.length as usize;
-    let mut alu = vec![vec![0_u32; nc]; len];
-    let mut mul = vec![vec![0_u32; nc]; len];
-    let mut branch = vec![vec![0_u32; nc]; len];
-    let mut mem_busy: Vec<Vec<Vec<u32>>> = vec![vec![vec![0; nc]; len]; 2];
+    // One flat `len × nc` occupancy table per resource (row = cycle).
+    let mut alu = vec![0_u32; len * nc];
+    let mut mul = vec![0_u32; len * nc];
+    let mut branch = vec![0_u32; len * nc];
+    let mut mem_busy = [vec![0_u32; len * nc], vec![0_u32; len * nc]];
 
     for (i, op) in code.ops.iter().enumerate() {
         let p = result.schedule.placements[i];
         let (t, c) = (p.cycle as usize, p.cluster as usize);
         match op.class {
-            FuClass::Alu => alu[t][c] += 1,
+            FuClass::Alu => alu[t * nc + c] += 1,
             FuClass::Mul => {
-                alu[t][c] += 1;
-                mul[t][c] += 1;
+                alu[t * nc + c] += 1;
+                mul[t * nc + c] += 1;
             }
-            FuClass::Branch => branch[t][c] += 1,
+            FuClass::Branch => branch[t * nc + c] += 1,
             FuClass::Mem(level) => {
                 let li = usize::from(level == MemLevel::L2);
                 for dt in 0..(op.latency as usize) {
                     if t + dt < len {
-                        mem_busy[li][t + dt][c] += 1;
+                        mem_busy[li][(t + dt) * nc + c] += 1;
                     }
                 }
             }
@@ -315,19 +316,19 @@ fn validate_resources(result: &CompileResult, machine: &MachineResources) -> Res
                 cluster: u32::try_from(c).expect("small"),
                 what,
             };
-            if alu[t][c] > cl.alus {
+            if alu[t * nc + c] > cl.alus {
                 return Err(over("ALU slots"));
             }
-            if mul[t][c] > cl.mul_capable {
+            if mul[t * nc + c] > cl.mul_capable {
                 return Err(over("IMUL slots"));
             }
-            if branch[t][c] > u32::from(cl.has_branch) {
+            if branch[t * nc + c] > u32::from(cl.has_branch) {
                 return Err(over("branch unit"));
             }
-            if mem_busy[0][t][c] > cl.l1_ports {
+            if mem_busy[0][t * nc + c] > cl.l1_ports {
                 return Err(over("L1 ports"));
             }
-            if mem_busy[1][t][c] > cl.l2_ports {
+            if mem_busy[1][t * nc + c] > cl.l2_ports {
                 return Err(over("L2 ports"));
             }
         }

@@ -51,7 +51,7 @@ fn slice() -> Vec<ArchSpec> {
 /// runs are deterministic, so they differ only in OS noise). With a
 /// checkpoint attached there is exactly one rep: re-running against a
 /// now-complete journal would only measure the replay.
-fn run(reuse: bool, checkpoint: Option<Checkpoint>) -> (Exploration, f64) {
+fn run(reuse: bool, checkpoint: Option<Checkpoint>, threads: usize) -> (Exploration, f64) {
     const REPS: usize = 3;
     let reps = if checkpoint.is_some() { 1 } else { REPS };
     let cfg = ExploreConfig {
@@ -63,6 +63,7 @@ fn run(reuse: bool, checkpoint: Option<Checkpoint>) -> (Exploration, f64) {
             Benchmark::G,
             Benchmark::H,
         ],
+        threads,
         reuse,
         checkpoint,
         ..ExploreConfig::default()
@@ -89,8 +90,8 @@ fn stats_json(s: &RunStats) -> String {
     format!(
         "{{\"compilations\": {}, \"cache_hits\": {}, \"unique_schedules\": {}, \
          \"unique_plans\": {}, \"architectures\": {}, \"failed_units\": {}, \
-         \"fuel_exhausted\": {}, \"resumed_units\": {}, \"plan_wall_s\": {:.4}, \
-         \"eval_wall_s\": {:.4}, \"wall_s\": {:.4}}}",
+         \"fuel_exhausted\": {}, \"resumed_units\": {}, \"ii_attempts\": {}, \
+         \"plan_wall_s\": {:.4}, \"eval_wall_s\": {:.4}, \"wall_s\": {:.4}}}",
         s.compilations,
         s.cache_hits,
         s.unique_schedules,
@@ -99,6 +100,7 @@ fn stats_json(s: &RunStats) -> String {
         s.failed_units,
         s.fuel_exhausted,
         s.resumed_units,
+        s.ii_attempts,
         s.plan_wall.as_secs_f64(),
         s.eval_wall.as_secs_f64(),
         s.wall.as_secs_f64()
@@ -149,19 +151,28 @@ fn main() {
         let _ = Exploration::run(&warm);
     }
 
-    eprintln!("running exploration with compile reuse disabled...");
-    let (off, off_s) = run(false, None);
+    // The comparable rows are measured single-threaded: wall-clock on
+    // one worker is exactly the scheduling work done, so the reuse
+    // speedup is not confounded by core count or scheduler contention.
+    eprintln!("running exploration with compile reuse disabled (1 thread)...");
+    let (off, off_s) = run(false, None, 1);
     eprintln!("  {:.2}s ({} compilations)", off_s, off.stats.compilations);
-    eprintln!("running the same exploration with compile reuse enabled...");
+    eprintln!("running the same exploration with compile reuse enabled (1 thread)...");
     // The journal (if any) is attached to the reuse-on run only. The
     // fingerprint deliberately ignores `reuse` (it cannot change
     // results), so one journal would satisfy both runs — and the second
     // would silently replay instead of measuring anything.
-    let (on, on_s) = run(true, checkpoint);
+    let (on, on_s) = run(true, checkpoint, 1);
     eprintln!(
         "  {:.2}s ({} compilations, {} cache hits, {} unique schedules)",
         on_s, on.stats.compilations, on.stats.cache_hits, on.stats.unique_schedules
     );
+    // One more reuse-on row at the machine's full parallelism, so the
+    // report also shows what the thread pool adds on this hardware.
+    let par_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!("running the reuse-enabled exploration on {par_threads} threads...");
+    let (par, par_s) = run(true, None, par_threads);
+    eprintln!("  {par_s:.2}s");
     if on.stats.resumed_units > 0 {
         eprintln!(
             "  ({} units replayed from the checkpoint journal — wall-clock \
@@ -170,13 +181,21 @@ fn main() {
         );
     }
 
-    // The two runs must agree exactly — the cache is pure reuse.
+    // All three runs must agree exactly — the cache is pure reuse, and
+    // threading only changes who computes what first.
     assert_eq!(off.stats.compilations, on.stats.compilations);
+    assert_eq!(off.stats.compilations, par.stats.compilations);
     for a in 0..off.archs.len() {
         assert_eq!(
             off.speedup_row(a),
             on.speedup_row(a),
             "{}",
+            off.archs[a].spec
+        );
+        assert_eq!(
+            off.speedup_row(a),
+            par.speedup_row(a),
+            "{} (parallel)",
             off.archs[a].spec
         );
     }
@@ -185,17 +204,19 @@ fn main() {
     let eval_speedup = off.stats.eval_wall.as_secs_f64() / on.stats.eval_wall.as_secs_f64();
     let json = format!(
         "{{\n  \"benchmark\": \"multi-register-size exploration ({} architectures x {} benchmarks)\",\n  \
-           \"threads\": {},\n  \
+           \"threads\": 1,\n  \
            \"reuse_off\": {},\n  \"reuse_on\": {},\n  \
            \"wall_speedup\": {:.2},\n  \"eval_speedup\": {:.2},\n  \
+           \"threads_parallel\": {},\n  \"reuse_on_parallel\": {},\n  \
            \"results_identical\": true\n}}\n",
         off.stats.architectures,
         off.benches.len(),
-        std::thread::available_parallelism().map_or(1, |n| n.get()),
         stats_json(&off.stats),
         stats_json(&on.stats),
         speedup,
-        eval_speedup
+        eval_speedup,
+        par_threads,
+        stats_json(&par.stats),
     );
     std::fs::write(&out, &json).expect("write benchmark report");
     println!("wall-clock speedup from compile reuse: {speedup:.2}x (evaluation phase: {eval_speedup:.2}x)");

@@ -1,0 +1,521 @@
+//! The scheduler's data-structure engineering must be invisible: the
+//! CSR dependence graph, the sorted packed-key ready list, the bitmask
+//! reservation rows, and the modulo scheduler's II-skip bound are all
+//! pure representation changes. This suite pins them to the
+//! straightforward implementations they replaced:
+//!
+//! 1. an in-test *oracle* list scheduler — the original `Vec`-based
+//!    ready list, per-port free-at vectors, and counter-based issue
+//!    slots, transcribed verbatim — must produce the same schedule AND
+//!    the same fuel trace (`Fuel::spent`, exhaustion verdicts at tight
+//!    budgets, `SchedCore::steps`) as the production path on real
+//!    kernels across a stratified architecture sample;
+//! 2. an oracle modulo scheduler running the original full II search
+//!    (no infeasible-II skipping) must reach the same `(ii, slots, mii)`
+//!    — evidence the capacity bound only ever skips IIs that could not
+//!    have been scheduled anyway;
+//! 3. the CSR graph round-trips through its flat edge list on seeded
+//!    random DAGs, and both adjacency views agree edge for edge.
+
+mod common;
+
+use cfp_testkit::cases;
+use custom_fit::machine::{ArchSpec, MachineResources, MemLevel};
+use custom_fit::prelude::Benchmark;
+use custom_fit::sched::cluster::assign;
+use custom_fit::sched::{
+    omega_deps, prepare, rec_mii, res_mii, try_compile_core_in, try_modulo_schedule_in,
+    try_schedule_in, Assignment, Ddg, Dep, DepKind, FuClass, Fuel, OmegaDep, Placement, Priority,
+    SOp, SchedError, SchedScratch, Schedule,
+};
+
+/// The old scheduler's hard cycle cap (unchanged in the rewrite).
+const MAX_CYCLES: u32 = 1 << 20;
+
+/// The original list scheduler, transcribed from the pre-rewrite source:
+/// one flat ready list re-sorted every cycle, per-cluster counter issue
+/// slots, per-port free-at vectors, and the re-scan-until-quiescent
+/// inner loop whose scans price the fuel. Only the dependence-graph
+/// accessors changed spelling (`ddg.preds[i]` → `ddg.pred_count(i)`).
+fn oracle_schedule_with_fuel(
+    assignment: &Assignment,
+    ddg: &Ddg,
+    machine: &MachineResources,
+    priority: Priority,
+    fuel: &mut Fuel,
+) -> Result<Schedule, SchedError> {
+    let code = &assignment.code;
+    let n = code.ops.len();
+    let branch = code.branch_index();
+
+    let mut pending: Vec<usize> = (0..n).map(|i| ddg.pred_count(i) as usize).collect();
+    let mut earliest = vec![0_u32; n];
+    let mut issue = vec![u32::MAX; n];
+
+    let nc = machine.cluster_count();
+    let mut l1_ports: Vec<Vec<u32>> = (0..nc)
+        .map(|c| vec![0; machine.clusters[c].l1_ports as usize])
+        .collect();
+    let mut l2_ports: Vec<Vec<u32>> = (0..nc)
+        .map(|c| vec![0; machine.clusters[c].l2_ports as usize])
+        .collect();
+
+    let mut ready: Vec<usize> = (0..n).filter(|&i| pending[i] == 0 && i != branch).collect();
+    let mut scheduled = 0_usize;
+    let total_non_branch = n - 1;
+
+    let mut t = 0_u32;
+    while scheduled < total_non_branch {
+        if t >= MAX_CYCLES {
+            return Err(SchedError::CycleCapExceeded { cap: MAX_CYCLES });
+        }
+        match priority {
+            Priority::CriticalPath => {
+                ready.sort_by(|&a, &b| ddg.height[b].cmp(&ddg.height[a]).then(a.cmp(&b)));
+            }
+            Priority::SourceOrder => ready.sort_unstable(),
+        }
+        let mut alu_used = vec![0_u32; nc];
+        let mut mul_used = vec![0_u32; nc];
+        let mut issued_any = true;
+        while issued_any {
+            issued_any = false;
+            fuel.spend(1 + ready.len() as u64)?;
+            let mut next_ready = Vec::with_capacity(ready.len());
+            for &i in &ready {
+                if issue[i] != u32::MAX {
+                    continue;
+                }
+                if earliest[i] > t {
+                    next_ready.push(i);
+                    continue;
+                }
+                let c = assignment.cluster_of_op[i] as usize;
+                let ok = match code.ops[i].class {
+                    FuClass::Alu => {
+                        if alu_used[c] < machine.clusters[c].alus {
+                            alu_used[c] += 1;
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    FuClass::Mul => {
+                        if alu_used[c] < machine.clusters[c].alus
+                            && mul_used[c] < machine.clusters[c].mul_capable
+                        {
+                            alu_used[c] += 1;
+                            mul_used[c] += 1;
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    FuClass::Mem(level) => {
+                        let ports = match level {
+                            MemLevel::L1 => &mut l1_ports[c],
+                            MemLevel::L2 => &mut l2_ports[c],
+                        };
+                        match ports.iter_mut().find(|free_at| **free_at <= t) {
+                            Some(slot) => {
+                                *slot = t + code.ops[i].latency;
+                                true
+                            }
+                            None => false,
+                        }
+                    }
+                    FuClass::Branch => false,
+                };
+                if ok {
+                    issue[i] = t;
+                    scheduled += 1;
+                    issued_any = true;
+                    for d in ddg.succs(i) {
+                        let to = d.to as usize;
+                        pending[to] -= 1;
+                        earliest[to] = earliest[to].max(t + d.lat);
+                        if pending[to] == 0 && to != branch {
+                            next_ready.push(to);
+                        }
+                    }
+                } else {
+                    next_ready.push(i);
+                }
+            }
+            ready = next_ready;
+        }
+        t += 1;
+    }
+
+    let last_issue = issue
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != branch)
+        .map(|(_, &v)| v)
+        .max()
+        .unwrap_or(0);
+    issue[branch] = last_issue.max(earliest[branch]);
+
+    let mut length = issue[branch] + 1;
+    for (i, op) in code.ops.iter().enumerate() {
+        length = length.max(issue[i] + op.latency.max(1));
+    }
+
+    let placements = (0..n)
+        .map(|i| Placement {
+            cycle: issue[i],
+            cluster: assignment.cluster_of_op[i],
+        })
+        .collect();
+    Ok(Schedule { placements, length })
+}
+
+/// The original two-heuristic portfolio.
+fn oracle_try_schedule(
+    assignment: &Assignment,
+    ddg: &Ddg,
+    machine: &MachineResources,
+    fuel: &mut Fuel,
+) -> Result<Schedule, SchedError> {
+    let cp = oracle_schedule_with_fuel(assignment, ddg, machine, Priority::CriticalPath, fuel)?;
+    let so = oracle_schedule_with_fuel(assignment, ddg, machine, Priority::SourceOrder, fuel)?;
+    Ok(if so.length < cp.length { so } else { cp })
+}
+
+/// The equivalence corpus: every table benchmark (optimized) on a
+/// stratified spread of machines, plus the unroll-2 bodies on two of
+/// them (bigger ready lists, same invariants). Debug-build friendly.
+fn corpus() -> (Vec<custom_fit::ir::Kernel>, Vec<ArchSpec>) {
+    let kernels: Vec<_> = Benchmark::ALL
+        .iter()
+        .map(|b| {
+            let mut k = b.kernel();
+            custom_fit::opt::optimize(&mut k);
+            k
+        })
+        .collect();
+    let specs = [
+        (1_u32, 1_u32, 64_u32, 1_u32, 8_u32, 1_u32),
+        (2, 1, 64, 1, 4, 1),
+        (4, 2, 128, 1, 4, 2),
+        (8, 4, 256, 2, 4, 2),
+        (16, 4, 128, 1, 4, 8),
+        (16, 8, 512, 4, 2, 4),
+    ];
+    let specs = specs
+        .into_iter()
+        .filter_map(|(a, m, r, p2, l2, c)| ArchSpec::new(a, m, r, p2, l2, c).ok())
+        .collect();
+    (kernels, specs)
+}
+
+#[test]
+fn list_scheduler_matches_the_oracle_in_schedule_and_fuel() {
+    let (kernels, specs) = corpus();
+    let mut scratch = SchedScratch::new();
+    let mut checked = 0;
+    for spec in &specs {
+        let machine = MachineResources::from_spec(spec);
+        for (ki, kernel) in kernels.iter().enumerate() {
+            for unroll in [1_u32, 2] {
+                if unroll == 2 && checked % 3 != 0 {
+                    continue; // unroll-2 on a third of the units: slower, same logic
+                }
+                let k = if unroll == 1 {
+                    kernel.clone()
+                } else {
+                    custom_fit::opt::unroll::unroll(kernel, 2)
+                };
+                let prepared = prepare(&k, &machine);
+                let assignment = assign(&prepared.code, &prepared.ddg, &machine);
+                let ddg = Ddg::build(&assignment.code);
+
+                let mut oracle_fuel = Fuel::unlimited();
+                let oracle = oracle_try_schedule(&assignment, &ddg, &machine, &mut oracle_fuel)
+                    .expect("unlimited fuel");
+                let mut new_fuel = Fuel::unlimited();
+                let new = try_schedule_in(&assignment, &ddg, &machine, &mut new_fuel, &mut scratch)
+                    .expect("unlimited fuel");
+
+                assert_eq!(new, oracle, "{spec} kernel {ki} x{unroll}");
+                assert_eq!(
+                    new_fuel.spent(),
+                    oracle_fuel.spent(),
+                    "{spec} kernel {ki} x{unroll}: fuel must price the same semantic events"
+                );
+
+                // `SchedCore::steps` is exactly the list scheduler's fuel.
+                let core =
+                    try_compile_core_in(&prepared, &machine, &mut Fuel::unlimited(), &mut scratch)
+                        .expect("unlimited fuel");
+                assert_eq!(core.steps, new_fuel.spent(), "{spec} kernel {ki} x{unroll}");
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked > 40, "corpus unexpectedly small ({checked} units)");
+}
+
+#[test]
+fn fuel_exhaustion_verdicts_are_identical_at_tight_budgets() {
+    let (kernels, specs) = corpus();
+    let mut scratch = SchedScratch::new();
+    for spec in specs.iter().take(3) {
+        let machine = MachineResources::from_spec(spec);
+        for (ki, kernel) in kernels.iter().enumerate() {
+            let prepared = prepare(kernel, &machine);
+            let assignment = assign(&prepared.code, &prepared.ddg, &machine);
+            let ddg = Ddg::build(&assignment.code);
+            let mut full = Fuel::unlimited();
+            let reference = try_schedule_in(&assignment, &ddg, &machine, &mut full, &mut scratch)
+                .expect("unlimited fuel");
+            let spent = full.spent();
+
+            for budget in [1, spent / 2, spent - 1, spent] {
+                let mut of = Fuel::limited(budget);
+                let o = oracle_try_schedule(&assignment, &ddg, &machine, &mut of);
+                let mut nf = Fuel::limited(budget);
+                let n = try_schedule_in(&assignment, &ddg, &machine, &mut nf, &mut scratch);
+                assert_eq!(o, n, "{spec} kernel {ki} budget {budget}/{spent}");
+                assert_eq!(
+                    of.spent(),
+                    nf.spent(),
+                    "{spec} kernel {ki} budget {budget}/{spent}"
+                );
+                if budget == spent {
+                    assert_eq!(n.expect("exact budget suffices"), reference);
+                }
+            }
+        }
+    }
+}
+
+/// The original modulo scheduler's full II search, transcribed from the
+/// pre-rewrite source: nested-`Vec` reservation tables and no
+/// infeasible-II skipping — every II from the lower bound up is
+/// attempted. Returns what the rewrite must reproduce.
+fn oracle_modulo(
+    assignment: &Assignment,
+    ddg: &Ddg,
+    machine: &MachineResources,
+    list_length: u32,
+) -> Option<(u32, Vec<u32>, u32)> {
+    struct Table {
+        ii: u32,
+        alu: Vec<Vec<u32>>,
+        mul: Vec<Vec<u32>>,
+        mem: Vec<[Vec<u32>; 2]>,
+        branch: Vec<u32>,
+    }
+    impl Table {
+        fn fits(&self, op: &SOp, cluster: usize, slot: u32, m: &MachineResources) -> bool {
+            let s = (slot % self.ii) as usize;
+            let cl = &m.clusters[cluster];
+            match op.class {
+                FuClass::Alu => self.alu[cluster][s] < cl.alus,
+                FuClass::Mul => {
+                    self.alu[cluster][s] < cl.alus && self.mul[cluster][s] < cl.mul_capable
+                }
+                FuClass::Branch => self.branch[s] < u32::from(cl.has_branch),
+                FuClass::Mem(level) => {
+                    if op.latency > self.ii {
+                        return false;
+                    }
+                    let li = usize::from(level == MemLevel::L2);
+                    let ports = if li == 0 { cl.l1_ports } else { cl.l2_ports };
+                    (0..op.latency)
+                        .all(|dt| self.mem[cluster][li][((slot + dt) % self.ii) as usize] < ports)
+                }
+            }
+        }
+        fn take(&mut self, op: &SOp, cluster: usize, slot: u32) {
+            let s = (slot % self.ii) as usize;
+            match op.class {
+                FuClass::Alu => self.alu[cluster][s] += 1,
+                FuClass::Mul => {
+                    self.alu[cluster][s] += 1;
+                    self.mul[cluster][s] += 1;
+                }
+                FuClass::Branch => self.branch[s] += 1,
+                FuClass::Mem(level) => {
+                    let li = usize::from(level == MemLevel::L2);
+                    for dt in 0..op.latency {
+                        self.mem[cluster][li][((slot + dt) % self.ii) as usize] += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    let code = &assignment.code;
+    let n = code.ops.len();
+    let deps = omega_deps(code, ddg);
+    let max_lat = code.ops.iter().map(|o| o.latency).max().unwrap_or(1);
+    let mii = res_mii(code, assignment, machine)
+        .max(rec_mii(n, &deps, list_length))
+        .max(max_lat);
+
+    let intra_preds: Vec<Vec<&OmegaDep>> = {
+        let mut v: Vec<Vec<&OmegaDep>> = vec![Vec::new(); n];
+        for d in &deps {
+            if d.omega == 0 {
+                v[d.to].push(d);
+            }
+        }
+        v
+    };
+
+    'outer: for ii in mii..=(4 * list_length.max(mii)) {
+        let z = vec![0_u32; ii as usize];
+        let nc = machine.cluster_count();
+        let mut table = Table {
+            ii,
+            alu: vec![z.clone(); nc],
+            mul: vec![z.clone(); nc],
+            mem: (0..nc).map(|_| [z.clone(), z.clone()]).collect(),
+            branch: z,
+        };
+        let mut slots = vec![u32::MAX; n];
+        for (i, op) in code.ops.iter().enumerate() {
+            let cluster = assignment.cluster_of_op[i] as usize;
+            let est = intra_preds[i]
+                .iter()
+                .map(|d| slots[d.from].saturating_add(d.lat))
+                .max()
+                .unwrap_or(0);
+            let mut placed = false;
+            // `est` saturates at `u32::MAX` when an intra predecessor
+            // with a higher index (an inserted move) is unplaced; the
+            // empty range fails the II, as the original did in release.
+            for slot in est..est.saturating_add(ii) {
+                if table.fits(op, cluster, slot, machine) {
+                    table.take(op, cluster, slot);
+                    slots[i] = slot;
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                continue 'outer;
+            }
+        }
+        let ok = deps.iter().all(|d| {
+            i64::from(slots[d.to])
+                >= i64::from(slots[d.from]) + i64::from(d.lat) - i64::from(ii) * i64::from(d.omega)
+        });
+        if !ok {
+            continue;
+        }
+        return Some((ii, slots, mii));
+    }
+    None
+}
+
+#[test]
+fn modulo_ii_skipping_reaches_the_oracles_exact_schedule() {
+    let (kernels, specs) = corpus();
+    let mut scratch = SchedScratch::new();
+    let mut pipelined = 0;
+    for spec in &specs {
+        let machine = MachineResources::from_spec(spec);
+        for (ki, kernel) in kernels.iter().enumerate() {
+            let prepared = prepare(kernel, &machine);
+            let core =
+                try_compile_core_in(&prepared, &machine, &mut Fuel::unlimited(), &mut scratch)
+                    .expect("unlimited fuel");
+            let ddg = Ddg::build_in(&core.assignment.code, &mut scratch);
+            let new = try_modulo_schedule_in(
+                &core.assignment,
+                &ddg,
+                &machine,
+                core.length,
+                &mut Fuel::unlimited(),
+                &mut scratch,
+            )
+            .expect("unlimited fuel");
+            let oracle = oracle_modulo(&core.assignment, &ddg, &machine, core.length);
+            match (new, oracle) {
+                (Some(ms), Some((ii, slots, mii))) => {
+                    assert_eq!(ms.ii, ii, "{spec} kernel {ki}");
+                    assert_eq!(ms.slots, slots, "{spec} kernel {ki}");
+                    assert_eq!(ms.mii, mii, "{spec} kernel {ki}");
+                    // Skipping can only shrink the attempt count, never
+                    // change which II succeeds.
+                    assert!(
+                        ms.ii_attempts >= 1 && ms.mii + ms.ii_attempts > ms.ii,
+                        "{spec} kernel {ki}: {} attempts cannot reach II {} from {}",
+                        ms.ii_attempts,
+                        ms.ii,
+                        ms.mii
+                    );
+                    pipelined += 1;
+                }
+                (None, None) => {}
+                (new, oracle) => panic!(
+                    "{spec} kernel {ki}: feasibility disagrees (new {:?}, oracle {:?})",
+                    new.map(|m| m.ii),
+                    oracle.map(|o| o.0)
+                ),
+            }
+        }
+    }
+    assert!(pipelined > 5, "too few pipelined units ({pipelined})");
+}
+
+#[test]
+fn csr_ddg_round_trips_through_its_edge_list() {
+    cases(0xDD60_0001, 60, |rng| {
+        let n = 2 + rng.index(30);
+        let latencies: Vec<u32> = (0..n).map(|_| rng.range_u32(1..=8)).collect();
+        let kinds = [
+            DepKind::RegRaw,
+            DepKind::MemRaw,
+            DepKind::MemWar,
+            DepKind::MemWaw,
+        ];
+        // Forward edges only, so the random graph is a DAG by
+        // construction.
+        let mut edges = Vec::new();
+        for from in 0..n {
+            for to in (from + 1)..n {
+                if rng.below(4) == 0 {
+                    edges.push(Dep {
+                        from: from as u32,
+                        to: to as u32,
+                        lat: rng.range_u32(1..=8),
+                        kind: *rng.pick(&kinds),
+                    });
+                }
+            }
+        }
+        let g = Ddg::from_edges(&latencies, &edges);
+        assert_eq!(g.op_count(), n);
+
+        // Round trip: the flat edge list rebuilds the identical graph.
+        let again = Ddg::from_edges(&latencies, g.edges());
+        assert_eq!(g, again);
+
+        // Both adjacency views hold every edge exactly once, and the
+        // pred view groups them by consumer in input order (the order
+        // the old nested-`Vec` representation flattened to).
+        assert_eq!(g.edges().len(), edges.len());
+        let mut expected = edges.clone();
+        expected.sort_by_key(|d| d.to); // stable: input order within a group
+        assert_eq!(g.edges(), expected.as_slice());
+        let mut from_succs: Vec<Dep> = (0..n).flat_map(|i| g.succs(i).iter().copied()).collect();
+        let mut all = edges.clone();
+        let key = |d: &Dep| (d.from, d.to, d.lat);
+        from_succs.sort_by_key(key);
+        all.sort_by_key(key);
+        assert_eq!(from_succs, all);
+        for i in 0..n {
+            assert_eq!(g.pred_count(i) as usize, g.preds(i).len());
+            for d in g.preds(i) {
+                assert_eq!(d.to as usize, i);
+            }
+            for d in g.succs(i) {
+                assert_eq!(d.from as usize, i);
+            }
+        }
+    });
+}
