@@ -21,7 +21,7 @@ use cfp_dse::Checkpoint;
 use cfp_kernels::Benchmark;
 
 const USAGE: &str =
-    "usage: exhibits [table1..table10 | figure1..figure4 | search | correction | codesize | pipelining | priority | spill | all]... [--fast] [--csv] [--save FILE] [--load FILE] [--checkpoint FILE [--resume]]";
+    "usage: exhibits [table1..table10 | figure1..figure4 | search | correction | codesize | pipelining | priority | spill | all]... [--fast] [--csv] [--extended] [--mdes-dump SPEC] [--save FILE] [--load FILE] [--checkpoint FILE [--resume]]";
 
 fn value_after(args: &[String], flag: &str) -> Option<String> {
     args.iter()
@@ -47,6 +47,19 @@ fn main() {
         eprintln!("error: --resume needs --checkpoint FILE\n{USAGE}");
         std::process::exit(2);
     }
+
+    // `--mdes-dump SPEC`: print the derived machine description and be
+    // done (composable with other exhibits, but needs no exploration).
+    let mdes_dump = value_after(&args, "--mdes-dump").map(|s| {
+        let spec = cfp_machine::ArchSpec::parse(&s).unwrap_or_else(|e| {
+            eprintln!("error: bad spec `{s}`: {e}\n{USAGE}");
+            std::process::exit(2);
+        });
+        exhibits::mdes_dump(&spec)
+    });
+    // `--extended`: explore the pipelined-L2 extended space too.
+    let extended = args.iter().any(|a| a == "--extended");
+
     let mut skip_next = false;
     let mut wanted: Vec<String> = args
         .iter()
@@ -55,7 +68,7 @@ fn main() {
                 skip_next = false;
                 return false;
             }
-            if *a == "--save" || *a == "--load" || *a == "--checkpoint" {
+            if *a == "--save" || *a == "--load" || *a == "--checkpoint" || *a == "--mdes-dump" {
                 skip_next = true;
                 return false;
             }
@@ -63,6 +76,16 @@ fn main() {
         })
         .cloned()
         .collect();
+    if let Some(dump) = &mdes_dump {
+        println!("{dump}\n");
+    }
+    if wanted.is_empty() && (mdes_dump.is_some() || extended) {
+        // The flag-only invocations stand alone; don't pull in `all`.
+        if extended {
+            println!("{}\n", exhibits::extended_axis(&exhibits::extended_exploration(fast)));
+        }
+        return;
+    }
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
         wanted = (1..=10)
             .map(|n| format!("table{n}"))
@@ -76,6 +99,9 @@ fn main() {
                 "spill".to_owned(),
             ])
             .collect();
+    }
+    if extended && !wanted.iter().any(|w| w == "extended") {
+        wanted.push("extended".to_owned());
     }
 
     let needs_exploration = wanted.iter().any(|w| {
@@ -150,6 +176,7 @@ fn main() {
             "pipelining" => exhibits::extension_pipelining(),
             "priority" => exhibits::extension_priority(),
             "spill" => exhibits::extension_spill(),
+            "extended" => exhibits::extended_axis(&exhibits::extended_exploration(fast)),
             "figure1" => exhibits::figure1(),
             "figure2" => exhibits::figure2(),
             "figure3" => {

@@ -594,6 +594,139 @@ pub fn extension_spill() -> String {
     )
 }
 
+/// Pretty-print the machine description derived for one spec — the
+/// payload of `exhibits --mdes-dump SPEC`. Everything the scheduler,
+/// simulator, and cost models read about a machine is in this dump;
+/// nothing they read is anywhere else.
+#[must_use]
+pub fn mdes_dump(spec: &ArchSpec) -> String {
+    format!(
+        "Machine description for {spec} (derived from the spec, not authored)\n\n{}",
+        cfp_machine::Mdes::from_spec(spec).render()
+    )
+}
+
+/// The exploration behind `exhibits --extended`: the paper space doubled
+/// with pipelined-Level-2 mirrors ([`DesignSpace::extended`]). `fast`
+/// samples every 8th base point (the sampling keeps sibling pairs —
+/// the mirrors sit at a fixed offset, so a sampled point's mirror is
+/// sampled too).
+#[must_use]
+pub fn extended_exploration(fast: bool) -> Exploration {
+    let space = DesignSpace::extended();
+    let step = if fast { 8 } else { 1 };
+    let archs: Vec<ArchSpec> = space
+        .base_points()
+        .iter()
+        .step_by(step)
+        .flat_map(|b| {
+            DesignSpace::cluster_options(b).into_iter().map(|c| {
+                let mut s = *b;
+                s.clusters = c;
+                s
+            })
+        })
+        .collect();
+    Exploration::run(&ExploreConfig {
+        archs,
+        benches: Benchmark::TABLE_COLUMNS.to_vec(),
+        ..ExploreConfig::default()
+    })
+}
+
+/// Table 3-style accounting for the extended-axis run, plus what the
+/// new axis bought: each pipelined-L2 architecture is paired with its
+/// non-pipelined sibling and compared on the paper's `su` (harmonic-mean
+/// speedup). Adding the axis touched only the machine description — the
+/// scheduler consumes it through the derived reservation table, so the
+/// sweep below exercises the same scheduler binary the paper space uses.
+#[must_use]
+pub fn extended_axis(ex: &Exploration) -> String {
+    let su = |a: usize| Exploration::harmonic_mean(&ex.speedup_row(a));
+    let pipelined = ex.archs.iter().filter(|a| a.spec.l2_pipelined).count();
+    let best = |want_pipelined: bool| {
+        (0..ex.archs.len())
+            .filter(|&a| ex.archs[a].spec.l2_pipelined == want_pipelined)
+            .map(|a| (su(a), a))
+            .max_by(|x, y| x.0.total_cmp(&y.0))
+    };
+    // Sibling pairs: identical spec up to the pipelining flag.
+    let mut wins = 0_usize;
+    let mut pairs = 0_usize;
+    let mut ratio_sum = 0.0_f64;
+    for (pi, p) in ex.archs.iter().enumerate() {
+        if !p.spec.l2_pipelined {
+            continue;
+        }
+        let mut plain = p.spec;
+        plain.l2_pipelined = false;
+        let Some(si) = ex.archs.iter().position(|a| a.spec == plain) else {
+            continue;
+        };
+        let (sp, ss) = (su(pi), su(si));
+        if sp.is_finite() && ss.is_finite() && ss > 0.0 {
+            pairs += 1;
+            ratio_sum += sp / ss;
+            if sp > ss {
+                wins += 1;
+            }
+        }
+    }
+    let mut t = TextTable::new(["quantity", "extended run", "paper (HP 9000/770)"]);
+    t.row([
+        "# architectures".to_owned(),
+        format!("{} ({pipelined} with pipelined L2)", ex.archs.len()),
+        "191 (axis not explored)".to_owned(),
+    ]);
+    t.row([
+        "# runs (compilations)".to_owned(),
+        ex.stats.compilations.to_string(),
+        "5730".to_owned(),
+    ]);
+    t.row([
+        "total time".to_owned(),
+        format!("{:.0}s", ex.stats.wall.as_secs_f64()),
+        "171449s (48 h)".to_owned(),
+    ]);
+    if let Some((s, a)) = best(false) {
+        t.row([
+            "best su, non-pipelined L2".to_owned(),
+            format!("{s:.2} at {}", ex.archs[a].spec),
+            "n/a".to_owned(),
+        ]);
+    }
+    if let Some((s, a)) = best(true) {
+        t.row([
+            "best su, pipelined L2".to_owned(),
+            format!("{s:.2} at {}", ex.archs[a].spec),
+            "n/a".to_owned(),
+        ]);
+    }
+    t.row([
+        "sibling pairs pipelining wins".to_owned(),
+        format!("{wins} / {pairs}"),
+        "n/a".to_owned(),
+    ]);
+    t.row([
+        "mean su gain from pipelining".to_owned(),
+        format!(
+            "{:.3}x",
+            if pairs > 0 {
+                ratio_sum / pairs as f64
+            } else {
+                f64::NAN
+            }
+        ),
+        "n/a".to_owned(),
+    ]);
+    format!(
+        "Extended axis: pipelined vs non-pipelined Level-2 ports (Table 3-style;
+         the axis exists only in the machine description — `p` marks pipelined
+         specs, e.g. (8 4 256 2 8p 2))
+{t}"
+    )
+}
+
 /// The exploration every speedup exhibit is computed from.
 #[must_use]
 pub fn run_exploration(fast: bool) -> Exploration {

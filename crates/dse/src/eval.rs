@@ -148,10 +148,13 @@ impl PlanCache {
 /// scratch arena plus the most recent machine lowering. One of these per
 /// worker thread makes the sweep's steady state allocation-free —
 /// consecutive units on a worker reuse every scheduling buffer, and the
-/// [`MachineResources`] lowering (a per-cluster `Vec`) is rebuilt only
-/// when the architecture actually changes between units, which the
-/// row-major unit order makes rare (each architecture's benchmarks run
-/// back to back).
+/// lowered machine description ([`MachineResources`] with its embedded
+/// [`cfp_machine::Mdes`], per-cluster `Vec`s both) is memoized at the
+/// *scheduling-signature* level: a spec that differs from the previous
+/// unit only in register-file size — the exploration's row-major unit
+/// order walks the register axis innermost, so this is the common
+/// transition — re-deals the register fields in place instead of
+/// rebuilding the lowering.
 #[derive(Debug, Default)]
 pub struct EvalScratch {
     machine: Option<(ArchSpec, MachineResources)>,
@@ -170,8 +173,27 @@ impl EvalScratch {
     /// hold both borrows at once.
     fn machine_and_sched(&mut self, spec: &ArchSpec) -> (&MachineResources, &mut SchedScratch) {
         let EvalScratch { machine, sched } = self;
-        if machine.as_ref().is_none_or(|(s, _)| s != spec) {
-            *machine = None; // stale lowering: rebuild below
+        match machine {
+            Some((s, _)) if s == spec => {}
+            // Registers are the one axis outside the scheduling
+            // signature: same datapath, different bank size. Patch the
+            // dealt register fields (flat view and description agree on
+            // `regs / clusters`) — the result is exactly `from_spec`.
+            Some((s, m))
+                if {
+                    let mut sib = *s;
+                    sib.regs = spec.regs;
+                    sib == *spec
+                } =>
+            {
+                let per_cluster = spec.regs / spec.clusters;
+                for cl in &mut m.clusters {
+                    cl.regs = per_cluster;
+                }
+                m.mdes.retune_regs(spec.regs);
+                *s = *spec;
+            }
+            _ => *machine = Some((*spec, MachineResources::from_spec(spec))),
         }
         let m = &machine
             .get_or_insert_with(|| (*spec, MachineResources::from_spec(spec)))
@@ -512,6 +534,22 @@ mod tests {
             &cache,
         );
         assert!(out.unroll > 1, "{out:?}");
+    }
+
+    #[test]
+    fn regs_only_siblings_patch_the_lowering_exactly() {
+        // The signature-level memo's in-place register re-deal must be
+        // indistinguishable from a fresh lowering.
+        let mut scratch = EvalScratch::new();
+        let a = ArchSpec::new(8, 4, 128, 2, 4, 4).unwrap();
+        let b = ArchSpec::new(8, 4, 512, 2, 4, 4).unwrap();
+        scratch.machine_and_sched(&a);
+        let (m, _) = scratch.machine_and_sched(&b);
+        assert_eq!(*m, MachineResources::from_spec(&b));
+        // A non-sibling (different cluster count) rebuilds, also exactly.
+        let c = ArchSpec::new(8, 4, 512, 2, 4, 2).unwrap();
+        let (m, _) = scratch.machine_and_sched(&c);
+        assert_eq!(*m, MachineResources::from_spec(&c));
     }
 
     #[test]

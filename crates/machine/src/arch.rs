@@ -27,6 +27,13 @@ pub struct ArchSpec {
     pub l2_latency: u32,
     /// Number of clusters (`c`).
     pub clusters: u32,
+    /// Whether Level-2 ports accept a new access every cycle. The
+    /// paper's space is entirely non-pipelined (`false`, the default);
+    /// the extended axis ([`crate::DesignSpace::extended`]) flips this.
+    /// Rendered as a `p` suffix on the `l2` field, e.g.
+    /// `(8 4 256 2 8p 2)`, so non-pipelined specs keep their exact
+    /// historical spelling (checkpoint fingerprints hash it).
+    pub l2_pipelined: bool,
 }
 
 /// Why an [`ArchSpec`] is malformed.
@@ -109,9 +116,21 @@ impl ArchSpec {
             l2_ports,
             l2_latency,
             clusters,
+            l2_pipelined: false,
         };
         spec.validate()?;
         Ok(spec)
+    }
+
+    /// The same datapath with pipelined Level-2 ports: each port
+    /// accepts a new access every cycle instead of staying busy for the
+    /// full `l2_latency`. Only the derived machine description changes
+    /// ([`crate::Mdes::from_spec`] reads this flag); nothing downstream
+    /// special-cases it.
+    #[must_use]
+    pub fn with_pipelined_l2(mut self) -> Self {
+        self.l2_pipelined = true;
+        self
     }
 
     /// The paper's baseline system (§3.2): 1 IMUL-capable ALU, 64
@@ -126,6 +145,7 @@ impl ArchSpec {
             l2_ports: 1,
             l2_latency: 8,
             clusters: 1,
+            l2_pipelined: false,
         }
     }
 
@@ -208,7 +228,9 @@ impl ArchSpec {
         3 * (self.alus / self.clusters) + 2 * self.total_mem_ports()
     }
 
-    /// Parse the paper's tuple syntax, e.g. `"(8 4 256 1 4 4)"`.
+    /// Parse the paper's tuple syntax, e.g. `"(8 4 256 1 4 4)"`. A `p`
+    /// suffix on the `l2` field (`"(8 4 256 1 4p 4)"`) marks pipelined
+    /// Level-2 ports, matching [`ArchSpec`]'s `Display`.
     ///
     /// # Errors
     /// Returns `None`-like `Err` with a message when the string is not a
@@ -219,27 +241,53 @@ impl ArchSpec {
             .strip_prefix('(')
             .and_then(|t| t.strip_suffix(')'))
             .ok_or_else(|| format!("expected (a m r p2 l2 c), got `{s}`"))?;
-        let nums: Vec<u32> = inner
-            .split_whitespace()
-            .map(|t| {
-                t.parse::<u32>()
-                    .map_err(|e| format!("bad number `{t}`: {e}"))
-            })
-            .collect::<Result<_, _>>()?;
-        let [a, m, r, p2, l2, c] = nums.as_slice() else {
-            return Err(format!("expected 6 fields, got {}", nums.len()));
+        let tokens: Vec<&str> = inner.split_whitespace().collect();
+        if tokens.len() != 6 {
+            return Err(format!("expected 6 fields, got {}", tokens.len()));
+        }
+        let l2_pipelined = tokens[4].ends_with('p');
+        let num = |t: &str| {
+            t.parse::<u32>()
+                .map_err(|e| format!("bad number `{t}`: {e}"))
         };
-        ArchSpec::new(*a, *m, *r, *p2, *l2, *c).map_err(|e| e.to_string())
+        let l2_tok = if l2_pipelined {
+            &tokens[4][..tokens[4].len() - 1]
+        } else {
+            tokens[4]
+        };
+        let spec = ArchSpec::new(
+            num(tokens[0])?,
+            num(tokens[1])?,
+            num(tokens[2])?,
+            num(tokens[3])?,
+            num(l2_tok)?,
+            num(tokens[5])?,
+        )
+        .map_err(|e| e.to_string())?;
+        Ok(if l2_pipelined {
+            spec.with_pipelined_l2()
+        } else {
+            spec
+        })
     }
 }
 
 impl fmt::Display for ArchSpec {
-    /// Formats in the paper's order: `(a m r p2 l2 c)`.
+    /// Formats in the paper's order: `(a m r p2 l2 c)`, with a `p`
+    /// suffix on `l2` when the Level-2 ports pipeline. Non-pipelined
+    /// specs render exactly as before the extended axis existed —
+    /// checkpoint fingerprints hash these strings.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "({} {} {} {} {} {})",
-            self.alus, self.muls, self.regs, self.l2_ports, self.l2_latency, self.clusters
+            "({} {} {} {} {}{} {})",
+            self.alus,
+            self.muls,
+            self.regs,
+            self.l2_ports,
+            self.l2_latency,
+            if self.l2_pipelined { "p" } else { "" },
+            self.clusters
         )
     }
 }
@@ -336,5 +384,16 @@ mod tests {
         assert!(ArchSpec::parse("(8 4 256 1 4)").is_err());
         assert!(ArchSpec::parse("(0 4 256 1 4 4)").is_err());
         assert!(ArchSpec::parse("(8 x 256 1 4 4)").is_err());
+    }
+
+    #[test]
+    fn pipelined_l2_round_trips_with_suffix() {
+        let a = ArchSpec::new(8, 4, 256, 1, 4, 4)
+            .unwrap()
+            .with_pipelined_l2();
+        assert_eq!(a.to_string(), "(8 4 256 1 4p 4)");
+        assert_eq!(ArchSpec::parse("(8 4 256 1 4p 4)").unwrap(), a);
+        assert_ne!(a, ArchSpec::new(8, 4, 256, 1, 4, 4).unwrap());
+        assert!(ArchSpec::parse("(8 4 256 1 p 4)").is_err());
     }
 }

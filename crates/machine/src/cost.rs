@@ -18,6 +18,7 @@
 
 use crate::arch::ArchSpec;
 use crate::calibrate;
+use crate::mdes::{Mdes, UnitClass};
 use std::sync::OnceLock;
 
 /// Computes architecture cost in baseline-relative units.
@@ -56,15 +57,18 @@ impl CostModel {
         CACHE.get_or_init(calibrate::fit_cost_model).clone()
     }
 
-    /// The raw (un-normalized) cost.
+    /// The raw (un-normalized) cost, computed from the derived machine
+    /// description's unit table (the same per-cluster counts the
+    /// scheduler sees).
     #[must_use]
     pub fn raw_cost(&self, spec: &ArchSpec) -> f64 {
+        let mdes = Mdes::from_spec(spec);
         let mut total = 0.0;
-        for sh in spec.cluster_shapes() {
-            let p = f64::from(sh.regfile_ports());
-            let y_reg = f64::from(sh.regs) * (self.k2 * p + self.k3);
-            let y_alu = self.k4 * f64::from(sh.alus);
-            let y_mul = self.k5 * f64::from(sh.muls);
+        for cl in mdes.clusters() {
+            let p = f64::from(cl.regfile_ports());
+            let y_reg = f64::from(cl.regs) * (self.k2 * p + self.k3);
+            let y_alu = self.k4 * f64::from(cl.count(UnitClass::Alu));
+            let y_mul = self.k5 * f64::from(cl.count(UnitClass::Mul));
             total += p * (y_reg + y_alu + y_mul);
         }
         total + self.k6 * f64::from(spec.clusters - 1)

@@ -9,6 +9,7 @@
 
 use crate::arch::ArchSpec;
 use crate::calibrate;
+use crate::mdes::Mdes;
 use std::sync::OnceLock;
 
 /// Computes the cycle-time derating factor of an architecture.
@@ -41,7 +42,9 @@ impl CycleModel {
     }
 
     fn raw_derate(&self, spec: &ArchSpec) -> f64 {
-        let p = f64::from(spec.cycle_ports());
+        // Port measure from the derived machine description (same value
+        // as `ArchSpec::cycle_ports`, sourced from the unit table).
+        let p = f64::from(Mdes::from_spec(spec).cycle_ports());
         self.alpha + self.beta * p * p
     }
 

@@ -17,9 +17,12 @@
 //!   are the table rows the paper printed);
 //! * [`DesignSpace`] — the exhaustive enumeration of candidate
 //!   architectures searched by the experiment (the paper's 191-point
-//!   space, §2.4);
+//!   space, §2.4), plus the pipelined-L2 extended space;
+//! * [`Mdes`] — the declarative machine description (op-class table,
+//!   unit table, reservation model) derived from an [`ArchSpec`]; the
+//!   single source of truth every downstream consumer reads;
 //! * [`MachineResources`] — the reservation-table view of an architecture
-//!   consumed by the `cfp-sched` list scheduler.
+//!   consumed by the `cfp-sched` list scheduler, wrapping an [`Mdes`].
 //!
 //! ```
 //! use cfp_machine::{ArchSpec, CostModel, CycleModel};
@@ -34,11 +37,17 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// The machine model is library code for a long-running sweep: fallible
+// paths must return typed errors, not panic. Justified exceptions
+// (static tables validated by tests, fits over fixed grids) carry a
+// local `#[allow]` with a comment.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod arch;
 pub mod calibrate;
 pub mod cost;
 pub mod cycle;
+pub mod mdes;
 pub mod paper;
 pub mod resources;
 pub mod signature;
@@ -47,6 +56,7 @@ pub mod space;
 pub use arch::{ArchError, ArchSpec, ClusterShape};
 pub use cost::CostModel;
 pub use cycle::CycleModel;
+pub use mdes::{ClusterUnits, Mdes, OpClass, OpDesc, UnitClass};
 pub use resources::{
     ClusterResources, MachineResources, MemLevel, ALU_LATENCY, BRANCH_LATENCY, L1_LATENCY,
     MUL_LATENCY,

@@ -1,23 +1,18 @@
 //! The reservation-table view of an architecture, as consumed by the
 //! list scheduler in `cfp-sched`.
 //!
-//! Latencies follow the paper's Table 4: every integer operation takes 1
-//! cycle except multiply (2 cycles, pipelined); Level-1 memory takes 3
-//! cycles non-pipelined; Level-2 memory takes the architecture's `l2`
-//! latency, non-pipelined. *Non-pipelined* means the memory port stays
-//! busy for the entire access, so a port sustains at most one access per
-//! `latency` cycles.
+//! All hardware facts — latencies, pipelining, unit counts — live in the
+//! embedded machine description ([`Mdes`], see [`crate::mdes`]); this
+//! module keeps the flat per-cluster view the scheduler's cluster
+//! assignment and register-pressure passes index directly, plus
+//! convenience accessors that read the description.
 
 use crate::arch::ArchSpec;
+use crate::mdes::{Mdes, OpClass, UnitClass};
 
-/// Latency of a plain ALU operation (cycles).
-pub const ALU_LATENCY: u32 = 1;
-/// Latency of an integer multiply (cycles, pipelined).
-pub const MUL_LATENCY: u32 = 2;
-/// Latency of a Level-1 memory access (cycles, non-pipelined).
-pub const L1_LATENCY: u32 = 3;
-/// Latency of the loop-closing branch (cycles).
-pub const BRANCH_LATENCY: u32 = 1;
+// Latency constants are declared by the machine description (the single
+// source of truth); re-exported here for back-compatibility.
+pub use crate::mdes::{ALU_LATENCY, BRANCH_LATENCY, L1_LATENCY, MUL_LATENCY};
 
 /// Which memory level an access targets. Mirrors `cfp_ir::MemSpace`
 /// without creating a dependency between the crates.
@@ -27,6 +22,17 @@ pub enum MemLevel {
     L1,
     /// Level-2 (local) memory.
     L2,
+}
+
+impl MemLevel {
+    /// The op class of an access to this level.
+    #[must_use]
+    pub fn op_class(self) -> OpClass {
+        match self {
+            MemLevel::L1 => OpClass::MemL1,
+            MemLevel::L2 => OpClass::MemL2,
+        }
+    }
 }
 
 /// One cluster's schedulable resources.
@@ -51,8 +57,10 @@ pub struct ClusterResources {
 pub struct MachineResources {
     /// Per-cluster resources; index = cluster id.
     pub clusters: Vec<ClusterResources>,
-    /// Level-2 access latency (cycles, non-pipelined).
+    /// Level-2 access latency (cycles).
     pub l2_latency: u32,
+    /// The machine description everything else is derived from.
+    pub mdes: Mdes,
 }
 
 impl MachineResources {
@@ -73,6 +81,7 @@ impl MachineResources {
         MachineResources {
             clusters,
             l2_latency: spec.l2_latency,
+            mdes: Mdes::from_spec(spec),
         }
     }
 
@@ -82,13 +91,23 @@ impl MachineResources {
         self.clusters.len()
     }
 
+    /// Result latency of an op class, from the machine description.
+    #[must_use]
+    pub fn latency(&self, class: OpClass) -> u32 {
+        self.mdes.latency(class)
+    }
+
+    /// Reservation duration of one issue of `class` (1 when the unit
+    /// pipelines, the full latency when it does not).
+    #[must_use]
+    pub fn reserved_cycles(&self, class: OpClass) -> u32 {
+        self.mdes.reserved_cycles(class)
+    }
+
     /// Latency of a memory access to the given level.
     #[must_use]
     pub fn mem_latency(&self, level: MemLevel) -> u32 {
-        match level {
-            MemLevel::L1 => L1_LATENCY,
-            MemLevel::L2 => self.l2_latency,
-        }
+        self.mdes.latency(level.op_class())
     }
 
     /// Memory ports of the given level on cluster `c`.
@@ -98,8 +117,8 @@ impl MachineResources {
     #[must_use]
     pub fn mem_ports(&self, c: usize, level: MemLevel) -> u32 {
         match level {
-            MemLevel::L1 => self.clusters[c].l1_ports,
-            MemLevel::L2 => self.clusters[c].l2_ports,
+            MemLevel::L1 => self.mdes.units(c, UnitClass::L1Port),
+            MemLevel::L2 => self.mdes.units(c, UnitClass::L2Port),
         }
     }
 
@@ -107,13 +126,13 @@ impl MachineResources {
     /// memory and branch slots).
     #[must_use]
     pub fn total_alus(&self) -> u32 {
-        self.clusters.iter().map(|c| c.alus).sum()
+        self.mdes.total_units(UnitClass::Alu)
     }
 
     /// Whether *any* cluster can issue a multiply.
     #[must_use]
     pub fn can_multiply(&self) -> bool {
-        self.clusters.iter().any(|c| c.mul_capable > 0)
+        self.mdes.total_units(UnitClass::Mul) > 0
     }
 }
 
@@ -146,5 +165,20 @@ mod tests {
         assert_eq!(r.mem_ports(2, MemLevel::L2), 0);
         assert_eq!(r.total_alus(), 8);
         assert_eq!(r.l2_latency, 4);
+    }
+
+    #[test]
+    fn flat_view_agrees_with_the_description() {
+        let spec = ArchSpec::new(16, 8, 512, 4, 2, 8).unwrap();
+        let r = MachineResources::from_spec(&spec);
+        for (j, cl) in r.clusters.iter().enumerate() {
+            assert_eq!(cl.alus, r.mdes.units(j, UnitClass::Alu));
+            assert_eq!(cl.mul_capable, r.mdes.units(j, UnitClass::Mul));
+            assert_eq!(cl.l1_ports, r.mdes.units(j, UnitClass::L1Port));
+            assert_eq!(cl.l2_ports, r.mdes.units(j, UnitClass::L2Port));
+            assert_eq!(u32::from(cl.has_branch), r.mdes.units(j, UnitClass::Branch));
+            assert_eq!(cl.regs, r.mdes.clusters()[j].regs);
+        }
+        assert_eq!(r.l2_latency, r.mdes.latency(OpClass::MemL2));
     }
 }

@@ -2,21 +2,23 @@
 //!
 //! The back end's phases — lowering, dependence graphs, cluster
 //! assignment, list scheduling, and the register-*pressure* computation —
-//! read only the machine's issue resources and latencies: per-cluster
-//! ALU/IMUL slots, memory-port placement, the branch unit, the cluster
-//! count, and the Level-2 latency. Register-file *size* enters the
-//! pipeline only at the very end, when peak pressure is compared against
-//! bank capacity. Two architectures that differ only in `r` therefore
-//! produce bit-identical schedules, and the paper's `r ∈ {64, 128, 256,
-//! 512}` sweep axis collapses to one compilation per signature.
+//! read only the machine description ([`crate::Mdes`]): op latencies,
+//! reservation semantics, and per-cluster unit counts. Register-file
+//! *size* enters the pipeline only at the very end, when peak pressure
+//! is compared against bank capacity. Two architectures that differ only
+//! in `r` therefore produce bit-identical schedules, and the paper's
+//! `r ∈ {64, 128, 256, 512}` sweep axis collapses to one compilation per
+//! signature.
 //!
 //! [`SchedSignature`] is the canonical key for that equivalence class.
-//! It is exactly [`ArchSpec`] minus `regs`: per-cluster shapes are a
-//! pure function of `(alus, muls, l2_ports, clusters)` (round-robin
-//! dealing, branch on cluster 0), so the five totals determine every
-//! quantity the scheduler reads.
+//! It is exactly [`ArchSpec`] minus `regs`, plus a content hash of the
+//! derived machine description: the tuple fields name the point in the
+//! design space, and `mdes_hash` pins everything the scheduler actually
+//! reads — so a future description axis that the tuple fields don't
+//! capture still splits the equivalence class correctly.
 
 use crate::arch::ArchSpec;
+use crate::mdes::Mdes;
 
 /// The schedule-relevant projection of an [`ArchSpec`].
 ///
@@ -36,11 +38,17 @@ pub struct SchedSignature {
     pub l2_latency: u32,
     /// Cluster count (`c`).
     pub clusters: u32,
+    /// Whether Level-2 ports pipeline (the extended axis).
+    pub l2_pipelined: bool,
+    /// FNV-1a hash of the derived [`Mdes`] content (op table + unit
+    /// counts, registers excluded) — see [`Mdes::content_hash`].
+    pub mdes_hash: u64,
 }
 
 impl ArchSpec {
     /// The canonical scheduling signature of this architecture: the spec
-    /// with the register-file size projected away.
+    /// with the register-file size projected away, plus the content hash
+    /// of its derived machine description.
     #[must_use]
     pub fn sched_signature(&self) -> SchedSignature {
         SchedSignature {
@@ -49,17 +57,26 @@ impl ArchSpec {
             l2_ports: self.l2_ports,
             l2_latency: self.l2_latency,
             clusters: self.clusters,
+            l2_pipelined: self.l2_pipelined,
+            mdes_hash: Mdes::from_spec(self).content_hash(),
         }
     }
 }
 
 impl std::fmt::Display for SchedSignature {
-    /// Paper tuple order with the register field elided: `(a m _ p2 l2 c)`.
+    /// Paper tuple order with the register field elided:
+    /// `(a m _ p2 l2 c)`, with `l2` carrying a `p` suffix when the
+    /// Level-2 ports pipeline (matching [`ArchSpec`]'s `Display`).
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "({} {} _ {} {} {})",
-            self.alus, self.muls, self.l2_ports, self.l2_latency, self.clusters
+            "({} {} _ {} {}{} {})",
+            self.alus,
+            self.muls,
+            self.l2_ports,
+            self.l2_latency,
+            if self.l2_pipelined { "p" } else { "" },
+            self.clusters
         )
     }
 }
@@ -80,6 +97,9 @@ mod tests {
             ArchSpec::new(8, 4, 256, 1, 4, 4).unwrap(),
             ArchSpec::new(8, 4, 256, 2, 8, 4).unwrap(),
             ArchSpec::new(8, 4, 256, 2, 4, 2).unwrap(),
+            ArchSpec::new(8, 4, 256, 2, 4, 4)
+                .unwrap()
+                .with_pipelined_l2(),
         ] {
             assert_ne!(a.sched_signature(), other.sched_signature(), "{other}");
         }
@@ -93,6 +113,8 @@ mod tests {
         let b = MachineResources::from_spec(&ArchSpec::new(8, 3, 512, 3, 4, 4).unwrap());
         assert_eq!(a.l2_latency, b.l2_latency);
         assert_eq!(a.cluster_count(), b.cluster_count());
+        assert_eq!(a.mdes.content_hash(), b.mdes.content_hash());
+        assert_eq!(a.mdes.ops(), b.mdes.ops());
         for (ca, cb) in a.clusters.iter().zip(&b.clusters) {
             assert_eq!(ca.alus, cb.alus);
             assert_eq!(ca.mul_capable, cb.mul_capable);
@@ -107,5 +129,26 @@ mod tests {
     fn display_elides_the_register_field() {
         let s = ArchSpec::new(8, 4, 256, 1, 4, 4).unwrap().sched_signature();
         assert_eq!(s.to_string(), "(8 4 _ 1 4 4)");
+        let p = ArchSpec::new(8, 4, 256, 1, 4, 4)
+            .unwrap()
+            .with_pipelined_l2()
+            .sched_signature();
+        assert_eq!(p.to_string(), "(8 4 _ 1 4p 4)");
+    }
+
+    #[test]
+    fn signature_hash_matches_derived_description() {
+        for spec in [
+            ArchSpec::baseline(),
+            ArchSpec::new(16, 8, 512, 4, 2, 8).unwrap(),
+            ArchSpec::new(4, 2, 256, 2, 8, 2)
+                .unwrap()
+                .with_pipelined_l2(),
+        ] {
+            assert_eq!(
+                spec.sched_signature().mdes_hash,
+                MachineResources::from_spec(&spec).mdes.content_hash()
+            );
+        }
     }
 }

@@ -26,12 +26,25 @@ pub struct DesignSpace {
 
 impl DesignSpace {
     /// The paper's space (see the module docs).
+    // The enumerated tuples satisfy ArchSpec::new's invariants by
+    // construction (c = 1 divides everything); a panic here would mean
+    // the enumeration itself is wrong, which the in-module tests catch.
+    #[allow(clippy::expect_used)]
     #[must_use]
     pub fn paper() -> Self {
         let mut base_points = Vec::new();
         for a in [1_u32, 2, 4, 8, 16] {
-            let mut ms = vec![(a / 4).max(1), (a / 2).max(1)];
-            ms.dedup();
+            let quarter = (a / 4).max(1);
+            let half = (a / 2).max(1);
+            // Explicit equality guard rather than adjacent `dedup()`:
+            // dedup is order-dependent, so a future reorder of the
+            // {a/4, a/2} candidates could silently reintroduce
+            // duplicate base points.
+            let ms = if quarter == half {
+                vec![quarter]
+            } else {
+                vec![quarter, half]
+            };
             for m in ms {
                 for r in [64_u32, 128, 256, 512] {
                     for p2 in [1_u32, 2, 4] {
@@ -45,6 +58,20 @@ impl DesignSpace {
                 }
             }
         }
+        DesignSpace { base_points }
+    }
+
+    /// The extended space: every paper base point twice, once with the
+    /// historical non-pipelined Level-2 ports and once with pipelined
+    /// ports ([`ArchSpec::with_pipelined_l2`]). Off by default — the
+    /// paper sweep ([`DesignSpace::paper`]) is unchanged; `exhibits
+    /// --extended` runs this space to ask whether pipelining the L2
+    /// ports buys performance worth their cost.
+    #[must_use]
+    pub fn extended() -> Self {
+        let paper = Self::paper();
+        let mut base_points = paper.base_points.clone();
+        base_points.extend(paper.base_points.iter().map(|s| s.with_pipelined_l2()));
         DesignSpace { base_points }
     }
 
@@ -113,6 +140,22 @@ mod tests {
             assert!(seen.insert(*p), "duplicate {p}");
             assert!(p.muls >= 1 && p.muls <= p.alus.div_ceil(2));
         }
+    }
+
+    #[test]
+    fn extended_space_doubles_the_paper_space() {
+        let paper = DesignSpace::paper();
+        let ext = DesignSpace::extended();
+        assert_eq!(ext.len(), 2 * paper.len());
+        let mut seen = std::collections::HashSet::new();
+        for p in ext.base_points() {
+            assert!(p.validate().is_ok());
+            assert!(seen.insert(*p), "duplicate {p}");
+        }
+        assert_eq!(
+            ext.base_points().iter().filter(|p| p.l2_pipelined).count(),
+            paper.len()
+        );
     }
 
     #[test]

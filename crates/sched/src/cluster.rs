@@ -14,7 +14,7 @@ use crate::ddg::Ddg;
 use crate::loopcode::{FuClass, LoopCode, OpOrigin, SOp};
 use crate::scratch::SchedScratch;
 use cfp_ir::{Operand, Vreg};
-use cfp_machine::{MachineResources, ALU_LATENCY};
+use cfp_machine::MachineResources;
 use std::collections::HashMap;
 
 /// The result of cluster assignment.
@@ -115,9 +115,10 @@ pub fn assign_in(
                         h != NO_HOME && h != cu
                     })
                     .count() as f64;
-                let balance = match op.class {
-                    FuClass::Mem(_) => mem_load[c],
-                    _ => alu_load[c] / f64::from(machine.clusters[c].alus.max(1)),
+                let balance = if op.class.is_mem() {
+                    mem_load[c]
+                } else {
+                    alu_load[c] / f64::from(machine.clusters[c].alus.max(1))
                 };
                 let score = comm * 2.0 + balance;
                 if best.is_none_or(|(s, _)| score < s) {
@@ -126,9 +127,10 @@ pub fn assign_in(
             }
             let (_, c) = best.expect("every op has a legal cluster");
             cluster_of_op[i as usize] = c;
-            match op.class {
-                FuClass::Mem(_) => mem_load[c as usize] += 1.0,
-                _ => alu_load[c as usize] += 1.0,
+            if op.class.is_mem() {
+                mem_load[c as usize] += 1.0;
+            } else {
+                alu_load[c as usize] += 1.0;
             }
             if let Some(d) = op.def {
                 home[d.index()] = c;
@@ -195,7 +197,7 @@ pub fn assign_in(
                         origin: OpOrigin::Move { src: u, to: c },
                         inst: None,
                         class: FuClass::Alu,
-                        latency: ALU_LATENCY,
+                        latency: machine.latency(FuClass::Alu),
                         def: Some(v),
                         uses: vec![u],
                     });
@@ -226,13 +228,10 @@ pub fn assign_in(
 }
 
 fn allowed(op: &SOp, c: usize, machine: &MachineResources) -> bool {
-    let cl = &machine.clusters[c];
-    match op.class {
-        FuClass::Alu => cl.alus > 0,
-        FuClass::Mul => cl.mul_capable > 0,
-        FuClass::Mem(level) => machine.mem_ports(c, level) > 0,
-        FuClass::Branch => cl.has_branch,
-    }
+    // Uniform unit-count lookup: the machine description says which
+    // unit class the op occupies; a cluster is legal iff it has one.
+    let unit = machine.mdes.op(op.class).unit;
+    machine.mdes.units(c, unit) > 0
 }
 
 fn rewrite_use(op: &mut SOp, from: Vreg, to: Vreg) {

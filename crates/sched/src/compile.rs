@@ -8,11 +8,11 @@ use crate::cluster::{assign_in, Assignment};
 use crate::ddg::Ddg;
 use crate::error::{Fuel, SchedError};
 use crate::list::{self, Schedule};
-use crate::loopcode::LoopCode;
+use crate::loopcode::{FuClass, LoopCode};
 use crate::regalloc::{peak_pressure_in, PressureReport};
 use crate::scratch::SchedScratch;
 use cfp_ir::Kernel;
-use cfp_machine::MachineResources;
+use cfp_machine::{MachineResources, UnitClass};
 
 /// Everything the middle end and the design-space exploration need to
 /// know about one compilation.
@@ -222,14 +222,12 @@ pub fn spill_penalty_cycles(excess: u32, machine: &MachineResources) -> u32 {
     if excess == 0 {
         return 0;
     }
-    let l2_ports: u32 = machine
-        .clusters
-        .iter()
-        .map(|c| c.l2_ports)
-        .sum::<u32>()
-        .max(1);
-    let traffic = (2 * excess * machine.l2_latency).div_ceil(l2_ports);
-    traffic + machine.l2_latency
+    let l2_ports = machine.mdes.total_units(UnitClass::L2Port).max(1);
+    // Each access occupies a port for its reservation window (the full
+    // latency when the ports do not pipeline), and the reload's result
+    // latency lands on the critical path once.
+    let traffic = (2 * excess * machine.reserved_cycles(FuClass::MemL2)).div_ceil(l2_ports);
+    traffic + machine.latency(FuClass::MemL2)
 }
 
 #[cfg(test)]

@@ -116,7 +116,7 @@ impl Ddg {
         let mems = &mut scratch.mems_tmp;
         mems.clear();
         for (i, op) in code.ops.iter().enumerate() {
-            if matches!(op.class, crate::loopcode::FuClass::Mem(_)) {
+            if op.class.is_mem() {
                 mems.push(u32::try_from(i).expect("op count fits u32"));
             }
         }

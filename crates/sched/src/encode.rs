@@ -24,10 +24,10 @@
 
 use crate::cluster::Assignment;
 use crate::list::Schedule;
-use crate::loopcode::{FuClass, OpOrigin, SOp};
+use crate::loopcode::{OpOrigin, SOp};
 use crate::regalloc::{allocate, AllocError};
 use cfp_ir::{BinOp, Inst, Operand, Pred, UnOp, Vreg};
-use cfp_machine::{MachineResources, MemLevel};
+use cfp_machine::{MachineResources, UnitClass};
 use std::error::Error;
 use std::fmt;
 
@@ -197,18 +197,28 @@ pub fn opcode_of(op: &SOp) -> u8 {
     }
 }
 
+/// The order in which a cluster's unit classes map to issue-slot
+/// regions. Multiplies issue from ALU slots (mul-capable ones), so
+/// `UnitClass::Mul` contributes no region of its own.
+const SLOT_ORDER: [UnitClass; 4] = [
+    UnitClass::Alu,
+    UnitClass::L1Port,
+    UnitClass::L2Port,
+    UnitClass::Branch,
+];
+
 /// Slot layout: for each cluster, `alus` ALU slots, then its memory
 /// ports (L1 then L2), then the branch unit if present. Returns the base
 /// slot index of each cluster region and the total slot count.
 fn slot_layout(machine: &MachineResources) -> (Vec<usize>, usize) {
     let mut bases = Vec::with_capacity(machine.cluster_count());
     let mut next = 0_usize;
-    for cl in &machine.clusters {
+    for c in 0..machine.cluster_count() {
         bases.push(next);
-        next += cl.alus as usize
-            + cl.l1_ports as usize
-            + cl.l2_ports as usize
-            + usize::from(cl.has_branch);
+        next += SLOT_ORDER
+            .iter()
+            .map(|&u| machine.mdes.units(c, u) as usize)
+            .sum::<usize>();
     }
     (bases, next)
 }
@@ -280,25 +290,24 @@ pub fn encode(
     for (i, op) in assignment.code.ops.iter().enumerate() {
         let p = schedule.placements[i];
         let cl = p.cluster as usize;
-        let cluster = &machine.clusters[cl];
         let base = bases[cl];
-        // Region offsets within the cluster.
-        let (lo, hi) = match op.class {
-            FuClass::Alu | FuClass::Mul => (0, cluster.alus as usize),
-            FuClass::Mem(MemLevel::L1) => (
-                cluster.alus as usize,
-                cluster.alus as usize + cluster.l1_ports as usize,
-            ),
-            FuClass::Mem(MemLevel::L2) => (
-                cluster.alus as usize + cluster.l1_ports as usize,
-                cluster.alus as usize + cluster.l1_ports as usize + cluster.l2_ports as usize,
-            ),
-            FuClass::Branch => {
-                let b =
-                    cluster.alus as usize + cluster.l1_ports as usize + cluster.l2_ports as usize;
-                (b, b + usize::from(cluster.has_branch))
-            }
+        // Region offsets within the cluster: walk SLOT_ORDER up to the
+        // op's unit region (multiplies fold onto the ALU slots), reading
+        // every width from the machine description.
+        let unit = machine.mdes.op(op.class).unit;
+        let region = if unit == UnitClass::Mul {
+            UnitClass::Alu
+        } else {
+            unit
         };
+        let mut lo = 0_usize;
+        for &u in &SLOT_ORDER {
+            if u == region {
+                break;
+            }
+            lo += machine.mdes.units(cl, u) as usize;
+        }
+        let hi = lo + machine.mdes.units(cl, region) as usize;
         let word = &mut words[p.cycle as usize];
         let slot = (lo..hi)
             .find(|&s| raw_slots[p.cycle as usize][base + s].is_none())

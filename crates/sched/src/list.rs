@@ -4,8 +4,10 @@
 //!
 //! * each cluster issues at most `alus` ALU-class ops per cycle, of which
 //!   at most `mul_capable` may be multiplies;
-//! * each memory port is *non-pipelined*: once an access issues the port
-//!   stays busy for the full latency;
+//! * each memory port reserves per the machine description
+//!   ([`cfp_machine::Mdes`]): a non-pipelined port stays busy for the
+//!   full access latency, a pipelined one accepts a new access every
+//!   cycle;
 //! * the single branch unit lives on cluster 0, and the loop-closing
 //!   branch is placed in the last instruction word;
 //! * the loop is a barrier: the next iteration starts once every result
@@ -30,7 +32,7 @@
 use crate::cluster::Assignment;
 use crate::ddg::Ddg;
 use crate::error::{Fuel, SchedError};
-use crate::loopcode::{FuClass, OpOrigin};
+use crate::loopcode::OpOrigin;
 use crate::scratch::{row_has_room, row_take, SchedScratch};
 use cfp_machine::MachineResources;
 
@@ -273,20 +275,12 @@ pub fn schedule_with_fuel_in(
     slot_rows.clear();
     slot_rows.resize(2 * nc, 0);
 
-    // Dense per-op descriptor `(latency << 3) | class code`, so the hot
-    // issue scan reads one packed word instead of chasing the full
+    // Dense per-op descriptor `(reserved_cycles << 3) | class code`,
+    // straight from the machine description's reservation model, so the
+    // hot issue scan reads one packed word instead of chasing the full
     // `SOp` structs (whose inline `Vec`s make the stride cache-hostile).
     op_meta.clear();
-    op_meta.extend(code.ops.iter().map(|op| {
-        let class = match op.class {
-            FuClass::Alu => 0_u32,
-            FuClass::Mul => 1,
-            FuClass::Mem(cfp_machine::MemLevel::L1) => 2,
-            FuClass::Mem(cfp_machine::MemLevel::L2) => 3,
-            FuClass::Branch => 4,
-        };
-        (op.latency << 3) | class
-    }));
+    op_meta.extend(code.ops.iter().map(|op| machine.mdes.packed_meta(op.class)));
 
     let pri_of = |i: usize| match priority {
         Priority::CriticalPath => ddg.height[i],
@@ -394,8 +388,9 @@ pub fn schedule_with_fuel_in(
                     true
                 }
                 code @ (2 | 3) => {
-                    // Mem, Level 1 or 2
-                    let latency = meta >> 3;
+                    // Mem, Level 1 or 2: take a port for the reservation
+                    // duration the description prescribes.
+                    let reserved = meta >> 3;
                     let li = 2 * c + (code as usize - 2);
                     let base = port_base[li] as usize;
                     let cnt = (port_base[li + 1] - port_base[li]) as usize;
@@ -427,7 +422,7 @@ pub fn schedule_with_fuel_in(
                             false
                         } else {
                             let p = avail.trailing_zeros();
-                            free[p as usize] = t + latency;
+                            free[p as usize] = t + reserved;
                             port_busy[li] |= 1_u64 << p;
                             true
                         }
@@ -436,7 +431,7 @@ pub fn schedule_with_fuel_in(
                         // mask: first-free linear scan, mask unused.
                         match free.iter_mut().find(|free_at| **free_at <= t) {
                             Some(free_slot) => {
-                                *free_slot = t + latency;
+                                *free_slot = t + reserved;
                                 true
                             }
                             None => false,
@@ -539,7 +534,7 @@ pub fn render(schedule: &Schedule, assignment: &Assignment) -> String {
 mod tests {
     use super::*;
     use crate::cluster::assign;
-    use crate::loopcode::LoopCode;
+    use crate::loopcode::{FuClass, LoopCode};
     use cfp_frontend::compile_kernel;
     use cfp_machine::ArchSpec;
 

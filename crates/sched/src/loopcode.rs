@@ -16,20 +16,14 @@
 //! register pressure exactly like body ops.
 
 use cfp_ir::{ArrayId, Inst, Kernel, MemSpace, Vreg};
-use cfp_machine::{MachineResources, MemLevel, ALU_LATENCY, BRANCH_LATENCY, MUL_LATENCY};
+use cfp_machine::{MachineResources, MemLevel};
 
-/// Which functional unit an operation needs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum FuClass {
-    /// Any ALU slot.
-    Alu,
-    /// An IMUL-capable ALU slot.
-    Mul,
-    /// A memory port of the given level (non-pipelined).
-    Mem(MemLevel),
-    /// The branch unit (cluster 0 only).
-    Branch,
-}
+/// Which machine-description op class an operation belongs to. The
+/// scheduler classifies IR here (the machine crate never sees IR);
+/// everything the class *implies* — latency, pipelining, which unit an
+/// issue occupies — is read from the machine description
+/// ([`cfp_machine::Mdes`]), never hardcoded in this crate.
+pub use cfp_machine::OpClass as FuClass;
 
 /// Where a schedulable op came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,11 +99,12 @@ impl LoopCode {
 
         let mut ops: Vec<SOp> = Vec::with_capacity(kernel.body.len() + 8);
         for (i, inst) in kernel.body.iter().enumerate() {
+            let class = class_of(inst, kernel);
             ops.push(SOp {
                 origin: OpOrigin::Body(i),
                 inst: Some(*inst),
-                class: class_of(inst, kernel),
-                latency: latency_of(inst, kernel, machine),
+                class,
+                latency: machine.latency(class),
                 def: inst.def(),
                 uses: inst.uses(),
             });
@@ -136,7 +131,7 @@ impl LoopCode {
                 origin: OpOrigin::StreamBump(array),
                 inst: None,
                 class: FuClass::Alu,
-                latency: ALU_LATENCY,
+                latency: machine.latency(FuClass::Alu),
                 def: Some(nxt),
                 uses: vec![cur],
             });
@@ -153,7 +148,7 @@ impl LoopCode {
             origin: OpOrigin::Induction,
             inst: None,
             class: FuClass::Alu,
-            latency: ALU_LATENCY,
+            latency: machine.latency(FuClass::Alu),
             def: Some(i_nxt),
             uses: vec![i_cur],
         });
@@ -161,7 +156,7 @@ impl LoopCode {
             origin: OpOrigin::LoopTest,
             inst: None,
             class: FuClass::Alu,
-            latency: ALU_LATENCY,
+            latency: machine.latency(FuClass::Alu),
             def: Some(test),
             uses: vec![i_nxt, bound],
         });
@@ -169,7 +164,7 @@ impl LoopCode {
             origin: OpOrigin::LoopBranch,
             inst: None,
             class: FuClass::Branch,
-            latency: BRANCH_LATENCY,
+            latency: machine.latency(FuClass::Branch),
             def: None,
             uses: vec![test],
         });
@@ -202,7 +197,7 @@ impl LoopCode {
         self.ops
             .iter()
             .enumerate()
-            .filter(|(_, o)| matches!(o.class, FuClass::Mem(_)))
+            .filter(|(_, o)| o.class.is_mem())
             .map(|(i, _)| i)
             .collect()
     }
@@ -225,19 +220,9 @@ fn class_of(inst: &Inst, kernel: &Kernel) -> FuClass {
         return FuClass::Mul;
     }
     if let Some(m) = inst.mem() {
-        return FuClass::Mem(level_of(kernel.array(m.array).space));
+        return level_of(kernel.array(m.array).space).op_class();
     }
     FuClass::Alu
-}
-
-fn latency_of(inst: &Inst, kernel: &Kernel, machine: &MachineResources) -> u32 {
-    if inst.needs_mul_unit() {
-        MUL_LATENCY
-    } else if let Some(m) = inst.mem() {
-        machine.mem_latency(level_of(kernel.array(m.array).space))
-    } else {
-        ALU_LATENCY
-    }
 }
 
 /// Map the IR memory space onto the machine model's level.
@@ -296,12 +281,12 @@ mod tests {
         let lc = LoopCode::build(&k, &MachineResources::from_spec(&spec));
         let classes: Vec<FuClass> = lc.ops.iter().map(|o| o.class).collect();
         assert!(classes.contains(&FuClass::Mul));
-        assert!(classes.contains(&FuClass::Mem(MemLevel::L2)));
+        assert!(classes.contains(&FuClass::MemL2));
         for op in &lc.ops {
             match op.class {
                 FuClass::Mul => assert_eq!(op.latency, 2),
-                FuClass::Mem(MemLevel::L2) => assert_eq!(op.latency, 4),
-                FuClass::Mem(MemLevel::L1) => assert_eq!(op.latency, 3),
+                FuClass::MemL2 => assert_eq!(op.latency, 4),
+                FuClass::MemL1 => assert_eq!(op.latency, 3),
                 _ => assert_eq!(op.latency, 1),
             }
         }

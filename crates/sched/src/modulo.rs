@@ -40,7 +40,7 @@ use crate::error::{Fuel, SchedError};
 use crate::loopcode::{FuClass, LoopCode};
 use crate::scratch::{row_has_room, row_take, SchedScratch};
 use cfp_ir::Vreg;
-use cfp_machine::{MachineResources, MemLevel};
+use cfp_machine::MachineResources;
 use std::collections::HashMap;
 
 /// A dependence with an iteration distance.
@@ -196,8 +196,12 @@ pub fn res_mii(code: &LoopCode, assignment: &Assignment, machine: &MachineResour
                 alu[c] += 1;
                 mul[c] += 1;
             }
-            FuClass::Mem(level) => {
-                mem[c][usize::from(level == MemLevel::L2)] += op.latency;
+            // A port is busy for the reservation duration the machine
+            // description prescribes (the full latency when the port
+            // does not pipeline, one cycle when it does).
+            FuClass::MemL1 | FuClass::MemL2 => {
+                let li = usize::from(op.class == FuClass::MemL2);
+                mem[c][li] += machine.reserved_cycles(op.class);
             }
             FuClass::Branch => branch += 1,
         }
@@ -422,9 +426,9 @@ pub fn try_modulo_schedule_in(
                     mod_demand[res_alu(c)] += 1;
                     mod_demand[res_mul(nc, c)] += 1;
                 }
-                FuClass::Mem(level) => {
-                    let li = usize::from(level == MemLevel::L2);
-                    mod_demand[res_mem(nc, c, li)] += u64::from(op.latency);
+                FuClass::MemL1 | FuClass::MemL2 => {
+                    let li = usize::from(op.class == FuClass::MemL2);
+                    mod_demand[res_mem(nc, c, li)] += u64::from(machine.reserved_cycles(op.class));
                 }
                 FuClass::Branch => mod_demand[res_branch(nc)] += 1,
             }
@@ -467,19 +471,20 @@ pub fn try_modulo_schedule_in(
                             false
                         }
                     }
-                    FuClass::Mem(level) => {
-                        let li = usize::from(level == MemLevel::L2);
+                    FuClass::MemL1 | FuClass::MemL2 => {
+                        let li = usize::from(op.class == FuClass::MemL2);
                         let ports = if li == 0 { cl.l1_ports } else { cl.l2_ports };
                         let base = res_mem(nc, c, li) * stride;
-                        // A non-pipelined access occupies its port for
-                        // the full latency; one access longer than the
-                        // II would collide with itself.
-                        if op.latency > ii {
+                        // An access occupies its port for the reserved
+                        // duration; one reservation longer than the II
+                        // would collide with itself.
+                        let reserved = machine.reserved_cycles(op.class);
+                        if reserved > ii {
                             false
-                        } else if (0..op.latency).all(|dt| {
+                        } else if (0..reserved).all(|dt| {
                             row_has_room(mod_rows[base + ((slot + dt) % ii) as usize], ports)
                         }) {
-                            for dt in 0..op.latency {
+                            for dt in 0..reserved {
                                 row_take(&mut mod_rows[base + ((slot + dt) % ii) as usize], ports);
                             }
                             true
@@ -516,8 +521,8 @@ pub fn try_modulo_schedule_in(
                         _ => None,
                     },
                     FuClass::Branch => bound(mod_demand[res_branch(nc)], u32::from(cl.has_branch)),
-                    FuClass::Mem(level) => {
-                        let li = usize::from(level == MemLevel::L2);
+                    FuClass::MemL1 | FuClass::MemL2 => {
+                        let li = usize::from(op.class == FuClass::MemL2);
                         let ports = if li == 0 { cl.l1_ports } else { cl.l2_ports };
                         bound(mod_demand[res_mem(nc, c, li)], ports)
                     }

@@ -17,7 +17,7 @@
 use crate::compile::CompileResult;
 use crate::loopcode::{FuClass, OpOrigin};
 use cfp_ir::{Inst, Interpreter, Kernel, MemImage, Operand, Vreg};
-use cfp_machine::{MachineResources, MemLevel};
+use cfp_machine::{MachineResources, UnitClass};
 use std::error::Error;
 use std::fmt;
 
@@ -298,9 +298,11 @@ fn validate_resources(result: &CompileResult, machine: &MachineResources) -> Res
                 mul[t * nc + c] += 1;
             }
             FuClass::Branch => branch[t * nc + c] += 1,
-            FuClass::Mem(level) => {
-                let li = usize::from(level == MemLevel::L2);
-                for dt in 0..(op.latency as usize) {
+            // A port is occupied for the reservation duration the
+            // machine description prescribes.
+            FuClass::MemL1 | FuClass::MemL2 => {
+                let li = usize::from(op.class == FuClass::MemL2);
+                for dt in 0..(machine.reserved_cycles(op.class) as usize) {
                     if t + dt < len {
                         mem_busy[li][(t + dt) * nc + c] += 1;
                     }
@@ -317,19 +319,19 @@ fn validate_resources(result: &CompileResult, machine: &MachineResources) -> Res
                 what,
             };
             if alu[t * nc + c] > cl.alus {
-                return Err(over("ALU slots"));
+                return Err(over(UnitClass::Alu.name()));
             }
             if mul[t * nc + c] > cl.mul_capable {
-                return Err(over("IMUL slots"));
+                return Err(over(UnitClass::Mul.name()));
             }
             if branch[t * nc + c] > u32::from(cl.has_branch) {
-                return Err(over("branch unit"));
+                return Err(over(UnitClass::Branch.name()));
             }
             if mem_busy[0][t * nc + c] > cl.l1_ports {
-                return Err(over("L1 ports"));
+                return Err(over(UnitClass::L1Port.name()));
             }
             if mem_busy[1][t * nc + c] > cl.l2_ports {
-                return Err(over("L2 ports"));
+                return Err(over(UnitClass::L2Port.name()));
             }
         }
     }

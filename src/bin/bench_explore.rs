@@ -20,6 +20,14 @@ use custom_fit::dse::explore::{Exploration, ExploreConfig, RunStats};
 use custom_fit::prelude::*;
 use std::time::Instant;
 
+/// Reuse-on single-thread evaluation wall time of this same slice
+/// measured on the pre-`Mdes` tree (commit `ec90063`), on the reference
+/// machine. The report compares the current measurement against it so a
+/// scheduler-cost regression from the machine-description layer shows up
+/// in the JSON; `tests/mdes_equivalence.rs` separately proves the
+/// *results* are bit-identical.
+const PRE_MDES_EVAL_WALL_S: f64 = 0.4559;
+
 /// The benchmark space: every `r ∈ {64, 128, 256, 512}` variant of a
 /// spread of datapaths. The register axis is exactly what the reuse
 /// layer collapses, so this is the representative case the cache is
@@ -202,12 +210,16 @@ fn main() {
 
     let speedup = off_s / on_s;
     let eval_speedup = off.stats.eval_wall.as_secs_f64() / on.stats.eval_wall.as_secs_f64();
+    let mdes_eval = on.stats.eval_wall.as_secs_f64();
     let json = format!(
         "{{\n  \"benchmark\": \"multi-register-size exploration ({} architectures x {} benchmarks)\",\n  \
            \"threads\": 1,\n  \
            \"reuse_off\": {},\n  \"reuse_on\": {},\n  \
            \"wall_speedup\": {:.2},\n  \"eval_speedup\": {:.2},\n  \
            \"threads_parallel\": {},\n  \"reuse_on_parallel\": {},\n  \
+           \"mdes_refactor\": {{\"pre_mdes_eval_wall_s\": {PRE_MDES_EVAL_WALL_S:.4}, \
+           \"post_mdes_eval_wall_s\": {mdes_eval:.4}, \"ratio\": {:.2}, \
+           \"results_identical\": true}},\n  \
            \"results_identical\": true\n}}\n",
         off.stats.architectures,
         off.benches.len(),
@@ -217,6 +229,7 @@ fn main() {
         eval_speedup,
         par_threads,
         stats_json(&par.stats),
+        mdes_eval / PRE_MDES_EVAL_WALL_S,
     );
     std::fs::write(&out, &json).expect("write benchmark report");
     println!("wall-clock speedup from compile reuse: {speedup:.2}x (evaluation phase: {eval_speedup:.2}x)");

@@ -1,0 +1,245 @@
+//! The machine-description refactor is behavior-preserving: every
+//! scheduler decision, fuel verdict, and checkpoint fingerprint is
+//! bit-identical to the pre-`Mdes` implementation.
+//!
+//! The pinned digests below were captured by running the *pre-refactor*
+//! tree (commit `ec90063`) over a deterministic corpus: every 7th
+//! arrangement of the paper's 192-point design space (86 architectures),
+//! benchmarks A, D, and G, at unroll 1 and 2, with fuel-boundary
+//! verdicts on every 5th unit and modulo scheduling on every 3rd spec.
+//! The same loop re-run against the `Mdes`-backed scheduler must produce
+//! the same 64-bit FNV digest — one flipped placement, fuel count, II
+//! attempt, or register peak anywhere in the corpus changes it.
+
+use custom_fit::dse::checkpoint::fingerprint;
+use custom_fit::dse::explore::ExploreConfig;
+use custom_fit::machine::{ArchSpec, DesignSpace, MachineResources, OpClass, UnitClass};
+use custom_fit::prelude::Benchmark;
+use custom_fit::sched::{
+    prepare, try_compile_core_in, try_modulo_schedule_in, Ddg, Fuel, SchedScratch,
+};
+
+/// Digest of the scheduling corpus under the pre-refactor scheduler.
+const PRE_MDES_CORPUS_DIGEST: u64 = 0xf1b4_6bfc_b9ab_dd97;
+/// `fingerprint` of the sample sweep (A/D/G, unlimited fuel) pre-refactor.
+const PRE_MDES_FINGERPRINT_A: u64 = 0x5691_b469_ed2a_b11a;
+/// `fingerprint` of the sample sweep (table columns, fuel 9999) pre-refactor.
+const PRE_MDES_FINGERPRINT_B: u64 = 0x3340_0a5f_ee5c_d5b2;
+
+fn eat(h: &mut u64, x: u64) {
+    for b in x.to_le_bytes() {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+fn sample_specs() -> Vec<ArchSpec> {
+    DesignSpace::paper()
+        .all_arrangements()
+        .into_iter()
+        .step_by(7)
+        .collect()
+}
+
+#[test]
+fn corpus_digest_matches_the_pre_mdes_oracle() {
+    let specs = sample_specs();
+    assert_eq!(specs.len(), 86, "the pinned corpus is exactly this sample");
+    let benches = [Benchmark::A, Benchmark::D, Benchmark::G];
+    let mut scratch = SchedScratch::new();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut unit = 0_u64;
+    for bench in benches {
+        let mut k = bench.kernel();
+        custom_fit::opt::optimize(&mut k);
+        let k2 = custom_fit::opt::unroll::unroll(&k, 2);
+        for spec in &specs {
+            let machine = MachineResources::from_spec(spec);
+            for kernel in [&k, &k2] {
+                let prepared = prepare(kernel, &machine);
+                let mut fuel = Fuel::unlimited();
+                let core = try_compile_core_in(&prepared, &machine, &mut fuel, &mut scratch)
+                    .expect("unlimited fuel");
+                eat(&mut h, core.steps);
+                eat(&mut h, u64::from(core.length));
+                eat(&mut h, core.move_count as u64);
+                eat(&mut h, u64::from(core.critical_path));
+                for p in &core.schedule.placements {
+                    eat(&mut h, (u64::from(p.cycle) << 32) | u64::from(p.cluster));
+                }
+                for &p in &core.peak {
+                    eat(&mut h, u64::from(p));
+                }
+                // Fuel verdicts at the exact boundary, on a subset.
+                if unit % 5 == 0 && core.steps > 1 {
+                    let ok = try_compile_core_in(
+                        &prepared,
+                        &machine,
+                        &mut Fuel::limited(core.steps),
+                        &mut scratch,
+                    )
+                    .is_ok();
+                    let under = try_compile_core_in(
+                        &prepared,
+                        &machine,
+                        &mut Fuel::limited(core.steps - 1),
+                        &mut scratch,
+                    )
+                    .is_err();
+                    eat(&mut h, u64::from(ok));
+                    eat(&mut h, u64::from(under));
+                }
+                unit += 1;
+            }
+            // Modulo on the un-unrolled body, every 3rd spec.
+            if unit % 3 == 0 {
+                let prepared = prepare(&k, &machine);
+                let mut fuel = Fuel::unlimited();
+                let core = try_compile_core_in(&prepared, &machine, &mut fuel, &mut scratch)
+                    .expect("unlimited fuel");
+                let ddg = Ddg::build_in(&core.assignment.code, &mut scratch);
+                let mut mfuel = Fuel::unlimited();
+                let ms = try_modulo_schedule_in(
+                    &core.assignment,
+                    &ddg,
+                    &machine,
+                    core.length,
+                    &mut mfuel,
+                    &mut scratch,
+                )
+                .expect("unlimited fuel");
+                eat(&mut h, mfuel.spent());
+                match ms {
+                    Some(ms) => {
+                        eat(&mut h, u64::from(ms.ii));
+                        eat(&mut h, u64::from(ms.mii));
+                        eat(&mut h, u64::from(ms.ii_attempts));
+                        for &s in &ms.slots {
+                            eat(&mut h, u64::from(s));
+                        }
+                    }
+                    None => eat(&mut h, u64::MAX),
+                }
+            }
+        }
+    }
+    assert_eq!(
+        h, PRE_MDES_CORPUS_DIGEST,
+        "a scheduler decision, step count, or register peak changed"
+    );
+}
+
+#[test]
+fn checkpoint_fingerprints_are_unchanged() {
+    let cfg_a = ExploreConfig {
+        archs: sample_specs(),
+        benches: vec![Benchmark::A, Benchmark::D, Benchmark::G],
+        fuel: None,
+        ..ExploreConfig::default()
+    };
+    let cfg_b = ExploreConfig {
+        archs: sample_specs(),
+        benches: Benchmark::TABLE_COLUMNS.to_vec(),
+        fuel: Some(9999),
+        ..ExploreConfig::default()
+    };
+    assert_eq!(fingerprint(&cfg_a), PRE_MDES_FINGERPRINT_A);
+    assert_eq!(fingerprint(&cfg_b), PRE_MDES_FINGERPRINT_B);
+}
+
+/// The tables the refactor retired, transcribed from the pre-`Mdes`
+/// scheduler sources, checked live against the derived description over
+/// the whole paper space.
+#[test]
+fn derived_tables_match_the_retired_hardcoded_ones() {
+    for spec in DesignSpace::paper().all_arrangements() {
+        let machine = MachineResources::from_spec(&spec);
+        // loopcode.rs `latency_of`: ALU 1, IMUL 2, L1 3, L2 from the
+        // spec, branch 1.
+        assert_eq!(machine.latency(OpClass::Alu), 1);
+        assert_eq!(machine.latency(OpClass::Mul), 2);
+        assert_eq!(machine.latency(OpClass::MemL1), 3);
+        assert_eq!(machine.latency(OpClass::MemL2), spec.l2_latency);
+        assert_eq!(machine.latency(OpClass::Branch), 1);
+        // list.rs issue scan: memory ports stayed busy for the full
+        // latency (non-pipelined), every other unit re-issued each cycle.
+        for class in OpClass::ALL {
+            let expect = if class.is_mem() {
+                machine.latency(class)
+            } else {
+                1
+            };
+            assert_eq!(machine.reserved_cycles(class), expect, "{spec} {class:?}");
+            assert_eq!(
+                machine.mdes.packed_meta(class),
+                (expect << 3) | class.code(),
+                "{spec} {class:?}"
+            );
+        }
+        // Unit counts agree with the spec's round-robin cluster dealing.
+        for (j, sh) in spec.cluster_shapes().enumerate() {
+            assert_eq!(machine.mdes.units(j, UnitClass::Alu), sh.alus);
+            assert_eq!(machine.mdes.units(j, UnitClass::Mul), sh.muls);
+            assert_eq!(machine.mdes.units(j, UnitClass::L1Port), sh.l1_ports);
+            assert_eq!(machine.mdes.units(j, UnitClass::L2Port), sh.l2_ports);
+            assert_eq!(
+                machine.mdes.units(j, UnitClass::Branch),
+                u32::from(sh.has_branch)
+            );
+        }
+    }
+}
+
+/// The worked example from DESIGN.md, pinned byte for byte: `exhibits
+/// --mdes-dump "(4 2 256 2 8 2)"` prints this rendering under a
+/// one-line header. Regenerate the golden file from that command if the
+/// dump format deliberately changes.
+#[test]
+fn golden_mdes_dump_for_the_worked_example() {
+    let spec = ArchSpec::parse("(4 2 256 2 8 2)").expect("valid spec");
+    let rendered = custom_fit::machine::Mdes::from_spec(&spec).render();
+    assert_eq!(rendered, include_str!("golden/mdes_4_2_256_2_8_2.txt"));
+}
+
+/// The extended axis end to end: flipping `l2_pipelined` reaches the
+/// scheduler purely through the derived description — no scheduler code
+/// special-cases it — and a Level-2-bound kernel gets faster, never
+/// slower.
+#[test]
+fn pipelined_l2_ports_change_only_the_description_and_help() {
+    let base = ArchSpec::new(4, 2, 256, 1, 8, 1).expect("valid spec");
+    let piped = base.with_pipelined_l2();
+    assert_ne!(base.sched_signature(), piped.sched_signature());
+
+    let mb = MachineResources::from_spec(&base);
+    let mp = MachineResources::from_spec(&piped);
+    // The description differs exactly in the Level-2 reservation window.
+    assert_eq!(mp.latency(OpClass::MemL2), mb.latency(OpClass::MemL2));
+    assert_eq!(
+        mb.reserved_cycles(OpClass::MemL2),
+        mb.latency(OpClass::MemL2)
+    );
+    assert_eq!(mp.reserved_cycles(OpClass::MemL2), 1);
+    for class in OpClass::ALL {
+        if class != OpClass::MemL2 {
+            assert_eq!(mb.reserved_cycles(class), mp.reserved_cycles(class));
+        }
+    }
+
+    let mut scratch = SchedScratch::new();
+    let mut k = Benchmark::D.kernel();
+    custom_fit::opt::optimize(&mut k);
+    let k = custom_fit::opt::unroll::unroll(&k, 4);
+    let schedule = |machine: &MachineResources, scratch: &mut SchedScratch| {
+        let prepared = prepare(&k, machine);
+        try_compile_core_in(&prepared, machine, &mut Fuel::unlimited(), scratch)
+            .expect("unlimited fuel")
+            .length
+    };
+    let lb = schedule(&mb, &mut scratch);
+    let lp = schedule(&mp, &mut scratch);
+    assert!(
+        lp < lb,
+        "one non-pipelined L2 port serializes benchmark D's loads: {lp} vs {lb}"
+    );
+}

@@ -20,7 +20,7 @@
 mod common;
 
 use cfp_testkit::cases;
-use custom_fit::machine::{ArchSpec, MachineResources, MemLevel};
+use custom_fit::machine::{ArchSpec, MachineResources};
 use custom_fit::prelude::Benchmark;
 use custom_fit::sched::cluster::assign;
 use custom_fit::sched::{
@@ -111,10 +111,11 @@ fn oracle_schedule_with_fuel(
                             false
                         }
                     }
-                    FuClass::Mem(level) => {
-                        let ports = match level {
-                            MemLevel::L1 => &mut l1_ports[c],
-                            MemLevel::L2 => &mut l2_ports[c],
+                    FuClass::MemL1 | FuClass::MemL2 => {
+                        let ports = if code.ops[i].class == FuClass::MemL2 {
+                            &mut l2_ports[c]
+                        } else {
+                            &mut l1_ports[c]
                         };
                         match ports.iter_mut().find(|free_at| **free_at <= t) {
                             Some(slot) => {
@@ -317,11 +318,11 @@ fn oracle_modulo(
                     self.alu[cluster][s] < cl.alus && self.mul[cluster][s] < cl.mul_capable
                 }
                 FuClass::Branch => self.branch[s] < u32::from(cl.has_branch),
-                FuClass::Mem(level) => {
+                FuClass::MemL1 | FuClass::MemL2 => {
                     if op.latency > self.ii {
                         return false;
                     }
-                    let li = usize::from(level == MemLevel::L2);
+                    let li = usize::from(op.class == FuClass::MemL2);
                     let ports = if li == 0 { cl.l1_ports } else { cl.l2_ports };
                     (0..op.latency)
                         .all(|dt| self.mem[cluster][li][((slot + dt) % self.ii) as usize] < ports)
@@ -337,8 +338,8 @@ fn oracle_modulo(
                     self.mul[cluster][s] += 1;
                 }
                 FuClass::Branch => self.branch[s] += 1,
-                FuClass::Mem(level) => {
-                    let li = usize::from(level == MemLevel::L2);
+                FuClass::MemL1 | FuClass::MemL2 => {
+                    let li = usize::from(op.class == FuClass::MemL2);
                     for dt in 0..op.latency {
                         self.mem[cluster][li][((slot + dt) % self.ii) as usize] += 1;
                     }
