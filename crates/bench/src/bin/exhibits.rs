@@ -15,13 +15,19 @@
 //! units to FILE as the exploration runs; add `--resume` to pick up an
 //! interrupted run from the same journal (bit-identical to an
 //! uninterrupted run — see `cfp_dse::checkpoint`).
+//!
+//! `--trace-out FILE` writes every exploration span (plan build,
+//! per-stage compiler spans, per-unit summaries) as JSONL to FILE;
+//! `--trace-summary` prints the aggregated per-stage latency histogram
+//! and per-architecture "why it lost" attribution tables. Results are
+//! bit-identical with tracing on or off (see `cfp_obs`).
 
 use cfp_bench::exhibits;
 use cfp_dse::Checkpoint;
 use cfp_kernels::Benchmark;
 
 const USAGE: &str =
-    "usage: exhibits [table1..table10 | figure1..figure4 | search | correction | codesize | pipelining | priority | spill | all]... [--fast] [--csv] [--extended] [--mdes-dump SPEC] [--save FILE] [--load FILE] [--checkpoint FILE [--resume]]";
+    "usage: exhibits [table1..table10 | figure1..figure4 | search | correction | codesize | pipelining | priority | spill | all]... [--fast] [--csv] [--extended] [--mdes-dump SPEC] [--save FILE] [--load FILE] [--checkpoint FILE [--resume]] [--trace-out FILE] [--trace-summary]";
 
 fn value_after(args: &[String], flag: &str) -> Option<String> {
     args.iter()
@@ -47,6 +53,14 @@ fn main() {
         eprintln!("error: --resume needs --checkpoint FILE\n{USAGE}");
         std::process::exit(2);
     }
+    // `--trace-out FILE` drains the exploration's spans to a JSONL
+    // trace; `--trace-summary` prints the per-stage latency and
+    // per-architecture attribution tables instead of (or as well as)
+    // the raw lines.
+    let trace_out = value_after(&args, "--trace-out");
+    let trace_summary = args.iter().any(|a| a == "--trace-summary");
+    let recorder =
+        (trace_out.is_some() || trace_summary).then(cfp_obs::JsonlRecorder::new);
 
     // `--mdes-dump SPEC`: print the derived machine description and be
     // done (composable with other exhibits, but needs no exploration).
@@ -68,7 +82,12 @@ fn main() {
                 skip_next = false;
                 return false;
             }
-            if *a == "--save" || *a == "--load" || *a == "--checkpoint" || *a == "--mdes-dump" {
+            if *a == "--save"
+                || *a == "--load"
+                || *a == "--checkpoint"
+                || *a == "--mdes-dump"
+                || *a == "--trace-out"
+            {
                 skip_next = true;
                 return false;
             }
@@ -131,7 +150,10 @@ fn main() {
             "running the {} exploration (use --fast for a sampled space)...",
             if fast { "sampled" } else { "full 192-point" }
         );
-        match exhibits::run_exploration_checkpointed(fast, checkpoint) {
+        let rec: &dyn cfp_obs::Recorder = recorder
+            .as_ref()
+            .map_or(&cfp_obs::NULL, |r| r as &dyn cfp_obs::Recorder);
+        match exhibits::run_exploration_traced(fast, checkpoint, rec) {
             Ok(ex) => {
                 if ex.stats.resumed_units > 0 {
                     eprintln!(
@@ -147,8 +169,28 @@ fn main() {
             }
         }
     } else {
+        if recorder.is_some() {
+            eprintln!(
+                "note: --trace-out/--trace-summary need an exploration to trace; \
+                 the requested exhibits{} run none",
+                if load.is_some() { " (--load replays)" } else { "" }
+            );
+        }
         None
     };
+    if let Some(rec) = &recorder {
+        if let Some(path) = &trace_out {
+            if let Err(e) = std::fs::write(path, rec.to_jsonl()) {
+                eprintln!("error: cannot write `{path}`: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("trace written to {path} ({} events)", rec.len());
+        }
+        if trace_summary && !rec.is_empty() {
+            let summary = cfp_obs::summary::TraceSummary::from_events(&rec.events());
+            println!("{}\n", summary.render());
+        }
+    }
     if let (Some(path), Some(ex)) = (&save, &exploration) {
         if let Err(e) = std::fs::write(path, cfp_dse::to_csv(ex)) {
             eprintln!("error: cannot write `{path}`: {e}");

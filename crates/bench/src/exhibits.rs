@@ -748,6 +748,20 @@ pub fn run_exploration_checkpointed(
     fast: bool,
     checkpoint: Option<Checkpoint>,
 ) -> Result<Exploration, ExploreError> {
+    run_exploration_traced(fast, checkpoint, &cfp_obs::NULL)
+}
+
+/// [`run_exploration_checkpointed`] with a live span recorder, for the
+/// `exhibits` binary's `--trace-out`/`--trace-summary` flags. Results
+/// are bit-identical whichever recorder is attached.
+///
+/// # Errors
+/// As [`run_exploration_checkpointed`].
+pub fn run_exploration_traced(
+    fast: bool,
+    checkpoint: Option<Checkpoint>,
+    rec: &dyn cfp_obs::Recorder,
+) -> Result<Exploration, ExploreError> {
     let config = if fast {
         let space = DesignSpace::paper();
         // Every 8th base point, all arrangements: quick but same shape.
@@ -775,7 +789,7 @@ pub fn run_exploration_checkpointed(
             ..ExploreConfig::paper()
         }
     };
-    Exploration::try_run(&config)
+    Exploration::try_run_traced(&config, rec)
 }
 
 #[cfg(test)]

@@ -18,8 +18,10 @@ use crate::error::{EvalError, FailReason};
 use crate::memo::CompileCache;
 use cfp_kernels::Benchmark;
 use cfp_machine::{ArchSpec, MachineResources};
+use cfp_obs::{Stage, UnitTrace, Value};
 use cfp_sched::{
-    finish, prepare, spill_penalty_cycles, try_compile_core_in, Fuel, SchedError, SchedScratch,
+    finish, prepare_traced, spill_penalty_cycles, try_compile_core_traced_in, Fuel, SchedError,
+    SchedScratch,
 };
 use std::collections::HashMap;
 
@@ -65,6 +67,21 @@ impl PlanCache {
     /// Build the cache for the given benchmarks and register sizes.
     #[must_use]
     pub fn build(benches: &[Benchmark], reg_sizes: &[u32], unrolls: &[u32]) -> Self {
+        Self::build_traced(benches, reg_sizes, unrolls, &mut UnitTrace::disabled())
+    }
+
+    /// [`PlanCache::build`] recording the optimizer's per-pass `opt`
+    /// spans and one `plan_build` summary span (plan and unique-kernel
+    /// counts). With a disabled trace this is exactly
+    /// [`PlanCache::build`].
+    #[must_use]
+    pub fn build_traced(
+        benches: &[Benchmark],
+        reg_sizes: &[u32],
+        unrolls: &[u32],
+        trace: &mut UnitTrace<'_>,
+    ) -> Self {
+        let t0 = trace.start();
         let mut budgets: Vec<usize> = reg_sizes.iter().map(|&r| residency_budget(r)).collect();
         budgets.sort_unstable();
         budgets.dedup();
@@ -73,7 +90,7 @@ impl PlanCache {
             let base = b.kernel();
             for &budget in &budgets {
                 let mut opt = base.clone();
-                cfp_opt::optimize_budgeted(&mut opt, budget);
+                cfp_opt::optimize_budgeted_traced(&mut opt, budget, trace);
                 for &u in unrolls {
                     if opt.body.len() * (u as usize) > MAX_BODY_OPS {
                         continue;
@@ -83,12 +100,20 @@ impl PlanCache {
                     // where CSE turns a stencil's overlapping loads into
                     // a register window — the paper's central
                     // registers-for-bandwidth trade.
-                    cfp_opt::optimize_budgeted(&mut unrolled, budget);
+                    cfp_opt::optimize_budgeted_traced(&mut unrolled, budget, trace);
                     let id = cache.intern(unrolled);
                     cache.plans.insert((b, budget, u), id);
                 }
             }
         }
+        trace.stage(
+            Stage::PlanBuild,
+            t0,
+            &[
+                ("plans", Value::U64(cache.len() as u64)),
+                ("unique_kernels", Value::U64(cache.unique_kernels() as u64)),
+            ],
+        );
         cache
     }
 
@@ -275,18 +300,20 @@ impl EvalOutcome {
 
 /// The unroll sweep shared by the direct and memoized evaluation paths.
 /// `compile_one` returns `(fits, cycles_per_iter)` for one plan under
-/// the given fuel; how — fresh compile or cache lookup — is the caller's
-/// business. Each unroll factor gets a fresh budget of `fuel_budget`
-/// steps. A compile error at `u = 1` fails the whole unit; at deeper
-/// unrolls it stops the sweep and keeps the best result so far, exactly
-/// like the paper's spill rule — deeper unrolling is an optimization,
-/// and an optimization that goes over budget is simply not taken.
+/// the given fuel (the unroll factor rides along so a traced caller can
+/// label the attempt); how — fresh compile or cache lookup — is the
+/// caller's business. Each unroll factor gets a fresh budget of
+/// `fuel_budget` steps. A compile error at `u = 1` fails the whole unit;
+/// at deeper unrolls it stops the sweep and keeps the best result so
+/// far, exactly like the paper's spill rule — deeper unrolling is an
+/// optimization, and an optimization that goes over budget is simply not
+/// taken.
 fn unroll_sweep(
     bench: Benchmark,
     budget: usize,
     plans: &PlanCache,
     fuel_budget: Option<u64>,
-    mut compile_one: impl FnMut(PlanId, &mut Fuel) -> Result<(bool, u32), SchedError>,
+    mut compile_one: impl FnMut(PlanId, u32, &mut Fuel) -> Result<(bool, u32), SchedError>,
 ) -> Result<Measurement, EvalError> {
     let mut best: Option<Measurement> = None;
     let mut compilations = 0;
@@ -296,7 +323,7 @@ fn unroll_sweep(
             break; // body cap reached; larger unrolls only grow
         };
         let mut fuel = Fuel::from_budget(fuel_budget);
-        let (fits, cycles) = match compile_one(id, &mut fuel) {
+        let (fits, cycles) = match compile_one(id, u, &mut fuel) {
             Ok(r) => r,
             Err(_) if best.is_some() => break,
             Err(source) => {
@@ -375,17 +402,72 @@ pub fn try_evaluate_in(
     fuel_budget: Option<u64>,
     scratch: &mut EvalScratch,
 ) -> Result<Measurement, EvalError> {
+    try_evaluate_traced_in(
+        spec,
+        bench,
+        cache,
+        fuel_budget,
+        scratch,
+        &mut UnitTrace::disabled(),
+    )
+}
+
+/// [`try_evaluate_in`] recording the full per-unroll span pipeline: the
+/// scheduler's `prepare`/`assign`/`ddg`/`list`/`regalloc` spans plus one
+/// `compile` span per attempted unroll factor (fuel spent, capacity
+/// verdict, cycles). With a disabled trace this is exactly
+/// [`try_evaluate_in`].
+///
+/// # Errors
+/// As [`try_evaluate`].
+pub fn try_evaluate_traced_in(
+    spec: &ArchSpec,
+    bench: Benchmark,
+    cache: &PlanCache,
+    fuel_budget: Option<u64>,
+    scratch: &mut EvalScratch,
+    trace: &mut UnitTrace<'_>,
+) -> Result<Measurement, EvalError> {
     let (machine, sched) = scratch.machine_and_sched(spec);
     unroll_sweep(
         bench,
         residency_budget(spec.regs),
         cache,
         fuel_budget,
-        |id, fuel| {
-            let core =
-                try_compile_core_in(&prepare(cache.kernel(id), machine), machine, fuel, sched)?;
-            let result = finish(&core, machine);
-            Ok((result.fits(), result.cycles_per_iter()))
+        |id, u, fuel| {
+            let t0 = trace.start();
+            let before = fuel.spent();
+            let out = (|| -> Result<(bool, u32), SchedError> {
+                let prepared = prepare_traced(cache.kernel(id), machine, trace);
+                let core = try_compile_core_traced_in(&prepared, machine, fuel, sched, trace)?;
+                let result = finish(&core, machine);
+                Ok((result.fits(), result.cycles_per_iter()))
+            })();
+            let steps = fuel.spent() - before;
+            match &out {
+                Ok((fits, cycles)) => trace.stage(
+                    Stage::Compile,
+                    t0,
+                    &[
+                        ("unroll", Value::U64(u64::from(u))),
+                        ("cache", Value::Str("off")),
+                        ("steps", Value::U64(steps)),
+                        ("fits", Value::Bool(*fits)),
+                        ("cycles", Value::U64(u64::from(*cycles))),
+                    ],
+                ),
+                Err(e) => trace.stage(
+                    Stage::Compile,
+                    t0,
+                    &[
+                        ("unroll", Value::U64(u64::from(u))),
+                        ("cache", Value::Str("off")),
+                        ("steps", Value::U64(steps)),
+                        ("error", Value::Str(e.token())),
+                    ],
+                ),
+            }
+            out
         },
     )
 }
@@ -457,31 +539,102 @@ pub fn try_evaluate_cached_in(
     fuel_budget: Option<u64>,
     scratch: &mut EvalScratch,
 ) -> Result<Measurement, EvalError> {
+    try_evaluate_cached_traced_in(
+        spec,
+        bench,
+        cache,
+        memo,
+        fuel_budget,
+        scratch,
+        &mut UnitTrace::disabled(),
+    )
+}
+
+/// [`try_evaluate_cached_in`] recording one `compile` span per attempted
+/// unroll factor, labelled `cache: "hit"` when the core was served from
+/// another unit's work and `"miss"` when this unit scheduled it (the
+/// miss additionally records the scheduler's inner spans). Which unit
+/// of a sharing set sees the miss depends on thread interleaving; the
+/// steps charged and the verdicts do not. With a disabled trace this is
+/// exactly [`try_evaluate_cached_in`].
+///
+/// # Errors
+/// As [`try_evaluate`].
+pub fn try_evaluate_cached_traced_in(
+    spec: &ArchSpec,
+    bench: Benchmark,
+    cache: &PlanCache,
+    memo: &CompileCache,
+    fuel_budget: Option<u64>,
+    scratch: &mut EvalScratch,
+    trace: &mut UnitTrace<'_>,
+) -> Result<Measurement, EvalError> {
     let (machine, sched) = scratch.machine_and_sched(spec);
-    let sig = spec.sched_signature();
+    // Derive the memo key from the memoized description rather than a
+    // throwaway `Mdes`: this keeps the warm path allocation-free (see
+    // `tests/trace_equivalence.rs`).
+    let sig = spec.sched_signature_with(&machine.mdes);
     unroll_sweep(
         bench,
         residency_budget(spec.regs),
         cache,
         fuel_budget,
-        |id, fuel| {
-            let core = memo.try_core(id, sig, || {
-                let prepared = memo.prepared(id, machine.l2_latency, || {
-                    prepare(cache.kernel(id), machine)
-                });
-                try_compile_core_in(&prepared, machine, &mut Fuel::unlimited(), sched)
-            })?;
-            fuel.spend(core.steps)?;
-            let excess: u32 = core
-                .peak
-                .iter()
-                .zip(&machine.clusters)
-                .map(|(&p, c)| p.saturating_sub(c.regs))
-                .sum();
-            Ok((
-                excess == 0,
-                core.length + spill_penalty_cycles(excess, machine),
-            ))
+        |id, u, fuel| {
+            let t0 = trace.start();
+            let mut computed = false;
+            let out = (|| -> Result<(bool, u32, u64, u32), SchedError> {
+                let core = memo.try_core(id, sig, || {
+                    computed = true;
+                    let prepared = memo.prepared(id, machine.l2_latency, || {
+                        prepare_traced(cache.kernel(id), machine, trace)
+                    });
+                    try_compile_core_traced_in(
+                        &prepared,
+                        machine,
+                        &mut Fuel::unlimited(),
+                        sched,
+                        trace,
+                    )
+                })?;
+                fuel.spend(core.steps)?;
+                let excess: u32 = core
+                    .peak
+                    .iter()
+                    .zip(&machine.clusters)
+                    .map(|(&p, c)| p.saturating_sub(c.regs))
+                    .sum();
+                Ok((
+                    excess == 0,
+                    core.length + spill_penalty_cycles(excess, machine),
+                    core.steps,
+                    excess,
+                ))
+            })();
+            let served = if computed { "miss" } else { "hit" };
+            match &out {
+                Ok((fits, cycles, steps, excess)) => trace.stage(
+                    Stage::Compile,
+                    t0,
+                    &[
+                        ("unroll", Value::U64(u64::from(u))),
+                        ("cache", Value::Str(served)),
+                        ("steps", Value::U64(*steps)),
+                        ("fits", Value::Bool(*fits)),
+                        ("cycles", Value::U64(u64::from(*cycles))),
+                        ("spill_excess", Value::U64(u64::from(*excess))),
+                    ],
+                ),
+                Err(e) => trace.stage(
+                    Stage::Compile,
+                    t0,
+                    &[
+                        ("unroll", Value::U64(u64::from(u))),
+                        ("cache", Value::Str(served)),
+                        ("error", Value::Str(e.token())),
+                    ],
+                ),
+            }
+            out.map(|(fits, cycles, _, _)| (fits, cycles))
         },
     )
 }

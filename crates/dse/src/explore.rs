@@ -20,11 +20,13 @@
 use crate::checkpoint::{self, Checkpoint};
 use crate::error::{ExploreError, FailKind, FailReason};
 use crate::eval::{
-    try_evaluate_cached_in, try_evaluate_in, EvalOutcome, EvalScratch, PlanCache, UNROLL_SWEEP,
+    try_evaluate_cached_traced_in, try_evaluate_traced_in, EvalOutcome, EvalScratch, PlanCache,
+    UNROLL_SWEEP,
 };
 use crate::memo::CompileCache;
 use cfp_kernels::Benchmark;
 use cfp_machine::{ArchSpec, CostModel, CycleModel, DesignSpace};
+use cfp_obs::{Recorder, Stage, UnitTrace, Value};
 use cfp_testkit::FaultInjector;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -193,6 +195,50 @@ pub struct Exploration {
     pub stats: RunStats,
 }
 
+/// Emit the `unit` summary span for one evaluated pair. The formatted
+/// architecture string is built only when the trace is live, so the
+/// [`cfp_obs::NullRecorder`] path stays allocation-free.
+fn unit_span(
+    trace: &mut UnitTrace<'_>,
+    t0: u64,
+    spec: &ArchSpec,
+    bench: Benchmark,
+    out: &EvalOutcome,
+    baseline: bool,
+) {
+    if !trace.on() {
+        return;
+    }
+    let arch = spec.to_string();
+    match out {
+        EvalOutcome::Done(m) => trace.stage(
+            Stage::Unit,
+            t0,
+            &[
+                ("arch", Value::Str(&arch)),
+                ("bench", Value::Str(bench.letter())),
+                ("baseline", Value::Bool(baseline)),
+                ("outcome", Value::Str("done")),
+                ("unroll", Value::U64(u64::from(m.unroll))),
+                ("spilled", Value::Bool(m.spilled)),
+                ("cpo", Value::F64(m.cycles_per_output)),
+                ("compilations", Value::U64(u64::from(m.compilations))),
+            ],
+        ),
+        EvalOutcome::Failed { reason } => trace.stage(
+            Stage::Unit,
+            t0,
+            &[
+                ("arch", Value::Str(&arch)),
+                ("bench", Value::Str(bench.letter())),
+                ("baseline", Value::Bool(baseline)),
+                ("outcome", Value::Str("failed")),
+                ("fail", Value::Str(reason.kind.token())),
+            ],
+        ),
+    }
+}
+
 impl Exploration {
     /// Run the codesign loop.
     ///
@@ -223,6 +269,27 @@ impl Exploration {
     /// # Errors
     /// See above.
     pub fn try_run(config: &ExploreConfig) -> Result<Self, ExploreError> {
+        Self::try_run_traced(config, &cfp_obs::NULL)
+    }
+
+    /// [`Self::try_run`] emitting structured spans into `rec`: the plan
+    /// build, every stage of every compilation, and one `unit` summary
+    /// span per `(architecture, benchmark)` pair (and per baseline
+    /// unit) carrying the outcome, chosen unroll, spill status, and —
+    /// on failure — the quarantine kind. With the [`cfp_obs::NULL`]
+    /// recorder this is exactly [`Self::try_run`]: same results, same
+    /// fuel verdicts, same checkpoint fingerprint, and no allocation on
+    /// the sweep's steady-state path.
+    ///
+    /// Units resumed from a checkpoint journal are replayed, not
+    /// evaluated, so they emit no spans.
+    ///
+    /// # Errors
+    /// As [`Self::try_run`].
+    pub fn try_run_traced(
+        config: &ExploreConfig,
+        rec: &dyn Recorder,
+    ) -> Result<Self, ExploreError> {
         if config.archs.is_empty() || config.benches.is_empty() {
             return Err(ExploreError::EmptyConfig);
         }
@@ -232,7 +299,12 @@ impl Exploration {
 
         let mut reg_sizes: Vec<u32> = config.archs.iter().map(|a| a.regs).collect();
         reg_sizes.push(ArchSpec::baseline().regs);
-        let cache = PlanCache::build(&config.benches, &reg_sizes, &UNROLL_SWEEP);
+        let cache = PlanCache::build_traced(
+            &config.benches,
+            &reg_sizes,
+            &UNROLL_SWEEP,
+            &mut UnitTrace::new(rec, cfp_obs::unit::PLAN),
+        );
         let plan_wall = start.elapsed();
         let memo = config.reuse.then(CompileCache::new);
 
@@ -251,27 +323,39 @@ impl Exploration {
         // the worker's own scratch arena — every scratch consumer
         // resizes and clears its buffers on entry, so a panic mid-unit
         // leaves at worst stale data the next unit overwrites.
-        let quarantined =
-            |spec: &ArchSpec, bench: Benchmark, fault_unit: Option<u64>, sc: &mut EvalScratch| {
-                let result = catch_unwind(AssertUnwindSafe(|| {
-                    if let (Some(injector), Some(u)) = (&config.fault, fault_unit) {
-                        injector.fire(u);
-                    }
-                    match &memo {
-                        Some(memo) => {
-                            try_evaluate_cached_in(spec, bench, &cache, memo, config.fuel, sc)
-                        }
-                        None => try_evaluate_in(spec, bench, &cache, config.fuel, sc),
-                    }
-                }));
-                match result {
-                    Ok(Ok(m)) => EvalOutcome::Done(m),
-                    Ok(Err(e)) => EvalOutcome::Failed { reason: e.into() },
-                    Err(payload) => EvalOutcome::Failed {
-                        reason: FailReason::from_panic(payload.as_ref()),
-                    },
+        let quarantined = |spec: &ArchSpec,
+                           bench: Benchmark,
+                           fault_unit: Option<u64>,
+                           sc: &mut EvalScratch,
+                           trace: &mut UnitTrace<'_>| {
+            let t0 = trace.start();
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                if let (Some(injector), Some(u)) = (&config.fault, fault_unit) {
+                    injector.fire(u);
                 }
+                match &memo {
+                    Some(memo) => try_evaluate_cached_traced_in(
+                        spec,
+                        bench,
+                        &cache,
+                        memo,
+                        config.fuel,
+                        sc,
+                        trace,
+                    ),
+                    None => try_evaluate_traced_in(spec, bench, &cache, config.fuel, sc, trace),
+                }
+            }));
+            let out = match result {
+                Ok(Ok(m)) => EvalOutcome::Done(m),
+                Ok(Err(e)) => EvalOutcome::Failed { reason: e.into() },
+                Err(payload) => EvalOutcome::Failed {
+                    reason: FailReason::from_panic(payload.as_ref()),
+                },
             };
+            unit_span(trace, t0, spec, bench, &out, fault_unit.is_none());
+            out
+        };
 
         // One work unit per (architecture, benchmark) pair: much finer
         // grains than whole architectures, so a few slow deep-unroll
@@ -281,7 +365,8 @@ impl Exploration {
         let eval_unit = |i: usize, sc: &mut EvalScratch| -> EvalOutcome {
             let spec = &config.archs[i / nb];
             let bench = config.benches[i % nb];
-            let out = quarantined(spec, bench, Some(i as u64), sc);
+            let mut trace = UnitTrace::new(rec, cfp_obs::unit::sweep(i));
+            let out = quarantined(spec, bench, Some(i as u64), sc, &mut trace);
             if progress {
                 let n = done.fetch_add(1, Ordering::Relaxed) + 1;
                 if n % 200 == 0 || n == units {
@@ -297,8 +382,9 @@ impl Exploration {
         let baseline_spec = ArchSpec::baseline();
         let mut scratch = EvalScratch::new();
         let mut baseline_outcomes = Vec::with_capacity(nb);
-        for &b in &config.benches {
-            match quarantined(&baseline_spec, b, None, &mut scratch) {
+        for (bi, &b) in config.benches.iter().enumerate() {
+            let mut trace = UnitTrace::new(rec, cfp_obs::unit::baseline(bi));
+            match quarantined(&baseline_spec, b, None, &mut scratch, &mut trace) {
                 EvalOutcome::Done(m) => baseline_outcomes.push(EvalOutcome::Done(m)),
                 EvalOutcome::Failed { reason } => return Err(ExploreError::BaselineFailed(reason)),
             }

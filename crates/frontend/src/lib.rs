@@ -71,9 +71,39 @@ use cfp_ir::Kernel;
 /// Returns the first lexical, syntactic, or semantic error, with a span
 /// into `src` (use [`CompileError::render`] for a friendly message).
 pub fn compile_kernel(src: &str, consts: &[(&str, i64)]) -> Result<Kernel, CompileError> {
+    compile_kernel_traced(src, consts, &mut cfp_obs::UnitTrace::disabled())
+}
+
+/// [`compile_kernel`] recording `parse` and `lower` spans into `trace`.
+/// With a disabled trace this is exactly `compile_kernel`.
+///
+/// # Errors
+/// As [`compile_kernel`].
+pub fn compile_kernel_traced(
+    src: &str,
+    consts: &[(&str, i64)],
+    trace: &mut cfp_obs::UnitTrace<'_>,
+) -> Result<Kernel, CompileError> {
+    use cfp_obs::{Stage, Value};
+    let t0 = trace.start();
     let tokens = lexer::lex(src)?;
     let ast = parser::parse(&tokens)?;
-    lower::lower(&ast, consts)
+    trace.stage(
+        Stage::Parse,
+        t0,
+        &[("tokens", Value::U64(tokens.len() as u64))],
+    );
+    let t0 = trace.start();
+    let kernel = lower::lower(&ast, consts)?;
+    trace.stage(
+        Stage::Lower,
+        t0,
+        &[
+            ("body_ops", Value::U64(kernel.body.len() as u64)),
+            ("preamble_ops", Value::U64(kernel.preamble.len() as u64)),
+        ],
+    );
+    Ok(kernel)
 }
 
 #[cfg(test)]

@@ -51,6 +51,17 @@ impl ArchSpec {
     /// of its derived machine description.
     #[must_use]
     pub fn sched_signature(&self) -> SchedSignature {
+        self.sched_signature_with(&Mdes::from_spec(self))
+    }
+
+    /// [`Self::sched_signature`] reusing an already-derived description
+    /// instead of building a throwaway one. `mdes` must be this spec's
+    /// (registers may have been retuned — they are outside the hash), as
+    /// from a memoized [`crate::MachineResources`]. Allocation-free,
+    /// which is what keeps a sweep worker's warm cached-evaluation path
+    /// off the heap entirely.
+    #[must_use]
+    pub fn sched_signature_with(&self, mdes: &Mdes) -> SchedSignature {
         SchedSignature {
             alus: self.alus,
             muls: self.muls,
@@ -58,7 +69,7 @@ impl ArchSpec {
             l2_latency: self.l2_latency,
             clusters: self.clusters,
             l2_pipelined: self.l2_pipelined,
-            mdes_hash: Mdes::from_spec(self).content_hash(),
+            mdes_hash: mdes.content_hash(),
         }
     }
 }
@@ -85,6 +96,34 @@ impl std::fmt::Display for SchedSignature {
 mod tests {
     use super::*;
     use crate::resources::MachineResources;
+
+    #[test]
+    fn signature_with_a_memoized_description_matches_the_fresh_one() {
+        for spec in [
+            ArchSpec::new(8, 4, 256, 2, 4, 4).unwrap(),
+            ArchSpec::new(2, 1, 64, 1, 8, 1).unwrap(),
+            ArchSpec::new(16, 8, 512, 4, 2, 4)
+                .unwrap()
+                .with_pipelined_l2(),
+        ] {
+            let machine = MachineResources::from_spec(&spec);
+            assert_eq!(
+                spec.sched_signature_with(&machine.mdes),
+                spec.sched_signature(),
+                "{spec}"
+            );
+            // A retuned sibling description (different register total)
+            // still yields the sibling's own signature — registers are
+            // outside the hash.
+            let mut sib = spec;
+            sib.regs = if spec.regs == 64 { 512 } else { 64 };
+            assert_eq!(
+                sib.sched_signature_with(&machine.mdes),
+                sib.sched_signature(),
+                "{sib}"
+            );
+        }
+    }
 
     #[test]
     fn signature_ignores_registers_only() {

@@ -1,0 +1,429 @@
+//! Post-hoc trace aggregation: per-stage latency histograms and the
+//! per-architecture "why it lost" attribution table.
+//!
+//! A raw trace answers "what did unit 317 do"; this module answers the
+//! two questions the sweep's operators actually ask — *where does the
+//! time go* (per-stage histograms over every span) and *why did this
+//! architecture lose* (per-arch rollup of failures, fuel exhaustion,
+//! spills, and unroll limits). Both tables render deterministically:
+//! rows sort by key, so two summaries of the same trace are identical
+//! text.
+
+use crate::jsonl::{OwnedEvent, OwnedValue};
+use crate::Stage;
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// Histogram bucket count: log2 buckets 0..=14, plus a tail bucket.
+pub const BUCKETS: usize = 16;
+
+/// Latency statistics of one stage across a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageStats {
+    /// The stage token (see [`Stage::as_str`]).
+    pub stage: &'static str,
+    /// Spans recorded.
+    pub count: u64,
+    /// Sum of span durations, in the trace's clock units.
+    pub total: u64,
+    /// Longest single span.
+    pub max: u64,
+    /// Log2-bucketed duration histogram: bucket `b` holds spans with
+    /// `floor(log2(duration)) == b - 1` (bucket 0 is duration 0); the
+    /// last bucket absorbs the tail.
+    pub hist: [u64; BUCKETS],
+}
+
+impl StageStats {
+    fn new(stage: &'static str) -> Self {
+        StageStats {
+            stage,
+            count: 0,
+            total: 0,
+            max: 0,
+            hist: [0; BUCKETS],
+        }
+    }
+
+    fn add(&mut self, duration: u64) {
+        self.count += 1;
+        self.total += duration;
+        self.max = self.max.max(duration);
+        let bucket = if duration == 0 {
+            0
+        } else {
+            ((64 - duration.leading_zeros()) as usize).min(BUCKETS - 1)
+        };
+        self.hist[bucket] += 1;
+    }
+}
+
+/// One architecture's rollup across its `(arch, benchmark)` units.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchRow {
+    /// The architecture, rendered as its spec string.
+    pub arch: String,
+    /// Units attributed to this architecture.
+    pub units: u64,
+    /// Units that produced a measurement.
+    pub done: u64,
+    /// Units quarantined.
+    pub failed: u64,
+    /// The subset of `failed` that exhausted its fuel budget.
+    pub fuel_exhausted: u64,
+    /// Done units whose un-unrolled kernel already spilled.
+    pub spilled: u64,
+    /// Largest unroll factor any unit settled on.
+    pub max_unroll: u64,
+    /// Compile lookups served from the cross-unit cache.
+    pub cache_hits: u64,
+    /// Scheduler steps charged to this architecture's units.
+    pub steps: u64,
+    /// The one-line attribution: why this architecture lost (or did
+    /// not).
+    pub verdict: &'static str,
+}
+
+/// The aggregated view of one trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Per-stage latency statistics, sorted by stage token.
+    pub stages: Vec<StageStats>,
+    /// Per-architecture attribution, sorted by spec string.
+    pub archs: Vec<ArchRow>,
+}
+
+/// Mutable accumulation state behind one [`ArchRow`].
+#[derive(Debug, Default)]
+struct ArchAcc {
+    units: u64,
+    done: u64,
+    failed: u64,
+    fuel_exhausted: u64,
+    spilled: u64,
+    stuck_at_u1: u64,
+    max_unroll: u64,
+    cache_hits: u64,
+    steps: u64,
+}
+
+impl ArchAcc {
+    fn verdict(&self) -> &'static str {
+        if self.failed > 0 {
+            if self.fuel_exhausted == self.failed {
+                "fuel-exhausted"
+            } else {
+                "quarantined"
+            }
+        } else if self.spilled > 0 {
+            "register-starved"
+        } else if self.done > 0 && self.stuck_at_u1 == self.done {
+            "unroll-limited"
+        } else {
+            "healthy"
+        }
+    }
+}
+
+impl TraceSummary {
+    /// Aggregate a drained trace (any order; events are keyed by unit).
+    #[must_use]
+    pub fn from_events(events: &[OwnedEvent]) -> Self {
+        let mut stages: BTreeMap<&'static str, StageStats> = BTreeMap::new();
+        for e in events {
+            stages
+                .entry(e.stage.as_str())
+                .or_insert_with(|| StageStats::new(e.stage.as_str()))
+                .add(e.duration());
+        }
+
+        // Unit events name the architecture; everything else is
+        // attributed through its unit id.
+        let mut unit_arch: BTreeMap<u64, String> = BTreeMap::new();
+        for e in events {
+            if e.stage == Stage::Unit {
+                if let Some(arch) = e.field("arch").and_then(OwnedValue::as_str) {
+                    unit_arch.insert(e.unit, arch.to_owned());
+                }
+            }
+        }
+
+        let mut accs: BTreeMap<String, ArchAcc> = BTreeMap::new();
+        for e in events {
+            let Some(arch) = unit_arch.get(&e.unit) else {
+                continue;
+            };
+            let acc = accs.entry(arch.clone()).or_default();
+            match e.stage {
+                Stage::Unit => {
+                    acc.units += 1;
+                    let outcome = e.field("outcome").and_then(OwnedValue::as_str);
+                    if outcome == Some("done") {
+                        acc.done += 1;
+                        let unroll = e.field("unroll").and_then(OwnedValue::as_u64).unwrap_or(1);
+                        acc.max_unroll = acc.max_unroll.max(unroll);
+                        if e.field("spilled").and_then(OwnedValue::as_bool) == Some(true) {
+                            acc.spilled += 1;
+                        }
+                        if unroll == 1 {
+                            acc.stuck_at_u1 += 1;
+                        }
+                    } else {
+                        acc.failed += 1;
+                        if e.field("fail").and_then(OwnedValue::as_str) == Some("fuel") {
+                            acc.fuel_exhausted += 1;
+                        }
+                    }
+                }
+                Stage::Compile => {
+                    if e.field("cache").and_then(OwnedValue::as_str) == Some("hit") {
+                        acc.cache_hits += 1;
+                    }
+                    acc.steps += e.field("steps").and_then(OwnedValue::as_u64).unwrap_or(0);
+                }
+                _ => {}
+            }
+        }
+
+        TraceSummary {
+            stages: stages.into_values().collect(),
+            archs: accs
+                .into_iter()
+                .map(|(arch, acc)| ArchRow {
+                    verdict: acc.verdict(),
+                    arch,
+                    units: acc.units,
+                    done: acc.done,
+                    failed: acc.failed,
+                    fuel_exhausted: acc.fuel_exhausted,
+                    spilled: acc.spilled,
+                    max_unroll: acc.max_unroll,
+                    cache_hits: acc.cache_hits,
+                    steps: acc.steps,
+                })
+                .collect(),
+        }
+    }
+
+    /// Render both tables as deterministic plain text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Per-stage latency (trace clock units)\n");
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for s in &self.stages {
+            rows.push(vec![
+                s.stage.to_owned(),
+                s.count.to_string(),
+                s.total.to_string(),
+                s.max.to_string(),
+                hist_cells(&s.hist),
+            ]);
+        }
+        render_table(
+            &mut out,
+            &["stage", "count", "total", "max", "hist(log2 buckets)"],
+            &rows,
+        );
+        out.push('\n');
+        out.push_str("Per-architecture attribution (why it lost)\n");
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for a in &self.archs {
+            rows.push(vec![
+                a.arch.clone(),
+                a.units.to_string(),
+                a.done.to_string(),
+                a.failed.to_string(),
+                a.fuel_exhausted.to_string(),
+                a.spilled.to_string(),
+                a.max_unroll.to_string(),
+                a.cache_hits.to_string(),
+                a.steps.to_string(),
+                a.verdict.to_owned(),
+            ]);
+        }
+        render_table(
+            &mut out,
+            &[
+                "arch", "units", "done", "fail", "fuel", "spill", "maxu", "hits", "steps",
+                "verdict",
+            ],
+            &rows,
+        );
+        out
+    }
+}
+
+/// Nonzero histogram buckets as `bucket:count` pairs.
+fn hist_cells(hist: &[u64; BUCKETS]) -> String {
+    let mut s = String::new();
+    for (b, &n) in hist.iter().enumerate() {
+        if n > 0 {
+            if !s.is_empty() {
+                s.push(' ');
+            }
+            let _ = write!(s, "{b}:{n}");
+        }
+    }
+    s
+}
+
+/// Column-aligned plain text: first column left-aligned, the rest
+/// right-aligned, except a final non-numeric column which stays left.
+fn render_table(out: &mut String, headers: &[&str], rows: &[Vec<String>]) {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (c, cell) in row.iter().enumerate() {
+            widths[c] = widths[c].max(cell.len());
+        }
+    }
+    let mut line = |cells: Vec<&str>| {
+        for (c, cell) in cells.iter().enumerate() {
+            if c > 0 {
+                out.push_str("  ");
+            }
+            if c == 0 || c == cols - 1 {
+                // Left-aligned; no trailing padding on the last column.
+                if c == cols - 1 {
+                    out.push_str(cell);
+                } else {
+                    let _ = write!(out, "{cell:<width$}", width = widths[c]);
+                }
+            } else {
+                let _ = write!(out, "{cell:>width$}", width = widths[c]);
+            }
+        }
+        out.push('\n');
+    };
+    line(headers.to_vec());
+    for row in rows {
+        line(row.iter().map(String::as_str).collect());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jsonl::JsonlRecorder;
+    use crate::{Stage, UnitTrace, Value};
+
+    fn demo_trace() -> JsonlRecorder {
+        let rec = JsonlRecorder::deterministic();
+        // Unit 0: healthy on arch X, unroll 4, one cache hit.
+        let mut tr = UnitTrace::new(&rec, 0);
+        let t = tr.start();
+        tr.stage(
+            Stage::Compile,
+            t,
+            &[
+                ("unroll", Value::U64(1)),
+                ("cache", Value::Str("miss")),
+                ("steps", Value::U64(100)),
+            ],
+        );
+        let t = tr.start();
+        tr.stage(
+            Stage::Compile,
+            t,
+            &[
+                ("unroll", Value::U64(4)),
+                ("cache", Value::Str("hit")),
+                ("steps", Value::U64(300)),
+            ],
+        );
+        let t = tr.start();
+        tr.stage(
+            Stage::Unit,
+            t,
+            &[
+                ("arch", Value::Str("(4 2 128 1 4 1)")),
+                ("outcome", Value::Str("done")),
+                ("unroll", Value::U64(4)),
+                ("spilled", Value::Bool(false)),
+            ],
+        );
+        // Unit 1: fuel-exhausted on arch Y.
+        let mut tr = UnitTrace::new(&rec, 1);
+        let t = tr.start();
+        tr.stage(
+            Stage::Unit,
+            t,
+            &[
+                ("arch", Value::Str("(16 4 128 1 4 8)")),
+                ("outcome", Value::Str("failed")),
+                ("fail", Value::Str("fuel")),
+            ],
+        );
+        rec
+    }
+
+    #[test]
+    fn attribution_rolls_up_by_architecture() {
+        let rec = demo_trace();
+        let sum = TraceSummary::from_events(&rec.events());
+        assert_eq!(sum.archs.len(), 2);
+        let healthy = &sum.archs[0];
+        assert_eq!(healthy.arch, "(16 4 128 1 4 8)");
+        assert_eq!(healthy.verdict, "fuel-exhausted");
+        let ok = &sum.archs[1];
+        assert_eq!(ok.arch, "(4 2 128 1 4 1)");
+        assert_eq!(ok.verdict, "healthy");
+        assert_eq!(ok.cache_hits, 1);
+        assert_eq!(ok.steps, 400);
+        assert_eq!(ok.max_unroll, 4);
+    }
+
+    #[test]
+    fn stage_histograms_count_every_span() {
+        let rec = demo_trace();
+        let sum = TraceSummary::from_events(&rec.events());
+        let compile = sum.stages.iter().find(|s| s.stage == "compile").unwrap();
+        assert_eq!(compile.count, 2);
+        assert_eq!(compile.hist.iter().sum::<u64>(), 2);
+        let unit = sum.stages.iter().find(|s| s.stage == "unit").unwrap();
+        assert_eq!(unit.count, 2);
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let rec = demo_trace();
+        let events = rec.events();
+        let a = TraceSummary::from_events(&events).render();
+        let b = TraceSummary::from_events(&events).render();
+        assert_eq!(a, b);
+        assert!(a.contains("why it lost"));
+        assert!(a.contains("fuel-exhausted"));
+        // No trailing whitespace anywhere (byte-stable goldens depend
+        // on it).
+        for line in a.lines() {
+            assert_eq!(line, line.trim_end());
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let mut s = StageStats::new("x");
+        s.add(0);
+        s.add(1);
+        s.add(2);
+        s.add(3);
+        s.add(1 << 40);
+        assert_eq!(s.hist[0], 1);
+        assert_eq!(s.hist[1], 1, "duration 1 -> bucket 1");
+        assert_eq!(s.hist[2], 2, "durations 2..=3 -> bucket 2");
+        assert_eq!(s.hist[BUCKETS - 1], 1, "tail bucket absorbs the rest");
+        assert_eq!(s.max, 1 << 40);
+    }
+
+    #[test]
+    fn events_without_a_unit_event_are_unattributed() {
+        let rec = JsonlRecorder::deterministic();
+        let mut tr = UnitTrace::new(&rec, 9);
+        let t = tr.start();
+        tr.stage(Stage::List, t, &[("steps", Value::U64(5))]);
+        let sum = TraceSummary::from_events(&rec.events());
+        assert!(sum.archs.is_empty());
+        assert_eq!(sum.stages.len(), 1);
+    }
+}

@@ -66,15 +66,50 @@ pub fn optimize(kernel: &mut Kernel) {
 /// at or below `max_resident` — the knob the design-space exploration
 /// derives from each candidate architecture's register file.
 pub fn optimize_budgeted(kernel: &mut Kernel, max_resident: usize) {
-    scalarize::promote_locals(kernel);
-    for _ in 0..8 {
+    optimize_budgeted_traced(kernel, max_resident, &mut cfp_obs::UnitTrace::disabled());
+}
+
+/// [`optimize_budgeted`] recording one `opt` span per pass invocation
+/// (named by a `pass` field, with the fixpoint iteration and the body
+/// size after the pass). With a disabled trace this is exactly
+/// [`optimize_budgeted`] — the span bookkeeping costs one predicted
+/// branch per pass and never allocates.
+pub fn optimize_budgeted_traced(
+    kernel: &mut Kernel,
+    max_resident: usize,
+    trace: &mut cfp_obs::UnitTrace<'_>,
+) {
+    use cfp_obs::{Stage, Value};
+    let pass = |kernel: &mut Kernel,
+                trace: &mut cfp_obs::UnitTrace<'_>,
+                iter: u64,
+                name: &'static str,
+                f: &dyn Fn(&mut Kernel)| {
+        let t0 = trace.start();
+        f(kernel);
+        trace.stage(
+            Stage::Opt,
+            t0,
+            &[
+                ("pass", Value::Str(name)),
+                ("iter", Value::U64(iter)),
+                ("body_ops", Value::U64(kernel.body.len() as u64)),
+            ],
+        );
+    };
+    pass(kernel, trace, 0, "scalarize", &|k| {
+        scalarize::promote_locals(k);
+    });
+    for iter in 1..=8_u64 {
         let before = kernel.clone();
-        fold::constant_fold(kernel);
-        algebraic::simplify(kernel);
-        copyprop::propagate(kernel);
-        cse::eliminate(kernel);
-        licm::hoist_budgeted(kernel, max_resident);
-        dce::eliminate(kernel);
+        pass(kernel, trace, iter, "fold", &fold::constant_fold);
+        pass(kernel, trace, iter, "algebraic", &algebraic::simplify);
+        pass(kernel, trace, iter, "copyprop", &copyprop::propagate);
+        pass(kernel, trace, iter, "cse", &cse::eliminate);
+        pass(kernel, trace, iter, "licm", &|k| {
+            licm::hoist_budgeted(k, max_resident);
+        });
+        pass(kernel, trace, iter, "dce", &dce::eliminate);
         if *kernel == before {
             break;
         }

@@ -69,8 +69,29 @@ pub struct Prepared {
 /// dependence graph.
 #[must_use]
 pub fn prepare(kernel: &Kernel, machine: &MachineResources) -> Prepared {
+    prepare_traced(kernel, machine, &mut cfp_obs::UnitTrace::disabled())
+}
+
+/// [`prepare`] recording a `prepare` span (lowered op count and the
+/// pre-assignment critical path) into `trace`.
+#[must_use]
+pub fn prepare_traced(
+    kernel: &Kernel,
+    machine: &MachineResources,
+    trace: &mut cfp_obs::UnitTrace<'_>,
+) -> Prepared {
+    use cfp_obs::{Stage, Value};
+    let t0 = trace.start();
     let code = LoopCode::build(kernel, machine);
     let ddg = Ddg::build(&code);
+    trace.stage(
+        Stage::Prepare,
+        t0,
+        &[
+            ("ops", Value::U64(code.ops.len() as u64)),
+            ("critical_path", Value::U64(u64::from(ddg.critical_path()))),
+        ],
+    );
     Prepared { code, ddg }
 }
 
@@ -143,11 +164,81 @@ pub fn try_compile_core_in(
     fuel: &mut Fuel,
     scratch: &mut SchedScratch,
 ) -> Result<SchedCore, SchedError> {
+    try_compile_core_traced_in(
+        prepared,
+        machine,
+        fuel,
+        scratch,
+        &mut cfp_obs::UnitTrace::disabled(),
+    )
+}
+
+/// [`try_compile_core_in`] recording one span per phase — `assign`,
+/// `ddg`, `list` (with the deterministic step count), `regalloc` — into
+/// `trace`. With a disabled trace this is exactly `try_compile_core_in`:
+/// the guards cost one predicted branch per phase, allocate nothing, and
+/// never touch the fuel accounting, so schedules, steps, and budget
+/// verdicts are bit-identical with tracing on or off.
+///
+/// # Errors
+/// Whatever [`list::try_schedule`] reports (the failure is recorded as
+/// an `error` field on the `list` span before it propagates).
+pub fn try_compile_core_traced_in(
+    prepared: &Prepared,
+    machine: &MachineResources,
+    fuel: &mut Fuel,
+    scratch: &mut SchedScratch,
+    trace: &mut cfp_obs::UnitTrace<'_>,
+) -> Result<SchedCore, SchedError> {
+    use cfp_obs::{Stage, Value};
     let before = fuel.spent();
+    let t0 = trace.start();
     let assignment = assign_in(&prepared.code, &prepared.ddg, machine, scratch);
+    trace.stage(
+        Stage::Assign,
+        t0,
+        &[
+            ("ops", Value::U64(assignment.code.ops.len() as u64)),
+            ("moves", Value::U64(assignment.move_count as u64)),
+        ],
+    );
+    let t0 = trace.start();
     let ddg = Ddg::build_in(&assignment.code, scratch);
-    let schedule = list::try_schedule_in(&assignment, &ddg, machine, fuel, scratch)?;
+    trace.stage(
+        Stage::Ddg,
+        t0,
+        &[("critical_path", Value::U64(u64::from(ddg.critical_path())))],
+    );
+    let t0 = trace.start();
+    let schedule = match list::try_schedule_in(&assignment, &ddg, machine, fuel, scratch) {
+        Ok(s) => s,
+        Err(e) => {
+            trace.stage(
+                Stage::List,
+                t0,
+                &[
+                    ("error", Value::Str(e.token())),
+                    ("steps", Value::U64(fuel.spent() - before)),
+                ],
+            );
+            return Err(e);
+        }
+    };
+    trace.stage(
+        Stage::List,
+        t0,
+        &[
+            ("length", Value::U64(u64::from(schedule.length))),
+            ("steps", Value::U64(fuel.spent() - before)),
+        ],
+    );
+    let t0 = trace.start();
     let peak = peak_pressure_in(&assignment, &schedule, machine.cluster_count(), scratch);
+    trace.stage(
+        Stage::Regalloc,
+        t0,
+        &[("peak", Value::U64(peak.iter().map(|&p| u64::from(p)).sum()))],
+    );
     Ok(SchedCore {
         length: schedule.length,
         critical_path: ddg.critical_path(),

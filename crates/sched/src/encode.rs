@@ -273,6 +273,49 @@ pub fn encode(
     schedule: &Schedule,
     machine: &MachineResources,
 ) -> Result<Program, EncodeError> {
+    encode_traced(
+        assignment,
+        schedule,
+        machine,
+        &mut cfp_obs::UnitTrace::disabled(),
+    )
+}
+
+/// [`encode`] recording one `encode` span with the word count and slot
+/// width of the emitted program (or an `ok: false` field when register
+/// allocation refuses the machine). With a disabled trace this is
+/// exactly [`encode`].
+///
+/// # Errors
+/// As [`encode`].
+pub fn encode_traced(
+    assignment: &Assignment,
+    schedule: &Schedule,
+    machine: &MachineResources,
+    trace: &mut cfp_obs::UnitTrace<'_>,
+) -> Result<Program, EncodeError> {
+    use cfp_obs::{Stage, Value};
+    let t0 = trace.start();
+    let out = encode_inner(assignment, schedule, machine);
+    match &out {
+        Ok(p) => trace.stage(
+            Stage::Encode,
+            t0,
+            &[
+                ("words", Value::U64(p.words.len() as u64)),
+                ("slots", Value::U64(p.slots_per_word as u64)),
+            ],
+        ),
+        Err(_) => trace.stage(Stage::Encode, t0, &[("ok", Value::Bool(false))]),
+    }
+    out
+}
+
+fn encode_inner(
+    assignment: &Assignment,
+    schedule: &Schedule,
+    machine: &MachineResources,
+) -> Result<Program, EncodeError> {
     let phys = allocate(assignment, schedule, machine)?;
     let resolve = |v: Vreg, cluster: u32| -> Result<u16, EncodeError> {
         // Local first; a move reads its source from the owning cluster's

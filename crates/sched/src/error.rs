@@ -32,6 +32,17 @@ pub enum SchedError {
     },
 }
 
+impl SchedError {
+    /// Stable one-word token for trace fields and summaries.
+    #[must_use]
+    pub fn token(&self) -> &'static str {
+        match self {
+            SchedError::FuelExhausted { .. } => "fuel",
+            SchedError::CycleCapExceeded { .. } => "cycle_cap",
+        }
+    }
+}
+
 impl fmt::Display for SchedError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

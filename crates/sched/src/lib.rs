@@ -61,11 +61,12 @@ pub mod simulate;
 
 pub use cluster::Assignment;
 pub use compile::{
-    compile, compile_core, finish, prepare, spill_penalty_cycles, try_compile, try_compile_core,
-    try_compile_core_in, CompileResult, Prepared, SchedCore,
+    compile, compile_core, finish, prepare, prepare_traced, spill_penalty_cycles, try_compile,
+    try_compile_core, try_compile_core_in, try_compile_core_traced_in, CompileResult, Prepared,
+    SchedCore,
 };
 pub use ddg::{Ddg, Dep, DepKind};
-pub use encode::{decode, encode, EncodeError, Program};
+pub use encode::{decode, encode, encode_traced, EncodeError, Program};
 pub use error::{Fuel, SchedError};
 pub use list::{
     render, schedule, schedule_with, schedule_with_fuel, try_schedule, try_schedule_in, Placement,
@@ -74,8 +75,8 @@ pub use list::{
 pub use loopcode::{FuClass, LoopCode, OpOrigin, SOp};
 pub use modulo::{
     modulo_schedule, omega_deps, rec_mii, res_mii, try_modulo_schedule, try_modulo_schedule_in,
-    ModuloSchedule, OmegaDep,
+    try_modulo_schedule_traced_in, ModuloSchedule, OmegaDep,
 };
-pub use regalloc::{peak_pressure, pressure, PressureReport};
+pub use regalloc::{allocate, peak_pressure, pressure, AllocError, PhysMap, PressureReport};
 pub use scratch::SchedScratch;
-pub use simulate::{simulate, SimError, SimStats};
+pub use simulate::{simulate, simulate_traced, SimError, SimStats};

@@ -335,6 +335,59 @@ pub fn try_modulo_schedule(
     )
 }
 
+/// [`try_modulo_schedule_in`] recording one `modulo` span: the II the
+/// search settled on (or a `feasible: false` / error token when it did
+/// not), the lower bound it started from, how many candidate IIs it
+/// tried, and the fuel the search charged. With a disabled trace this
+/// is exactly [`try_modulo_schedule_in`].
+///
+/// # Errors
+/// As [`try_modulo_schedule`].
+pub fn try_modulo_schedule_traced_in(
+    assignment: &Assignment,
+    ddg: &Ddg,
+    machine: &MachineResources,
+    list_length: u32,
+    fuel: &mut Fuel,
+    scratch: &mut SchedScratch,
+    trace: &mut cfp_obs::UnitTrace<'_>,
+) -> Result<Option<ModuloSchedule>, SchedError> {
+    use cfp_obs::{Stage, Value};
+    let before = fuel.spent();
+    let t0 = trace.start();
+    let out = try_modulo_schedule_in(assignment, ddg, machine, list_length, fuel, scratch);
+    let steps = fuel.spent() - before;
+    match &out {
+        Ok(Some(ms)) => trace.stage(
+            Stage::Modulo,
+            t0,
+            &[
+                ("ii", Value::U64(u64::from(ms.ii))),
+                ("mii", Value::U64(u64::from(ms.mii))),
+                ("ii_attempts", Value::U64(u64::from(ms.ii_attempts))),
+                ("steps", Value::U64(steps)),
+            ],
+        ),
+        Ok(None) => trace.stage(
+            Stage::Modulo,
+            t0,
+            &[
+                ("feasible", Value::Bool(false)),
+                ("steps", Value::U64(steps)),
+            ],
+        ),
+        Err(e) => trace.stage(
+            Stage::Modulo,
+            t0,
+            &[
+                ("error", Value::Str(e.token())),
+                ("steps", Value::U64(steps)),
+            ],
+        ),
+    }
+    out
+}
+
 /// [`try_modulo_schedule`] with working memory from `scratch`: the
 /// reservation rows, slot array, intra-dependence index, and demand
 /// counters live in reused flat buffers.

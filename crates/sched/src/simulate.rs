@@ -107,6 +107,55 @@ pub fn simulate(
     mem: &mut MemImage,
     iters: u64,
 ) -> Result<SimStats, SimError> {
+    simulate_traced(
+        kernel,
+        result,
+        machine,
+        mem,
+        iters,
+        &mut cfp_obs::UnitTrace::disabled(),
+    )
+}
+
+/// [`simulate`] recording one `simulate` span with the cycle and
+/// operation totals of the run (or an `ok: false` field when the
+/// schedule faulted). With a disabled trace this is exactly
+/// [`simulate`].
+///
+/// # Errors
+/// As [`simulate`].
+pub fn simulate_traced(
+    kernel: &Kernel,
+    result: &CompileResult,
+    machine: &MachineResources,
+    mem: &mut MemImage,
+    iters: u64,
+    trace: &mut cfp_obs::UnitTrace<'_>,
+) -> Result<SimStats, SimError> {
+    use cfp_obs::{Stage, Value};
+    let t0 = trace.start();
+    let out = simulate_inner(kernel, result, machine, mem, iters);
+    match &out {
+        Ok(stats) => trace.stage(
+            Stage::Simulate,
+            t0,
+            &[
+                ("cycles", Value::U64(stats.cycles)),
+                ("operations", Value::U64(stats.operations)),
+            ],
+        ),
+        Err(_) => trace.stage(Stage::Simulate, t0, &[("ok", Value::Bool(false))]),
+    }
+    out
+}
+
+fn simulate_inner(
+    kernel: &Kernel,
+    result: &CompileResult,
+    machine: &MachineResources,
+    mem: &mut MemImage,
+    iters: u64,
+) -> Result<SimStats, SimError> {
     validate_resources(result, machine)?;
 
     let code = &result.assignment.code;

@@ -55,14 +55,13 @@ fn slice() -> Vec<ArchSpec> {
     archs
 }
 
-/// Run the exploration `REPS` times and keep the fastest wall time (the
-/// runs are deterministic, so they differ only in OS noise). With a
-/// checkpoint attached there is exactly one rep: re-running against a
-/// now-complete journal would only measure the replay.
-fn run(reuse: bool, checkpoint: Option<Checkpoint>, threads: usize) -> (Exploration, f64) {
-    const REPS: usize = 3;
-    let reps = if checkpoint.is_some() { 1 } else { REPS };
-    let cfg = ExploreConfig {
+/// Timed repetitions; the fastest is kept (the runs are deterministic,
+/// so they differ only in OS noise).
+const REPS: usize = 3;
+
+/// The benchmarked configuration.
+fn config(reuse: bool, checkpoint: Option<Checkpoint>, threads: usize) -> ExploreConfig {
+    ExploreConfig {
         archs: slice(),
         benches: vec![
             Benchmark::A,
@@ -75,7 +74,15 @@ fn run(reuse: bool, checkpoint: Option<Checkpoint>, threads: usize) -> (Explorat
         reuse,
         checkpoint,
         ..ExploreConfig::default()
-    };
+    }
+}
+
+/// Run the exploration `REPS` times and keep the fastest wall time. With
+/// a checkpoint attached there is exactly one rep: re-running against a
+/// now-complete journal would only measure the replay.
+fn run(reuse: bool, checkpoint: Option<Checkpoint>, threads: usize) -> (Exploration, f64) {
+    let reps = if checkpoint.is_some() { 1 } else { REPS };
+    let cfg = config(reuse, checkpoint, threads);
     let mut best: Option<(Exploration, f64)> = None;
     for _ in 0..reps {
         let t = Instant::now();
@@ -89,6 +96,31 @@ fn run(reuse: bool, checkpoint: Option<Checkpoint>, threads: usize) -> (Explorat
         let s = t.elapsed().as_secs_f64();
         if best.as_ref().is_none_or(|(_, b)| s < *b) {
             best = Some((ex, s));
+        }
+    }
+    best.expect("at least one rep")
+}
+
+/// The reuse-on single-thread run again, but with a live
+/// [`custom_fit::obs::JsonlRecorder`] draining every span. Returns the
+/// fastest-rep exploration and wall time plus the event count of one
+/// run — the overhead this buys is the `trace_overhead` row.
+fn run_traced() -> (Exploration, f64, usize) {
+    let cfg = config(true, None, 1);
+    let mut best: Option<(Exploration, f64, usize)> = None;
+    for _ in 0..REPS {
+        let rec = custom_fit::obs::JsonlRecorder::new();
+        let t = Instant::now();
+        let ex = match Exploration::try_run_traced(&cfg, &rec) {
+            Ok(ex) => ex,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        };
+        let s = t.elapsed().as_secs_f64();
+        if best.as_ref().is_none_or(|(_, b, _)| s < *b) {
+            best = Some((ex, s, rec.len()));
         }
     }
     best.expect("at least one rep")
@@ -181,6 +213,13 @@ fn main() {
     eprintln!("running the reuse-enabled exploration on {par_threads} threads...");
     let (par, par_s) = run(true, None, par_threads);
     eprintln!("  {par_s:.2}s");
+    // And the reuse-on single-thread run once more with every span
+    // recorded, to price the observability layer. The comparable row is
+    // `on` (same config, NullRecorder — whose cost is one predicted
+    // branch per span, i.e. unmeasurable).
+    eprintln!("running the same exploration with JSONL tracing (1 thread)...");
+    let (traced, traced_s, trace_events) = run_traced();
+    eprintln!("  {traced_s:.2}s ({trace_events} events)");
     if on.stats.resumed_units > 0 {
         eprintln!(
             "  ({} units replayed from the checkpoint journal — wall-clock \
@@ -193,6 +232,7 @@ fn main() {
     // threading only changes who computes what first.
     assert_eq!(off.stats.compilations, on.stats.compilations);
     assert_eq!(off.stats.compilations, par.stats.compilations);
+    assert_eq!(off.stats.compilations, traced.stats.compilations);
     for a in 0..off.archs.len() {
         assert_eq!(
             off.speedup_row(a),
@@ -206,11 +246,18 @@ fn main() {
             "{} (parallel)",
             off.archs[a].spec
         );
+        assert_eq!(
+            off.speedup_row(a),
+            traced.speedup_row(a),
+            "{} (traced)",
+            off.archs[a].spec
+        );
     }
 
     let speedup = off_s / on_s;
     let eval_speedup = off.stats.eval_wall.as_secs_f64() / on.stats.eval_wall.as_secs_f64();
     let mdes_eval = on.stats.eval_wall.as_secs_f64();
+    let traced_eval = traced.stats.eval_wall.as_secs_f64();
     let json = format!(
         "{{\n  \"benchmark\": \"multi-register-size exploration ({} architectures x {} benchmarks)\",\n  \
            \"threads\": 1,\n  \
@@ -220,6 +267,9 @@ fn main() {
            \"mdes_refactor\": {{\"pre_mdes_eval_wall_s\": {PRE_MDES_EVAL_WALL_S:.4}, \
            \"post_mdes_eval_wall_s\": {mdes_eval:.4}, \"ratio\": {:.2}, \
            \"results_identical\": true}},\n  \
+           \"trace_overhead\": {{\"recorder\": \"jsonl\", \"events\": {trace_events}, \
+           \"eval_wall_s\": {traced_eval:.4}, \"null_eval_wall_s\": {mdes_eval:.4}, \
+           \"eval_ratio\": {:.3}, \"results_identical\": true}},\n  \
            \"results_identical\": true\n}}\n",
         off.stats.architectures,
         off.benches.len(),
@@ -230,6 +280,7 @@ fn main() {
         par_threads,
         stats_json(&par.stats),
         mdes_eval / PRE_MDES_EVAL_WALL_S,
+        traced_eval / mdes_eval,
     );
     std::fs::write(&out, &json).expect("write benchmark report");
     println!("wall-clock speedup from compile reuse: {speedup:.2}x (evaluation phase: {eval_speedup:.2}x)");

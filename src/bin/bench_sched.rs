@@ -21,9 +21,11 @@
 //!   regression guard CI can enforce without ever reading a clock.
 
 use custom_fit::machine::{ArchSpec, MachineResources};
+use custom_fit::obs::UnitTrace;
 use custom_fit::prelude::Benchmark;
 use custom_fit::sched::{
-    prepare, try_compile_core_in, try_modulo_schedule_in, Ddg, Fuel, Prepared, SchedScratch,
+    prepare, try_compile_core_in, try_compile_core_traced_in, try_modulo_schedule_traced_in, Ddg,
+    Fuel, Prepared, SchedScratch,
 };
 use std::time::Instant;
 
@@ -126,10 +128,21 @@ fn run_pass(
         modulo_steps: 0,
         ii_attempts: 0,
     };
+    // The pass goes through the traced entry points with a disabled
+    // trace (the NullRecorder), so the step budgets below also guard
+    // the span bookkeeping: if tracing ever leaked steps or changed a
+    // schedule, `--check` would fail.
+    let mut trace = UnitTrace::disabled();
     for (ki, (name, _)) in corpus.iter().enumerate() {
         for (mi, (_, machine)) in machines.iter().enumerate() {
             let mut fuel = Fuel::unlimited();
-            let core = match try_compile_core_in(&prepared[ki][mi], machine, &mut fuel, scratch) {
+            let core = match try_compile_core_traced_in(
+                &prepared[ki][mi],
+                machine,
+                &mut fuel,
+                scratch,
+                &mut trace,
+            ) {
                 Ok(core) => core,
                 Err(e) => unreachable!("unlimited fuel cannot exhaust ({name}): {e}"),
             };
@@ -141,13 +154,14 @@ fn run_pass(
             if name.ends_with("x1") {
                 let ddg = Ddg::build_in(&core.assignment.code, scratch);
                 let mut mfuel = Fuel::unlimited();
-                let ms = match try_modulo_schedule_in(
+                let ms = match try_modulo_schedule_traced_in(
                     &core.assignment,
                     &ddg,
                     machine,
                     core.length,
                     &mut mfuel,
                     scratch,
+                    &mut trace,
                 ) {
                     Ok(ms) => ms,
                     Err(e) => unreachable!("unlimited fuel cannot exhaust ({name}): {e}"),

@@ -17,6 +17,7 @@
 //! | [`sched`] | `cfp-sched` | VLIW back end: DDG, clustering, list scheduling, pressure, simulator |
 //! | [`kernels`] | `cfp-kernels` | the paper's benchmarks (DSL + golden references + data) |
 //! | [`dse`] | `cfp-dse` | the exploration, selection, and reporting layer |
+//! | [`obs`] | `cfp-obs` | structured observability: recorders, spans, trace summaries |
 //!
 //! ## Quick start
 //!
@@ -46,6 +47,7 @@ pub use cfp_frontend as frontend;
 pub use cfp_ir as ir;
 pub use cfp_kernels as kernels;
 pub use cfp_machine as machine;
+pub use cfp_obs as obs;
 pub use cfp_opt as opt;
 pub use cfp_sched as sched;
 
