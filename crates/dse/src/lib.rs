@@ -22,6 +22,10 @@
 //!   pathological candidate is a reported value, never a lost sweep;
 //! * [`checkpoint`] — crash-consistent journaling of completed units and
 //!   bit-identical resume of interrupted sweeps;
+//! * [`batch`] — the structure-of-arrays view of a finished
+//!   exploration (DESIGN.md §14): flat cost/derate/speedup/fail columns
+//!   filled in linear passes, feeding the batch scatter/frontier/select
+//!   consumers bit-identically to the scalar walkers;
 //! * [`mod@select`] — COST/RANGE architecture selection (Tables 8–10);
 //! * [`pareto`] — scatter points and best-alternative frontiers
 //!   (Figures 3–4);
@@ -50,6 +54,7 @@
 // clippy with `-D warnings`, so this gate is enforced.
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod batch;
 pub mod checkpoint;
 pub mod correction;
 pub mod error;
@@ -63,6 +68,7 @@ pub mod search;
 pub mod select;
 pub mod tables;
 
+pub use batch::{spec_fingerprint, EvalBatch};
 pub use checkpoint::Checkpoint;
 pub use error::{CheckpointError, EvalError, ExploreError, FailKind, FailReason};
 pub use eval::{
@@ -73,7 +79,7 @@ pub use eval::{
 pub use explore::{ArchEval, Exploration, ExploreConfig, RunStats};
 pub use io::{from_csv, to_csv};
 pub use memo::{CompileCache, ShardedMap};
-pub use pareto::{frontier, scatter, ScatterPoint};
+pub use pareto::{frontier, frontier_soa, scatter, scatter_soa, ScatterPoint};
 pub use search::{SearchReport, Strategy};
-pub use select::{select, Range, Selection};
+pub use select::{select, select_batch, Range, Selection};
 pub use tables::{paper_ranges, render, speedup_table, SpeedupTable};

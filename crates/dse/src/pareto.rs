@@ -1,5 +1,17 @@
 //! Cost/speedup scatter data and best-alternative frontiers
 //! (paper Figures 3 and 4).
+//!
+//! Both constructions come in two forms that share one core:
+//! * the original [`Exploration`]-walking entry points ([`scatter`],
+//!   [`frontier`]), kept for callers holding the pointer-rich result;
+//! * flat slice-in ("SoA") cores ([`scatter_soa`], [`frontier_soa`])
+//!   consumed by [`crate::batch::EvalBatch`] and the `bench_score`
+//!   microbenchmark, which run as sort-then-sweep passes over parallel
+//!   columns instead of hash-map folds and per-point struct walks.
+//!
+//! The two forms are bit-identical — same points, same order, same
+//! `f64` bits — which `tests/batch_equivalence.rs` pins on the full
+//! paper and extended spaces.
 
 use crate::explore::Exploration;
 use cfp_machine::ArchSpec;
@@ -15,40 +27,74 @@ pub struct ScatterPoint {
     pub speedup: f64,
 }
 
+/// The *base point* of a spec: the five axes of Table 5. Cluster count
+/// and Level-2 pipelining are arrangement freedom, not a new base point
+/// — arrangements compete inside one scatter slot.
+fn base_key(s: &ArchSpec) -> (u32, u32, u32, u32, u32) {
+    (s.alus, s.muls, s.regs, s.l2_ports, s.l2_latency)
+}
+
 /// The scatter for one benchmark: one point per *base point* of the
 /// space, "after the best cluster arrangement had been selected"
 /// (Figure 3's caption) — the arrangement with the highest speedup,
 /// cheaper on ties.
 #[must_use]
 pub fn scatter(exploration: &Exploration, bench: usize) -> Vec<ScatterPoint> {
-    use std::collections::HashMap;
-    let mut best: HashMap<(u32, u32, u32, u32, u32), ScatterPoint> = HashMap::new();
-    for (i, arch) in exploration.archs.iter().enumerate() {
-        let s = arch.spec;
-        let key = (s.alus, s.muls, s.regs, s.l2_ports, s.l2_latency);
-        let p = ScatterPoint {
-            spec: s,
-            cost: arch.cost,
-            speedup: exploration.speedup(i, bench),
-        };
-        // A quarantined unit has no speedup (NaN); it cannot be "the
-        // best arrangement" of its base point, and letting it into the
-        // map would block finite arrangements (NaN comparisons are all
-        // false), so it is skipped outright.
-        if !p.speedup.is_finite() {
-            continue;
+    let specs: Vec<ArchSpec> = exploration.archs.iter().map(|a| a.spec).collect();
+    let cost: Vec<f64> = exploration.archs.iter().map(|a| a.cost).collect();
+    let speedup: Vec<f64> = (0..specs.len())
+        .map(|a| exploration.speedup(a, bench))
+        .collect();
+    scatter_soa(&specs, &cost, &speedup)
+}
+
+/// SoA form of [`scatter`]: three parallel columns in, one column per
+/// architecture, `speedup` holding that architecture's speedup on the
+/// benchmark being plotted (NaN for a quarantined unit).
+///
+/// Quarantined (non-finite) entries are dropped before grouping: a unit
+/// with no measurement cannot be "the best arrangement" of its base
+/// point, and must not block finite siblings either. Arrangements of one
+/// base point are folded in architecture-index order with the same
+/// epsilon rule the per-point fold always used, so the output is
+/// bit-identical to the historical hash-map construction.
+///
+/// # Panics
+/// Panics if the columns disagree in length.
+#[must_use]
+pub fn scatter_soa(specs: &[ArchSpec], cost: &[f64], speedup: &[f64]) -> Vec<ScatterPoint> {
+    assert_eq!(specs.len(), cost.len(), "scatter_soa columns differ");
+    assert_eq!(specs.len(), speedup.len(), "scatter_soa columns differ");
+    // Finite units only, grouped by base point. The sort is stable, so
+    // within one base point the architecture-index encounter order — the
+    // order the fold below depends on — is preserved.
+    let mut order: Vec<u32> = (0..specs.len() as u32)
+        .filter(|&i| speedup[i as usize].is_finite())
+        .collect();
+    order.sort_by_key(|&i| base_key(&specs[i as usize]));
+
+    let point = |i: u32| ScatterPoint {
+        spec: specs[i as usize],
+        cost: cost[i as usize],
+        speedup: speedup[i as usize],
+    };
+    let mut points: Vec<ScatterPoint> = Vec::new();
+    let mut at = 0;
+    while at < order.len() {
+        let key = base_key(&specs[order[at] as usize]);
+        let mut cur = point(order[at]);
+        at += 1;
+        while at < order.len() && base_key(&specs[order[at] as usize]) == key {
+            let p = point(order[at]);
+            let better = p.speedup > cur.speedup + 1e-12
+                || ((p.speedup - cur.speedup).abs() <= 1e-12 && p.cost < cur.cost);
+            if better {
+                cur = p;
+            }
+            at += 1;
         }
-        best.entry(key)
-            .and_modify(|cur| {
-                let better = p.speedup > cur.speedup + 1e-12
-                    || ((p.speedup - cur.speedup).abs() <= 1e-12 && p.cost < cur.cost);
-                if better {
-                    *cur = p;
-                }
-            })
-            .or_insert(p);
+        points.push(cur);
     }
-    let mut points: Vec<ScatterPoint> = best.into_values().collect();
     points.sort_by(|a, b| a.cost.total_cmp(&b.cost).then(a.spec.cmp(&b.spec)));
     points
 }
@@ -56,14 +102,39 @@ pub fn scatter(exploration: &Exploration, bench: usize) -> Vec<ScatterPoint> {
 /// Indices of the best cost/performance alternatives: the staircase of
 /// points whose speedup strictly exceeds every cheaper point's (the line
 /// the paper draws through each scatter diagram).
+///
+/// [`scatter`] output is already cost-sorted, so for it this is a single
+/// sweep; unsorted input is handled by the cost sort inside
+/// [`frontier_soa`] (indices still come back ascending by cost).
 #[must_use]
 pub fn frontier(points: &[ScatterPoint]) -> Vec<usize> {
+    let cost: Vec<f64> = points.iter().map(|p| p.cost).collect();
+    let speedup: Vec<f64> = points.iter().map(|p| p.speedup).collect();
+    frontier_soa(&cost, &speedup)
+}
+
+/// SoA form of [`frontier`]: sort-then-sweep over two parallel columns.
+///
+/// Points are visited cheapest-first (ties keep index order — the sort
+/// is stable, so already-sorted input is visited exactly in index
+/// order), and a point joins the frontier when its speedup beats the
+/// best pushed so far by more than the `1e-12` epsilon. One `O(n log n)`
+/// sort and one linear sweep; on cost-sorted input the output is
+/// index-identical to the historical in-order scan.
+///
+/// # Panics
+/// Panics if the columns disagree in length.
+#[must_use]
+pub fn frontier_soa(cost: &[f64], speedup: &[f64]) -> Vec<usize> {
+    assert_eq!(cost.len(), speedup.len(), "frontier_soa columns differ");
+    let mut order: Vec<u32> = (0..cost.len() as u32).collect();
+    order.sort_by(|&a, &b| cost[a as usize].total_cmp(&cost[b as usize]));
     let mut out = Vec::new();
     let mut best = f64::NEG_INFINITY;
-    for (i, p) in points.iter().enumerate() {
-        if p.speedup > best + 1e-12 {
-            best = p.speedup;
-            out.push(i);
+    for &i in &order {
+        if speedup[i as usize] > best + 1e-12 {
+            best = speedup[i as usize];
+            out.push(i as usize);
         }
     }
     out
@@ -99,5 +170,60 @@ mod tests {
             .map(|p| p.speedup)
             .fold(f64::NEG_INFINITY, f64::max);
         assert!((pts[*f.last().unwrap()].speedup - best).abs() < 1e-12);
+    }
+
+    /// Transcription of the pre-SoA frontier: the in-order scan over
+    /// already-cost-sorted points. The sweep must reproduce it exactly
+    /// on sorted input — including the epsilon subtlety that `best`
+    /// tracks only *pushed* members, not the running maximum.
+    fn frontier_by_scan(points: &[ScatterPoint]) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut best = f64::NEG_INFINITY;
+        for (i, p) in points.iter().enumerate() {
+            if p.speedup > best + 1e-12 {
+                best = p.speedup;
+                out.push(i);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn sweep_matches_the_historical_scan_on_random_clouds() {
+        cfp_testkit::cases(0xF05A_11CE, 256, |rng| {
+            let n = 1 + rng.index(40);
+            let spec = ArchSpec::baseline();
+            let mut pts: Vec<ScatterPoint> = (0..n)
+                .map(|_| ScatterPoint {
+                    spec,
+                    // Coarse grids on purpose: exact cost ties and
+                    // epsilon-close speedups are common, exercising the
+                    // tie rules rather than the generic path.
+                    cost: 1.0 + rng.below(30) as f64 / 4.0,
+                    speedup: match rng.below(10) {
+                        0 => 2.0 + 1e-13 * rng.below(40) as f64,
+                        _ => 0.5 + rng.below(40) as f64 / 8.0,
+                    },
+                })
+                .collect();
+            // Callers hold scatter output: cost-sorted.
+            pts.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+            assert_eq!(frontier(&pts), frontier_by_scan(&pts));
+        });
+    }
+
+    #[test]
+    fn sweep_handles_unsorted_input_by_cost_order() {
+        let spec = ArchSpec::baseline();
+        let p = |cost: f64, speedup: f64| ScatterPoint {
+            spec,
+            cost,
+            speedup,
+        };
+        // Expensive-but-fast first: the scan would keep index 0 and then
+        // reject the cheap point; the sweep visits cheapest-first and
+        // keeps both, cheap one first.
+        let pts = [p(9.0, 5.0), p(1.0, 2.0)];
+        assert_eq!(frontier(&pts), vec![1, 0]);
     }
 }

@@ -9,7 +9,15 @@
 //! `su` (harmonic-mean speedup — total running time) wins. RANGE = ∞
 //! ignores the target entirely, answering "which architecture minimizes
 //! the total running time of all the applications at this cost".
+//!
+//! Two entry points, one rule: [`select`] walks an [`Exploration`],
+//! [`select_batch`] reads the precomputed columns of an
+//! [`EvalBatch`](crate::batch::EvalBatch). Both lower onto the same
+//! column-driven core, so they agree bit for bit; the batch form skips
+//! the per-architecture harmonic-mean recomputation entirely (the `su`
+//! column was filled once when the batch was built).
 
+use crate::batch::EvalBatch;
 use crate::explore::Exploration;
 use cfp_machine::ArchSpec;
 
@@ -46,6 +54,52 @@ pub struct Selection {
     pub speedups: Vec<f64>,
 }
 
+/// The selection rule over parallel columns: `cost`/`su` per
+/// architecture plus the target benchmark's speedup column. Returns the
+/// winning architecture index.
+fn select_core(
+    specs: &[ArchSpec],
+    cost: &[f64],
+    su: &[f64],
+    target_su: &[f64],
+    cost_bound: f64,
+    range: Range,
+) -> Option<usize> {
+    // Quarantined units surface as NaN speedups, which poison the row's
+    // harmonic mean; a designer cannot pick an architecture with missing
+    // measurements, so such rows are out of the running entirely.
+    let affordable: Vec<usize> = (0..specs.len())
+        .filter(|&a| cost[a] <= cost_bound && su[a].is_finite())
+        .collect();
+    if affordable.is_empty() {
+        return None;
+    }
+
+    let candidates: Vec<usize> = match range {
+        Range::Infinite => affordable,
+        Range::Fraction(f) => {
+            let best = affordable
+                .iter()
+                .map(|&a| target_su[a])
+                .fold(f64::NEG_INFINITY, f64::max);
+            affordable
+                .into_iter()
+                .filter(|&a| target_su[a] >= best * (1.0 - f) - 1e-12)
+                .collect()
+        }
+    };
+
+    // Among candidates, the best overall suite performance; ties go to
+    // the cheaper architecture, then to the lexically smaller spec so
+    // results are deterministic.
+    candidates.into_iter().min_by(|&x, &y| {
+        su[y]
+            .total_cmp(&su[x])
+            .then(cost[x].total_cmp(&cost[y]))
+            .then(specs[x].cmp(&specs[y]))
+    })
+}
+
 /// Select for `target` under `cost_bound` and `range`.
 ///
 /// Returns `None` when no architecture fits the cost bound.
@@ -56,54 +110,62 @@ pub fn select(
     cost_bound: f64,
     range: Range,
 ) -> Option<Selection> {
-    let target_su = |a: usize| exploration.speedup(a, target);
-    let overall = |a: usize| Exploration::harmonic_mean(&exploration.speedup_row(a));
-    // Quarantined units surface as NaN speedups, which poison the row's
-    // harmonic mean; a designer cannot pick an architecture with missing
-    // measurements, so such rows are out of the running entirely.
-    let affordable: Vec<usize> = (0..exploration.archs.len())
-        .filter(|&a| exploration.archs[a].cost <= cost_bound && overall(a).is_finite())
-        .collect();
-    if affordable.is_empty() {
-        return None;
+    // Three linear passes build the columns once; the historical code
+    // recomputed the harmonic mean inside the winner comparator, once
+    // per comparison.
+    let na = exploration.archs.len();
+    let specs: Vec<ArchSpec> = exploration.archs.iter().map(|a| a.spec).collect();
+    let cost: Vec<f64> = exploration.archs.iter().map(|a| a.cost).collect();
+    let mut su = Vec::with_capacity(na);
+    let mut target_su = Vec::with_capacity(na);
+    for a in 0..na {
+        su.push(Exploration::harmonic_mean(&exploration.speedup_row(a)));
+        target_su.push(exploration.speedup(a, target));
     }
 
-    let candidates: Vec<usize> = match range {
-        Range::Infinite => affordable.clone(),
-        Range::Fraction(f) => {
-            let best = affordable
-                .iter()
-                .map(|&a| target_su(a))
-                .fold(f64::NEG_INFINITY, f64::max);
-            affordable
-                .iter()
-                .copied()
-                .filter(|&a| target_su(a) >= best * (1.0 - f) - 1e-12)
-                .collect()
-        }
-    };
-
-    // Among candidates, the best overall suite performance; ties go to
-    // the cheaper architecture, then to the lexically smaller spec so
-    // results are deterministic.
-    let winner = candidates.into_iter().min_by(|&x, &y| {
-        overall(y)
-            .total_cmp(&overall(x))
-            .then(
-                exploration.archs[x]
-                    .cost
-                    .total_cmp(&exploration.archs[y].cost),
-            )
-            .then(exploration.archs[x].spec.cmp(&exploration.archs[y].spec))
-    })?;
-
+    let winner = select_core(&specs, &cost, &su, &target_su, cost_bound, range)?;
     let speedups = exploration.speedup_row(winner);
     Some(Selection {
         arch_index: winner,
-        spec: exploration.archs[winner].spec,
-        cost: exploration.archs[winner].cost,
-        su: Exploration::harmonic_mean(&speedups),
+        spec: specs[winner],
+        cost: cost[winner],
+        su: su[winner],
         speedups,
+    })
+}
+
+/// [`select`] over a prebuilt [`EvalBatch`]: identical rule, identical
+/// winner (bit for bit), but every column is already resident — the call
+/// is two linear passes (the target-column gather and the core) with no
+/// per-architecture recomputation.
+///
+/// # Panics
+/// Panics if `target` is not a benchmark column of the batch.
+#[must_use]
+pub fn select_batch(
+    batch: &EvalBatch,
+    target: usize,
+    cost_bound: f64,
+    range: Range,
+) -> Option<Selection> {
+    assert!(target < batch.benches(), "target column out of range");
+    let target_su: Vec<f64> = (0..batch.len())
+        .map(|a| batch.speedup_row(a)[target])
+        .collect();
+    let winner = select_core(
+        batch.specs(),
+        batch.costs(),
+        batch.sus(),
+        &target_su,
+        cost_bound,
+        range,
+    )?;
+    Some(Selection {
+        arch_index: winner,
+        spec: batch.specs()[winner],
+        cost: batch.costs()[winner],
+        su: batch.sus()[winner],
+        speedups: batch.speedup_row(winner).to_vec(),
     })
 }
 
@@ -170,5 +232,32 @@ mod tests {
     fn impossible_budget_returns_none() {
         let ex = small_exploration();
         assert!(select(&ex, 0, 0.1, Range::Fraction(0.0)).is_none());
+    }
+
+    #[test]
+    fn batch_selection_agrees_with_the_scalar_rule() {
+        let ex = small_exploration();
+        let batch = ex.batch();
+        for t in 0..ex.benches.len() {
+            for bound in [0.1, 2.0, 5.0, 10.0, f64::INFINITY] {
+                for range in [Range::Fraction(0.0), Range::Fraction(0.1), Range::Infinite] {
+                    let scalar = select(&ex, t, bound, range);
+                    let batched = select_batch(&batch, t, bound, range);
+                    match (scalar, batched) {
+                        (None, None) => {}
+                        (Some(s), Some(b)) => {
+                            assert_eq!(s.arch_index, b.arch_index, "t {t} bound {bound} {range}");
+                            assert_eq!(s.spec, b.spec);
+                            assert_eq!(s.cost.to_bits(), b.cost.to_bits());
+                            assert_eq!(s.su.to_bits(), b.su.to_bits());
+                            let sb: Vec<u64> = s.speedups.iter().map(|x| x.to_bits()).collect();
+                            let bb: Vec<u64> = b.speedups.iter().map(|x| x.to_bits()).collect();
+                            assert_eq!(sb, bb);
+                        }
+                        (s, b) => panic!("scalar {:?} vs batch {:?}", s.is_some(), b.is_some()),
+                    }
+                }
+            }
+        }
     }
 }

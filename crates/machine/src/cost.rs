@@ -18,7 +18,6 @@
 
 use crate::arch::ArchSpec;
 use crate::calibrate;
-use crate::mdes::{Mdes, UnitClass};
 use std::sync::OnceLock;
 
 /// Computes architecture cost in baseline-relative units.
@@ -57,18 +56,24 @@ impl CostModel {
         CACHE.get_or_init(calibrate::fit_cost_model).clone()
     }
 
-    /// The raw (un-normalized) cost, computed from the derived machine
-    /// description's unit table (the same per-cluster counts the
-    /// scheduler sees).
+    /// The raw (un-normalized) cost, computed from the per-cluster
+    /// shapes the machine description itself is derived from (the same
+    /// counts the scheduler sees through [`crate::Mdes`]). Reading the
+    /// shapes directly keeps this allocation-free — a
+    /// [`crate::Mdes::from_spec`] materializes its unit table on the
+    /// heap, and scoring a large design space calls this once per point.
     #[must_use]
     pub fn raw_cost(&self, spec: &ArchSpec) -> f64 {
-        let mdes = Mdes::from_spec(spec);
+        // The coefficient loads are hoisted into locals so the cluster
+        // loop reads no `self` field (the batch entry point below runs
+        // this same body back to back over a whole slice of specs).
+        let (k2, k3, k4, k5) = (self.k2, self.k3, self.k4, self.k5);
         let mut total = 0.0;
-        for cl in mdes.clusters() {
-            let p = f64::from(cl.regfile_ports());
-            let y_reg = f64::from(cl.regs) * (self.k2 * p + self.k3);
-            let y_alu = self.k4 * f64::from(cl.count(UnitClass::Alu));
-            let y_mul = self.k5 * f64::from(cl.count(UnitClass::Mul));
+        for sh in spec.cluster_shapes() {
+            let p = f64::from(sh.regfile_ports());
+            let y_reg = f64::from(sh.regs) * (k2 * p + k3);
+            let y_alu = k4 * f64::from(sh.alus);
+            let y_mul = k5 * f64::from(sh.muls);
             total += p * (y_reg + y_alu + y_mul);
         }
         total + self.k6 * f64::from(spec.clusters - 1)
@@ -78,6 +83,22 @@ impl CostModel {
     #[must_use]
     pub fn cost(&self, spec: &ArchSpec) -> f64 {
         self.raw_cost(spec) / self.baseline_raw
+    }
+
+    /// Batch scoring: the cost of every spec in `specs`, written to the
+    /// matching slot of `out`. One linear pass with the coefficients
+    /// resident; each slot is bit-identical to [`CostModel::cost`] of
+    /// that spec (same operations in the same order — the batch form
+    /// only amortizes the call overhead and keeps the loop vectorizable).
+    ///
+    /// # Panics
+    /// Panics if the slices disagree in length.
+    pub fn cost_batch(&self, specs: &[ArchSpec], out: &mut [f64]) {
+        assert_eq!(specs.len(), out.len(), "cost_batch slice lengths differ");
+        let base = self.baseline_raw;
+        for (spec, slot) in specs.iter().zip(out.iter_mut()) {
+            *slot = self.raw_cost(spec) / base;
+        }
     }
 
     /// The fitted coefficients `(k2, k3, k4, k5, k6)`.
@@ -130,6 +151,28 @@ mod tests {
         assert!(k4 > 0.0);
         assert!((k5 - 3.0 * k4).abs() < 1e-12, "mul pinned at 3 ALU heights");
         assert!(k6 > 0.0);
+    }
+
+    #[test]
+    fn batch_costs_are_bit_identical_to_scalar() {
+        let model = CostModel::paper_calibrated();
+        let specs: Vec<ArchSpec> = crate::DesignSpace::extended()
+            .all_arrangements()
+            .into_iter()
+            .step_by(13)
+            .collect();
+        let mut out = vec![0.0; specs.len()];
+        model.cost_batch(&specs, &mut out);
+        for (s, &got) in specs.iter().zip(&out) {
+            assert_eq!(got.to_bits(), model.cost(s).to_bits(), "{s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "slice lengths differ")]
+    fn batch_cost_rejects_mismatched_slices() {
+        let model = CostModel::paper_calibrated();
+        model.cost_batch(&[ArchSpec::baseline()], &mut []);
     }
 
     #[test]

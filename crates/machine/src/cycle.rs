@@ -9,7 +9,6 @@
 
 use crate::arch::ArchSpec;
 use crate::calibrate;
-use crate::mdes::Mdes;
 use std::sync::OnceLock;
 
 /// Computes the cycle-time derating factor of an architecture.
@@ -42,9 +41,12 @@ impl CycleModel {
     }
 
     fn raw_derate(&self, spec: &ArchSpec) -> f64 {
-        // Port measure from the derived machine description (same value
-        // as `ArchSpec::cycle_ports`, sourced from the unit table).
-        let p = f64::from(Mdes::from_spec(spec).cycle_ports());
+        // The spec's port measure is the integer the derived machine
+        // description reports as `Mdes::cycle_ports` (asserted equal in
+        // the mdes tests); reading it directly keeps this call free of
+        // the description's heap-allocated unit table — scoring a large
+        // design space calls this once per point.
+        let p = f64::from(spec.cycle_ports());
         self.alpha + self.beta * p * p
     }
 
@@ -53,6 +55,23 @@ impl CycleModel {
     #[must_use]
     pub fn derate(&self, spec: &ArchSpec) -> f64 {
         self.raw_derate(spec) / self.baseline_raw
+    }
+
+    /// Batch scoring: the derate of every spec in `specs`, written to
+    /// the matching slot of `out`. One linear pass with `α`/`β` held in
+    /// locals; each slot is bit-identical to [`CycleModel::derate`] of
+    /// that spec, and the loop body is three multiplies and an add over
+    /// flat data — exactly the shape the autovectorizer wants.
+    ///
+    /// # Panics
+    /// Panics if the slices disagree in length.
+    pub fn derate_batch(&self, specs: &[ArchSpec], out: &mut [f64]) {
+        assert_eq!(specs.len(), out.len(), "derate_batch slice lengths differ");
+        let (alpha, beta, base) = (self.alpha, self.beta, self.baseline_raw);
+        for (spec, slot) in specs.iter().zip(out.iter_mut()) {
+            let p = f64::from(spec.cycle_ports());
+            *slot = (alpha + beta * p * p) / base;
+        }
     }
 
     /// The fitted `(α, β)` before normalization.
@@ -92,6 +111,28 @@ mod tests {
         let eight = m.derate(&spec(16, 1, 8));
         assert!(mono > 6.5 && mono < 8.0, "mono {mono:.2}");
         assert!(eight < 1.2, "eight {eight:.2}");
+    }
+
+    #[test]
+    fn batch_derates_are_bit_identical_to_scalar() {
+        let m = CycleModel::paper_calibrated();
+        let specs: Vec<ArchSpec> = crate::DesignSpace::extended()
+            .all_arrangements()
+            .into_iter()
+            .step_by(13)
+            .collect();
+        let mut out = vec![0.0; specs.len()];
+        m.derate_batch(&specs, &mut out);
+        for (s, &got) in specs.iter().zip(&out) {
+            assert_eq!(got.to_bits(), m.derate(s).to_bits(), "{s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "slice lengths differ")]
+    fn batch_derate_rejects_mismatched_slices() {
+        let m = CycleModel::paper_calibrated();
+        m.derate_batch(&[ArchSpec::baseline()], &mut []);
     }
 
     #[test]

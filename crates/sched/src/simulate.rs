@@ -149,6 +149,91 @@ pub fn simulate_traced(
     out
 }
 
+/// Batched [`simulate`]: one kernel and input image, many sibling
+/// architectures in one pass. Returns, for each entry, exactly what a
+/// scalar `simulate` call on a fresh clone of `base` would have produced
+/// — the same verdict (bit for bit, including the error variant) and the
+/// same final memory image.
+///
+/// What the batch amortizes over the entries:
+/// * the preamble interpretation runs **once** (its values and memory
+///   effects depend only on the kernel and `base`);
+/// * the placement order is computed once per *distinct* schedule, and
+///   entries sharing a `CompileResult` (the register axis collapses
+///   schedules, so siblings are common) execute the loop once and clone
+///   the outcome;
+/// * per-entry work that genuinely differs — resource validation against
+///   each machine — still runs per entry.
+///
+/// Failure isolation matches the scalar path: a validation failure
+/// returns the untouched `base` clone (scalar validation runs before the
+/// preamble), and a preamble fault fails every validated entry with the
+/// preamble's partial memory state.
+#[must_use]
+pub fn simulate_batch(
+    kernel: &Kernel,
+    entries: &[(&CompileResult, &MachineResources)],
+    base: &MemImage,
+    iters: u64,
+) -> Vec<(Result<SimStats, SimError>, MemImage)> {
+    let mut out: Vec<Option<(Result<SimStats, SimError>, MemImage)>> =
+        entries.iter().map(|_| None).collect();
+
+    // Validation first: it is the one stage that runs before any memory
+    // effect, so a failing entry hands back `base` unchanged.
+    for (slot, &(result, machine)) in out.iter_mut().zip(entries) {
+        if let Err(e) = validate_resources(result, machine) {
+            *slot = Some((Err(e), base.clone()));
+        }
+    }
+
+    // The preamble is entry-independent: run it once on a shared image.
+    let mut pre_mem = base.clone();
+    let preamble_vals = match Interpreter::new().preamble_values(kernel, &mut pre_mem) {
+        Ok(vals) => vals,
+        Err(e) => {
+            for slot in &mut out {
+                if slot.is_none() {
+                    *slot = Some((Err(SimError::Mem(e.clone())), pre_mem.clone()));
+                }
+            }
+            return drain_slots(out);
+        }
+    };
+
+    // Execute each distinct schedule once; later siblings (same
+    // `CompileResult` reference) clone the verdict and image.
+    for i in 0..entries.len() {
+        if out[i].is_some() {
+            continue;
+        }
+        let result = entries[i].0;
+        let order = placement_order(result);
+        let mut mem = pre_mem.clone();
+        let run = run_schedule(result, &preamble_vals, &order, &mut mem, iters);
+        for j in (i + 1)..entries.len() {
+            if out[j].is_none() && std::ptr::eq(entries[j].0, result) {
+                out[j] = Some((run.clone(), mem.clone()));
+            }
+        }
+        out[i] = Some((run, mem));
+    }
+    drain_slots(out)
+}
+
+/// Unwrap the fully-populated slot vector of [`simulate_batch`].
+fn drain_slots<T>(slots: Vec<Option<T>>) -> Vec<T> {
+    slots
+        .into_iter()
+        .map(|s| {
+            // Every path through `simulate_batch` fills every slot
+            // before draining.
+            #[allow(clippy::expect_used)]
+            s.expect("simulate_batch filled every slot")
+        })
+        .collect()
+}
+
 fn simulate_inner(
     kernel: &Kernel,
     result: &CompileResult,
@@ -157,22 +242,20 @@ fn simulate_inner(
     iters: u64,
 ) -> Result<SimStats, SimError> {
     validate_resources(result, machine)?;
-
-    let code = &result.assignment.code;
-    let n_vregs = code.vreg_limit as usize;
-
     // Setup: run the preamble, latch carried inits, zero the synthetic
     // state (pointers, induction, bound).
     let preamble_vals = Interpreter::new().preamble_values(kernel, mem)?;
-    let mut vals = vec![0_i64; n_vregs];
-    vals[..preamble_vals.len()].copy_from_slice(&preamble_vals);
+    let order = placement_order(result);
+    run_schedule(result, &preamble_vals, &order, mem, iters)
+}
 
-    let resident: std::collections::HashSet<Vreg> = code.resident.iter().copied().collect();
-    let defined: std::collections::HashSet<Vreg> = code.ops.iter().filter_map(|o| o.def).collect();
-
-    // Placement order: by cycle, stores after non-stores within a cycle
-    // (loads sample memory at the start of a cycle, stores commit at the
-    // end — this is what makes a 0-separation WAR legal).
+/// Placement order: by cycle, stores after non-stores within a cycle
+/// (loads sample memory at the start of a cycle, stores commit at the
+/// end — this is what makes a 0-separation WAR legal). Depends only on
+/// the compile result, so a batch over sibling architectures computes it
+/// once per distinct schedule.
+fn placement_order(result: &CompileResult) -> Vec<usize> {
+    let code = &result.assignment.code;
     let mut order: Vec<usize> = (0..code.ops.len()).collect();
     order.sort_by_key(|&i| {
         (
@@ -181,6 +264,24 @@ fn simulate_inner(
             i,
         )
     });
+    order
+}
+
+/// The cycle-by-cycle execution loop, after validation and preamble.
+fn run_schedule(
+    result: &CompileResult,
+    preamble_vals: &[i64],
+    order: &[usize],
+    mem: &mut MemImage,
+    iters: u64,
+) -> Result<SimStats, SimError> {
+    let code = &result.assignment.code;
+    let n_vregs = code.vreg_limit as usize;
+    let mut vals = vec![0_i64; n_vregs];
+    vals[..preamble_vals.len()].copy_from_slice(preamble_vals);
+
+    let resident: std::collections::HashSet<Vreg> = code.resident.iter().copied().collect();
+    let defined: std::collections::HashSet<Vreg> = code.ops.iter().filter_map(|o| o.def).collect();
 
     let mut ready = vec![0_u32; n_vregs];
     let mut stats = SimStats::default();
@@ -188,7 +289,7 @@ fn simulate_inner(
         for v in &defined {
             ready[v.index()] = u32::MAX;
         }
-        for &i in &order {
+        for &i in order {
             let op = &code.ops[i];
             let t = result.schedule.placements[i].cycle;
             let cluster = result.schedule.placements[i].cluster;
@@ -485,5 +586,74 @@ mod tests {
         for src in KERNELS {
             check(src, &[], &spec, 8);
         }
+    }
+
+    #[test]
+    fn batch_matches_per_entry_scalar_simulation() {
+        let specs = [
+            ArchSpec::baseline(),
+            ArchSpec::new(8, 4, 256, 2, 4, 1).unwrap(),
+            ArchSpec::new(8, 4, 256, 2, 4, 4).unwrap(),
+            ArchSpec::new(16, 8, 512, 4, 2, 8).unwrap(),
+        ];
+        for src in KERNELS {
+            let kernel = compile_kernel(src, &[]).unwrap();
+            let machines: Vec<MachineResources> =
+                specs.iter().map(MachineResources::from_spec).collect();
+            let results: Vec<CompileResult> =
+                machines.iter().map(|m| compile(&kernel, m)).collect();
+
+            let mut base = MemImage::for_kernel(&kernel);
+            for (i, a) in kernel.arrays.iter().enumerate() {
+                if !matches!(a.kind, ArrayKind::Local(_)) {
+                    base.bind(i, (0..256).map(|k| (k * 29 + 11) % 251).collect());
+                }
+            }
+
+            // Two entries share one compile result on purpose: the batch
+            // must execute that schedule once and clone the outcome.
+            let entries: Vec<(&CompileResult, &MachineResources)> = results
+                .iter()
+                .zip(&machines)
+                .chain(std::iter::once((&results[1], &machines[1])))
+                .collect();
+            let batch = simulate_batch(&kernel, &entries, &base, 12);
+            assert_eq!(batch.len(), entries.len());
+            for ((result, machine), (verdict, mem)) in entries.iter().zip(&batch) {
+                let mut scalar_mem = base.clone();
+                let scalar = simulate(&kernel, result, machine, &mut scalar_mem, 12);
+                assert_eq!(&scalar, verdict);
+                assert_eq!(&scalar_mem, mem);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_isolates_a_validation_failure() {
+        let kernel = compile_kernel(KERNELS[0], &[]).unwrap();
+        let wide = ArchSpec::new(8, 4, 256, 2, 4, 1).unwrap();
+        let wide_machine = MachineResources::from_spec(&wide);
+        let narrow_machine = MachineResources::from_spec(&ArchSpec::baseline());
+        // A wide schedule validated against the baseline's resources
+        // oversubscribes; the sibling entry with the right machine must
+        // be untouched by that failure.
+        let result = compile(&kernel, &wide_machine);
+        let mut base = MemImage::for_kernel(&kernel);
+        for (i, a) in kernel.arrays.iter().enumerate() {
+            if !matches!(a.kind, ArrayKind::Local(_)) {
+                base.bind(i, (0..256).map(|k| (k * 13 + 5) % 250).collect());
+            }
+        }
+        let entries = [(&result, &narrow_machine), (&result, &wide_machine)];
+        let batch = simulate_batch(&kernel, &entries, &base, 8);
+        assert!(
+            matches!(batch[0].0, Err(SimError::Oversubscribed { .. })),
+            "narrow machine accepted a wide schedule"
+        );
+        assert_eq!(batch[0].1, base, "a failed entry mutated its image");
+        let mut mem = base.clone();
+        let scalar = simulate(&kernel, &result, &wide_machine, &mut mem, 8);
+        assert_eq!(batch[1].0, scalar);
+        assert_eq!(batch[1].1, mem);
     }
 }
