@@ -89,7 +89,17 @@ pub fn fingerprint(config: &ExploreConfig) -> u64 {
     }
     match &config.fault {
         None => eat(b"fault:none"),
-        Some(f) => eat(format!("fault:{}:{}", f.seed(), f.denominator()).as_bytes()),
+        // Panicking injectors keep the pre-FaultKind encoding so old
+        // journals stay resumable; the newer kinds fold in their token
+        // (and a stall's length, which changes nothing but is honest).
+        Some(f) => match f.kind() {
+            cfp_testkit::FaultKind::Panic => {
+                eat(format!("fault:{}:{}", f.seed(), f.denominator()).as_bytes());
+            }
+            kind => {
+                eat(format!("fault:{}:{}:{}", kind.token(), f.seed(), f.denominator()).as_bytes())
+            }
+        },
     }
     h
 }

@@ -57,9 +57,13 @@ impl PlanId {
 }
 
 /// Precomputed optimized + unrolled kernels, interned by content.
+///
+/// Kernels are held in `Arc`s so a [`PlanStore`] snapshot — a
+/// `PlanCache` view over the store's interned kernels — is a handful of
+/// pointer clones rather than a deep copy of every kernel body.
 #[derive(Debug, Default)]
 pub struct PlanCache {
-    kernels: Vec<cfp_ir::Kernel>,
+    kernels: Vec<std::sync::Arc<cfp_ir::Kernel>>,
     plans: HashMap<(Benchmark, usize, u32), PlanId>,
 }
 
@@ -121,10 +125,10 @@ impl PlanCache {
         // Plan counts are benches × budgets × unrolls — a few hundred at
         // most, so the index always fits; saturating keeps the cast
         // panic-free without inventing an unreachable error path.
-        if let Some(i) = self.kernels.iter().position(|k| *k == kernel) {
+        if let Some(i) = self.kernels.iter().position(|k| **k == kernel) {
             return PlanId(u32::try_from(i).unwrap_or(u32::MAX));
         }
-        self.kernels.push(kernel);
+        self.kernels.push(std::sync::Arc::new(kernel));
         PlanId(u32::try_from(self.kernels.len() - 1).unwrap_or(u32::MAX))
     }
 
@@ -166,6 +170,241 @@ impl PlanCache {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.plans.is_empty()
+    }
+}
+
+/// One plan-map entry in a [`PlanStore`]: the interned id (or `None`
+/// for a triple whose unrolled body exceeds [`MAX_BODY_OPS`] — the cap
+/// is a property of the triple, so its absence must survive in the map
+/// and not be confused with "never computed") plus segmented-LRU
+/// bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct PlanEntry {
+    id: Option<PlanId>,
+    stamp: u64,
+    protected: bool,
+}
+
+#[derive(Debug, Default)]
+struct PlanStoreInner {
+    /// Append-only content-interned kernels. Ids index this vector, so
+    /// a [`PlanId`] handed out once stays valid for the store's
+    /// lifetime — which is what lets a shared [`crate::CompileCache`]
+    /// key on them across jobs.
+    kernels: Vec<std::sync::Arc<cfp_ir::Kernel>>,
+    /// `(benchmark, budget, unroll)` → interned id, bounded by
+    /// segmented LRU (see [`PlanStore::bounded`]).
+    plans: HashMap<(Benchmark, usize, u32), PlanEntry>,
+    clock: u64,
+}
+
+impl PlanStoreInner {
+    fn intern(&mut self, kernel: cfp_ir::Kernel) -> PlanId {
+        if let Some(i) = self.kernels.iter().position(|k| **k == kernel) {
+            return PlanId(u32::try_from(i).unwrap_or(u32::MAX));
+        }
+        self.kernels.push(std::sync::Arc::new(kernel));
+        PlanId(u32::try_from(self.kernels.len() - 1).unwrap_or(u32::MAX))
+    }
+}
+
+/// A cross-run plan cache for the exploration service: the persistent
+/// analogue of building a fresh [`PlanCache`] per sweep.
+///
+/// Two properties make cross-job cache sharing sound, and both live
+/// here:
+///
+/// * **Globally consistent ids.** The kernel store is append-only and
+///   interned by content, so a [`PlanId`] means the same kernel in
+///   every job that ever runs against this store — which is exactly the
+///   contract the shared `CompileCache`'s `(PlanId, signature)` keys
+///   need.
+/// * **Safe plan-map eviction.** The `(benchmark, budget, unroll)` →
+///   id map *is* bounded (segmented LRU, same policy as
+///   [`crate::memo::ShardedMap::bounded`]): optimization is
+///   deterministic, so recomputing an evicted triple re-produces a
+///   bit-identical kernel, and interning that kernel returns the *same*
+///   id it had before. Eviction costs a re-optimization, never changes
+///   an answer.
+///
+/// [`PlanStore::ensure_snapshot`] materializes the plans one job needs
+/// (computing only the missing ones) as an ordinary [`PlanCache`] whose
+/// kernel vector is a prefix snapshot of the store — pointer clones,
+/// not kernel copies — so the whole single-run evaluation pipeline runs
+/// against it unchanged.
+#[derive(Debug)]
+pub struct PlanStore {
+    inner: std::sync::Mutex<PlanStoreInner>,
+    /// Plan-map entry budget; `None` = unbounded.
+    plan_cap: Option<usize>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+    evictions: std::sync::atomic::AtomicU64,
+}
+
+impl Default for PlanStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PlanStore {
+    /// An empty, unbounded store.
+    #[must_use]
+    pub fn new() -> Self {
+        PlanStore {
+            inner: std::sync::Mutex::new(PlanStoreInner::default()),
+            plan_cap: None,
+            hits: std::sync::atomic::AtomicU64::new(0),
+            misses: std::sync::atomic::AtomicU64::new(0),
+            evictions: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// A store whose plan map is bounded to `plan_cap` entries by
+    /// segmented-LRU eviction. The kernel vector itself stays
+    /// append-only (id stability is the point); its population is
+    /// bounded by content diversity — unrolled kernels dedup heavily —
+    /// not by this cap.
+    #[must_use]
+    pub fn bounded(plan_cap: usize) -> Self {
+        PlanStore {
+            plan_cap: Some(plan_cap.max(1)),
+            ..Self::new()
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PlanStoreInner> {
+        // Plan computation runs while holding the lock, but every
+        // mutation (intern push, map insert) is complete before the
+        // next fallible step, so a poisoned inner is still coherent.
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// A [`PlanCache`] holding every `(benchmark, budget, unroll)`
+    /// triple the given sweep needs, computing the missing ones.
+    /// Budgets derive from `reg_sizes` exactly as [`PlanCache::build`]
+    /// derives them, and the optimization pipeline is the same, so the
+    /// returned cache is bit-identical to a cold
+    /// `PlanCache::build(benches, reg_sizes, unrolls)` — modulo
+    /// [`PlanId`] *numbering*, which here is globally consistent across
+    /// every snapshot this store ever produced.
+    #[must_use]
+    pub fn ensure_snapshot(
+        &self,
+        benches: &[Benchmark],
+        reg_sizes: &[u32],
+        unrolls: &[u32],
+    ) -> PlanCache {
+        let mut budgets: Vec<usize> = reg_sizes.iter().map(|&r| residency_budget(r)).collect();
+        budgets.sort_unstable();
+        budgets.dedup();
+        let mut inner = self.lock();
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let mut snapshot = PlanCache::default();
+        for &b in benches {
+            for &budget in &budgets {
+                // Optimize the base once per (bench, budget) round, and
+                // only if some unroll in this round actually misses.
+                let mut opt: Option<cfp_ir::Kernel> = None;
+                for &u in unrolls {
+                    let key = (b, budget, u);
+                    inner.clock += 1;
+                    let tick = inner.clock;
+                    let id = if let Some(entry) = inner.plans.get_mut(&key) {
+                        entry.stamp = tick;
+                        entry.protected = true;
+                        hits += 1;
+                        entry.id
+                    } else {
+                        misses += 1;
+                        let base = opt.get_or_insert_with(|| {
+                            let mut k = b.kernel().clone();
+                            cfp_opt::optimize_budgeted(&mut k, budget);
+                            k
+                        });
+                        let id = if base.body.len() * (u as usize) > MAX_BODY_OPS {
+                            None
+                        } else {
+                            let mut unrolled = cfp_opt::unroll::unroll(base, u);
+                            cfp_opt::optimize_budgeted(&mut unrolled, budget);
+                            Some(inner.intern(unrolled))
+                        };
+                        inner.plans.insert(
+                            key,
+                            PlanEntry {
+                                id,
+                                stamp: tick,
+                                protected: false,
+                            },
+                        );
+                        if let Some(cap) = self.plan_cap {
+                            self.evict_plans(&mut inner, cap, &key);
+                        }
+                        id
+                    };
+                    if let Some(id) = id {
+                        snapshot.plans.insert(key, id);
+                    }
+                }
+            }
+        }
+        // Ids index the store's kernel vector, so the snapshot's vector
+        // must be a prefix of it: clone every Arc up to the store's
+        // current length (cheap — pointer per kernel).
+        snapshot.kernels = inner.kernels.clone();
+        drop(inner);
+        self.hits
+            .fetch_add(hits, std::sync::atomic::Ordering::Relaxed);
+        self.misses
+            .fetch_add(misses, std::sync::atomic::Ordering::Relaxed);
+        snapshot
+    }
+
+    fn evict_plans(&self, inner: &mut PlanStoreInner, cap: usize, keep: &(Benchmark, usize, u32)) {
+        let mut evicted = 0u64;
+        while inner.plans.len() > cap {
+            let victim = inner
+                .plans
+                .iter()
+                .filter(|(k, _)| *k != keep)
+                .min_by_key(|(_, e)| (e.protected, e.stamp))
+                .map(|(k, _)| *k);
+            let Some(victim) = victim else { break };
+            inner.plans.remove(&victim);
+            evicted += 1;
+        }
+        if evicted > 0 {
+            self.evictions
+                .fetch_add(evicted, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    /// Plan-map lookups served without re-optimizing.
+    #[must_use]
+    pub fn plan_hits(&self) -> u64 {
+        self.hits.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Plan-map lookups that re-optimized (cold or evicted triples).
+    #[must_use]
+    pub fn plan_misses(&self) -> u64 {
+        self.misses.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Plan-map entries evicted by the bound (0 when unbounded).
+    #[must_use]
+    pub fn plan_evictions(&self) -> u64 {
+        self.evictions.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Content-distinct kernels interned so far.
+    #[must_use]
+    pub fn unique_kernels(&self) -> usize {
+        self.lock().kernels.len()
     }
 }
 
@@ -728,6 +967,59 @@ mod tests {
                 assert_eq!(fresh, cached, "{spec} {b} (cached)");
             }
         }
+    }
+
+    #[test]
+    fn plan_store_snapshots_match_a_cold_build_and_keep_ids_stable() {
+        let benches = [Benchmark::D, Benchmark::A];
+        let store = PlanStore::new();
+        let snap = store.ensure_snapshot(&benches, &[64, 256], &[1, 2, 4]);
+        let cold = PlanCache::build(&benches, &[64, 256], &[1, 2, 4]);
+        assert_eq!(snap.len(), cold.len());
+        assert_eq!(snap.unique_kernels(), cold.unique_kernels());
+        // Same measurements through either cache.
+        let spec = ArchSpec::new(8, 4, 256, 2, 4, 2).unwrap();
+        for b in benches {
+            assert_eq!(evaluate(&spec, b, &snap), evaluate(&spec, b, &cold), "{b}");
+        }
+        // A second, overlapping snapshot hits the plan map and reuses
+        // the same ids for shared triples — the cross-job contract.
+        let again = store.ensure_snapshot(&[Benchmark::D], &[256], &[1, 2, 4]);
+        assert!(store.plan_hits() > 0);
+        let budget = residency_budget(256);
+        for u in [1, 2, 4] {
+            assert_eq!(
+                snap.id(Benchmark::D, budget, u),
+                again.id(Benchmark::D, budget, u),
+                "unroll {u}"
+            );
+        }
+    }
+
+    #[test]
+    fn a_bounded_plan_store_reinterns_evicted_plans_to_the_same_id() {
+        // Cap 2 forces every round to evict; ids must come back
+        // identical because interning is by content.
+        let store = PlanStore::bounded(2);
+        let first = store.ensure_snapshot(&[Benchmark::D, Benchmark::A], &[64, 256], &[1, 2]);
+        let evictions_after_first = store.plan_evictions();
+        assert!(evictions_after_first > 0, "cap 2 over 8 triples must evict");
+        let second = store.ensure_snapshot(&[Benchmark::D, Benchmark::A], &[64, 256], &[1, 2]);
+        for b in [Benchmark::D, Benchmark::A] {
+            for &r in &[64u32, 256] {
+                for u in [1, 2] {
+                    let budget = residency_budget(r);
+                    assert_eq!(
+                        first.id(b, budget, u),
+                        second.id(b, budget, u),
+                        "{b} budget {budget} unroll {u}"
+                    );
+                }
+            }
+        }
+        // The kernel store never shrank or re-numbered: recomputing the
+        // evicted triples re-interned to existing ids.
+        assert_eq!(first.unique_kernels(), store.unique_kernels());
     }
 
     #[test]

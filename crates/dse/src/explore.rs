@@ -21,7 +21,7 @@ use crate::checkpoint::{self, Checkpoint};
 use crate::error::{ExploreError, FailKind, FailReason};
 use crate::eval::{
     try_evaluate_cached_traced_in, try_evaluate_traced_in, EvalOutcome, EvalScratch, PlanCache,
-    UNROLL_SWEEP,
+    PlanStore, UNROLL_SWEEP,
 };
 use crate::memo::CompileCache;
 use cfp_kernels::Benchmark;
@@ -294,9 +294,6 @@ impl Exploration {
             return Err(ExploreError::EmptyConfig);
         }
         let start = Instant::now();
-        let cost = CostModel::paper_calibrated();
-        let cycle = CycleModel::paper_calibrated();
-
         let mut reg_sizes: Vec<u32> = config.archs.iter().map(|a| a.regs).collect();
         reg_sizes.push(ArchSpec::baseline().regs);
         let cache = PlanCache::build_traced(
@@ -307,6 +304,70 @@ impl Exploration {
         );
         let plan_wall = start.elapsed();
         let memo = config.reuse.then(CompileCache::new);
+        Self::run_prepared(config, rec, &cache, memo.as_ref(), start, plan_wall)
+    }
+
+    /// [`Self::try_run_traced`] against caches that outlive the run —
+    /// the exploration service's entry point. Plans come from (and new
+    /// plans are added to) the shared [`PlanStore`]; compile results are
+    /// shared through the caller's [`CompileCache`], so a job whose
+    /// `(plan, scheduling signature)` pairs were already scheduled by an
+    /// earlier job pays only the capacity checks. Results are
+    /// bit-identical to [`Self::try_run_traced`] on the same config: a
+    /// warm cache changes who computes, never what is computed (the
+    /// fuel discipline in [`crate::eval::try_evaluate_cached`] is what
+    /// makes that hold).
+    ///
+    /// [`RunStats::cache_hits`] and [`RunStats::unique_schedules`]
+    /// report this run's delta against the shared cache's counters. The
+    /// delta is exact when jobs run one at a time; concurrent jobs on
+    /// one cache attribute each other's hits approximately (counters
+    /// are global), which the service accepts — the numbers steer
+    /// reporting, not results. With [`ExploreConfig::reuse`] off the
+    /// shared cache is bypassed (plans still come from the store).
+    ///
+    /// # Errors
+    /// As [`Self::try_run`].
+    pub fn try_run_shared(
+        config: &ExploreConfig,
+        store: &PlanStore,
+        memo: &CompileCache,
+        rec: &dyn Recorder,
+    ) -> Result<Self, ExploreError> {
+        if config.archs.is_empty() || config.benches.is_empty() {
+            return Err(ExploreError::EmptyConfig);
+        }
+        let start = Instant::now();
+        let mut reg_sizes: Vec<u32> = config.archs.iter().map(|a| a.regs).collect();
+        reg_sizes.push(ArchSpec::baseline().regs);
+        let cache = store.ensure_snapshot(&config.benches, &reg_sizes, &UNROLL_SWEEP);
+        let plan_wall = start.elapsed();
+        Self::run_prepared(
+            config,
+            rec,
+            &cache,
+            config.reuse.then_some(memo),
+            start,
+            plan_wall,
+        )
+    }
+
+    /// The sweep proper, over an already-built plan cache: baseline,
+    /// checkpoint attach/replay, the quarantined worker loop, and stats
+    /// assembly. Cache counters are reported as deltas from entry so a
+    /// shared, pre-warmed `memo` yields per-run numbers.
+    fn run_prepared(
+        config: &ExploreConfig,
+        rec: &dyn Recorder,
+        cache: &PlanCache,
+        memo: Option<&CompileCache>,
+        start: Instant,
+        plan_wall: Duration,
+    ) -> Result<Self, ExploreError> {
+        let cost = CostModel::paper_calibrated();
+        let cycle = CycleModel::paper_calibrated();
+        let hits0 = memo.map_or(0, CompileCache::core_hits);
+        let cores0 = memo.map_or(0, |m| m.unique_cores() as u64);
 
         let progress = config.progress || std::env::var_os("CFP_PROGRESS").is_some();
         let nb = config.benches.len();
@@ -333,17 +394,17 @@ impl Exploration {
                 if let (Some(injector), Some(u)) = (&config.fault, fault_unit) {
                     injector.fire(u);
                 }
-                match &memo {
+                match memo {
                     Some(memo) => try_evaluate_cached_traced_in(
                         spec,
                         bench,
-                        &cache,
+                        cache,
                         memo,
                         config.fuel,
                         sc,
                         trace,
                     ),
-                    None => try_evaluate_traced_in(spec, bench, &cache, config.fuel, sc, trace),
+                    None => try_evaluate_traced_in(spec, bench, cache, config.fuel, sc, trace),
                 }
             }));
             let out = match result {
@@ -537,8 +598,9 @@ impl Exploration {
             benches: config.benches.clone(),
             stats: RunStats {
                 compilations,
-                cache_hits: memo.as_ref().map_or(0, CompileCache::core_hits),
-                unique_schedules: memo.as_ref().map_or(0, |m| m.unique_cores() as u64),
+                cache_hits: memo.map_or(0, |m| m.core_hits().saturating_sub(hits0)),
+                unique_schedules: memo
+                    .map_or(0, |m| (m.unique_cores() as u64).saturating_sub(cores0)),
                 unique_plans: cache.unique_kernels(),
                 architectures: archs.len(),
                 failed_units,
@@ -657,6 +719,65 @@ mod tests {
     fn empty_configurations_are_typed_errors() {
         let err = Exploration::try_run(&ExploreConfig::default()).expect_err("empty");
         assert!(matches!(err, ExploreError::EmptyConfig));
+        let err = Exploration::try_run_shared(
+            &ExploreConfig::default(),
+            &PlanStore::new(),
+            &CompileCache::new(),
+            &cfp_obs::NULL,
+        )
+        .expect_err("empty");
+        assert!(matches!(err, ExploreError::EmptyConfig));
+    }
+
+    #[test]
+    fn shared_cache_runs_are_bit_identical_to_cold_runs() {
+        // The service contract: the same job against a cold per-run
+        // cache, a cold shared cache, and a warm shared cache produces
+        // identical results — warmth changes accounting, never answers.
+        let mut cfg = ExploreConfig::smoke();
+        cfg.benches = vec![Benchmark::D, Benchmark::G];
+        cfg.threads = 2;
+        let cold = Exploration::run(&cfg);
+        let store = PlanStore::new();
+        let memo = CompileCache::new();
+        let first =
+            Exploration::try_run_shared(&cfg, &store, &memo, &cfp_obs::NULL).expect("shared run");
+        let second = Exploration::try_run_shared(&cfg, &store, &memo, &cfp_obs::NULL)
+            .expect("warm shared run");
+        for ((a, b), c) in cold.archs.iter().zip(&first.archs).zip(&second.archs) {
+            assert_eq!(a.outcomes, b.outcomes, "cold vs shared ({})", a.spec);
+            assert_eq!(a.outcomes, c.outcomes, "cold vs warm ({})", a.spec);
+            assert_eq!((a.cost, a.derate), (b.cost, b.derate));
+        }
+        assert_eq!(cold.baseline.outcomes, second.baseline.outcomes);
+        // The warm run scheduled nothing new: every logical compilation
+        // was a hit, and the run-delta of unique schedules is zero.
+        assert_eq!(second.stats.unique_schedules, 0);
+        assert!(second.stats.cache_hits > 0);
+        assert_eq!(second.stats.compilations, first.stats.compilations);
+        // The plan store served the second run's plans from memory.
+        assert!(store.plan_hits() > 0);
+    }
+
+    #[test]
+    fn shared_runs_stay_identical_under_an_evicting_memo() {
+        // A service cache bounded far below the working set still never
+        // changes an answer — eviction costs recomputes only.
+        let mut cfg = ExploreConfig::smoke();
+        cfg.archs.truncate(4);
+        cfg.benches = vec![Benchmark::D];
+        cfg.threads = 1;
+        let cold = Exploration::run(&cfg);
+        let store = PlanStore::new();
+        let tiny = CompileCache::bounded(1);
+        for round in 0..2 {
+            let ex = Exploration::try_run_shared(&cfg, &store, &tiny, &cfp_obs::NULL)
+                .expect("shared run");
+            for (a, b) in cold.archs.iter().zip(&ex.archs) {
+                assert_eq!(a.outcomes, b.outcomes, "round {round} ({})", a.spec);
+            }
+        }
+        assert!(tiny.core_evictions() > 0, "1-slot shards must evict");
     }
 
     #[test]

@@ -74,7 +74,7 @@ pub use error::{CheckpointError, EvalError, ExploreError, FailKind, FailReason};
 pub use eval::{
     evaluate, evaluate_cached, try_evaluate, try_evaluate_cached, try_evaluate_cached_in,
     try_evaluate_cached_traced_in, try_evaluate_in, try_evaluate_traced_in, EvalOutcome,
-    EvalScratch, Measurement, PlanCache, PlanId,
+    EvalScratch, Measurement, PlanCache, PlanId, PlanStore,
 };
 pub use explore::{ArchEval, Exploration, ExploreConfig, RunStats};
 pub use io::{from_csv, to_csv};

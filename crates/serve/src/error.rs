@@ -1,0 +1,231 @@
+//! The typed error layer of the exploration service, in the taxonomy
+//! style of `cfp_dse::error`.
+//!
+//! Two families, split by blast radius:
+//!
+//! * [`JobError`] — one job failing. This is the type the retry ladder
+//!   classifies: [`JobError::is_transient`] names the exact set of
+//!   causes worth retrying (infrastructure wobble — a lost worker, an
+//!   unreadable or corrupt journal), and everything else fails fast,
+//!   because a deterministic failure retried is the same failure paid
+//!   for twice.
+//! * [`ServeError`] — the daemon itself being unable to serve (bind
+//!   failure, unusable state directory). These abort startup; nothing
+//!   retries them.
+
+use cfp_dse::{CheckpointError, ExploreError, FailReason};
+use std::error::Error;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Why one accepted job produced no result.
+#[derive(Debug)]
+pub enum JobError {
+    /// The exploration run itself failed (empty config, failed
+    /// baseline, unusable checkpoint journal, lost worker).
+    Explore(ExploreError),
+    /// The job's thread panicked outside the unit quarantine and was
+    /// caught at the job boundary — the job's own blast radius, never
+    /// the daemon's.
+    Panicked(FailReason),
+    /// The wall-clock watchdog fired before the job finished. The
+    /// job's thread is abandoned, not joined — see the server docs for
+    /// why that leaves the worker pool healthy.
+    DeadlineExceeded {
+        /// The deadline that was exceeded.
+        ms: u64,
+    },
+}
+
+impl JobError {
+    /// Whether the retry ladder should try this job again.
+    ///
+    /// Transient means the *infrastructure* failed, so a retry can
+    /// legitimately see different conditions: a worker thread lost
+    /// outside the quarantine, or a checkpoint journal that could not
+    /// be read (`Io`) or parsed (`Corrupt` — the retry path removes the
+    /// bad journal first). Everything deterministic — fuel exhaustion
+    /// surfacing as a failed baseline, a panic quarantine, a config
+    /// fingerprint mismatch, a deadline computed from the job's own
+    /// budget — reproduces identically on every retry and fails fast.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            JobError::Explore(ExploreError::WorkerLost)
+                | JobError::Explore(ExploreError::Checkpoint(
+                    CheckpointError::Io { .. } | CheckpointError::Corrupt { .. }
+                ))
+        )
+    }
+
+    /// Whether the failure is a corrupt checkpoint journal — the one
+    /// transient cause whose retry needs cleanup (remove the journal)
+    /// rather than just another attempt.
+    #[must_use]
+    pub fn is_corrupt_checkpoint(&self) -> bool {
+        matches!(
+            self,
+            JobError::Explore(ExploreError::Checkpoint(CheckpointError::Corrupt { .. }))
+        )
+    }
+
+    /// Stable one-word class token for the wire and the journals.
+    #[must_use]
+    pub fn token(&self) -> &'static str {
+        match self {
+            JobError::Explore(ExploreError::EmptyConfig) => "empty_config",
+            JobError::Explore(ExploreError::BaselineFailed(_)) => "baseline_failed",
+            JobError::Explore(ExploreError::WorkerLost) => "worker_lost",
+            JobError::Explore(ExploreError::Checkpoint(e)) => match e {
+                CheckpointError::Io { .. } => "checkpoint_io",
+                CheckpointError::Corrupt { .. } => "checkpoint_corrupt",
+                CheckpointError::Mismatch { .. } => "checkpoint_mismatch",
+                CheckpointError::Exists(_) => "checkpoint_exists",
+            },
+            JobError::Panicked(_) => "panic",
+            JobError::DeadlineExceeded { .. } => "deadline",
+        }
+    }
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Explore(e) => write!(f, "{e}"),
+            JobError::Panicked(r) => write!(f, "job panicked: {}", r.message),
+            JobError::DeadlineExceeded { ms } => {
+                write!(f, "job exceeded its {ms} ms deadline")
+            }
+        }
+    }
+}
+
+impl Error for JobError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            JobError::Explore(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ExploreError> for JobError {
+    fn from(e: ExploreError) -> Self {
+        JobError::Explore(e)
+    }
+}
+
+/// The daemon being unable to serve at all.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Binding or accepting on the listen socket failed.
+    Listen {
+        /// The address that was requested.
+        addr: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The state directory could not be created, scanned, or written.
+    State {
+        /// The path that failed.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Listen { addr, source } => {
+                write!(f, "cannot listen on {addr}: {source}")
+            }
+            ServeError::State { path, source } => {
+                write!(f, "state directory {}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Listen { source, .. } | ServeError::State { source, .. } => Some(source),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfp_dse::FailKind;
+
+    #[test]
+    fn the_transient_set_is_exactly_infrastructure() {
+        let transient = [
+            JobError::Explore(ExploreError::WorkerLost),
+            JobError::Explore(ExploreError::Checkpoint(CheckpointError::Io {
+                path: PathBuf::from("/x"),
+                source: std::io::Error::other("disk"),
+            })),
+            JobError::Explore(ExploreError::Checkpoint(CheckpointError::Corrupt {
+                line: 3,
+                message: "bad line".into(),
+            })),
+        ];
+        for e in &transient {
+            assert!(e.is_transient(), "{e}");
+        }
+        let deterministic = [
+            JobError::Explore(ExploreError::EmptyConfig),
+            JobError::Explore(ExploreError::BaselineFailed(FailReason {
+                kind: FailKind::FuelExhausted,
+                message: "starved".into(),
+            })),
+            JobError::Explore(ExploreError::Checkpoint(CheckpointError::Mismatch {
+                expected: 1,
+                found: 2,
+            })),
+            JobError::Explore(ExploreError::Checkpoint(CheckpointError::Exists(
+                PathBuf::from("/x"),
+            ))),
+            JobError::Panicked(FailReason {
+                kind: FailKind::Panic,
+                message: "boom".into(),
+            }),
+            JobError::DeadlineExceeded { ms: 10 },
+        ];
+        for e in &deterministic {
+            assert!(!e.is_transient(), "{e}");
+        }
+    }
+
+    #[test]
+    fn only_corrupt_checkpoints_need_cleanup() {
+        let corrupt = JobError::Explore(ExploreError::Checkpoint(CheckpointError::Corrupt {
+            line: 1,
+            message: "x".into(),
+        }));
+        assert!(corrupt.is_corrupt_checkpoint());
+        assert!(!JobError::Explore(ExploreError::WorkerLost).is_corrupt_checkpoint());
+    }
+
+    #[test]
+    fn tokens_are_distinct_per_class() {
+        let all = [
+            JobError::Explore(ExploreError::EmptyConfig).token(),
+            JobError::Explore(ExploreError::WorkerLost).token(),
+            JobError::DeadlineExceeded { ms: 1 }.token(),
+            JobError::Panicked(FailReason {
+                kind: FailKind::Panic,
+                message: String::new(),
+            })
+            .token(),
+        ];
+        let mut dedup = all.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len());
+    }
+}

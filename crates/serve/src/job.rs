@@ -1,0 +1,248 @@
+//! From an admitted [`JobSpec`] to an exploration run and back: config
+//! materialization, the result-surface digest, and the terminal result
+//! JSON the daemon persists and serves.
+
+use crate::json;
+use crate::proto::JobSpec;
+use cfp_dse::{ArchEval, Checkpoint, EvalOutcome, Exploration, ExploreConfig};
+use cfp_machine::CostModel;
+use std::path::Path;
+
+/// The [`ExploreConfig`] a job runs as, journaling to `ck_path`.
+///
+/// The checkpoint always opens in resume mode: a fresh job finds no
+/// journal and starts cold, a retried or recovered job replays what its
+/// earlier attempt completed — one code path, and the bit-identity
+/// guarantee is the checkpoint layer's, not this function's.
+#[must_use]
+pub fn explore_config(spec: &JobSpec, ck_path: &Path) -> ExploreConfig {
+    ExploreConfig {
+        archs: spec.archs.clone(),
+        benches: spec.benches.clone(),
+        threads: spec.threads,
+        progress: false,
+        reuse: spec.reuse,
+        fuel: spec.fuel,
+        checkpoint: Some(Checkpoint::resume(ck_path)),
+        fault: spec.fault.as_ref().map(crate::proto::FaultSpec::injector),
+    }
+}
+
+/// Drop candidates over the job's cost budget, in place. Runs at
+/// admission so the journaled canonical job already reflects the
+/// filter — a recovered job must not depend on re-running it.
+pub fn apply_cost_budget(spec: &mut JobSpec) {
+    let Some(max_cost) = spec.max_cost else {
+        return;
+    };
+    let cost = CostModel::paper_calibrated();
+    spec.archs.retain(|a| cost.cost(a) <= max_cost);
+    spec.max_cost = None;
+}
+
+/// FNV-1a, the repo's standard result-surface digest (same constants as
+/// the checkpoint fingerprint and the bench exhibits).
+struct Digest(u64);
+
+impl Digest {
+    fn new() -> Self {
+        Digest(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn eat(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.eat_byte(0x1f);
+    }
+
+    fn eat_byte(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    fn eat_u64(&mut self, v: u64) {
+        self.eat(&v.to_le_bytes());
+    }
+
+    fn eat_arch(&mut self, arch: &ArchEval) {
+        self.eat(arch.spec.to_string().as_bytes());
+        self.eat_u64(arch.cost.to_bits());
+        self.eat_u64(arch.derate.to_bits());
+        for out in &arch.outcomes {
+            match out {
+                EvalOutcome::Done(m) => {
+                    self.eat(b"done");
+                    self.eat_u64(m.cycles_per_output.to_bits());
+                    self.eat_u64(u64::from(m.unroll));
+                    self.eat_byte(u8::from(m.spilled));
+                    self.eat_u64(u64::from(m.compilations));
+                }
+                EvalOutcome::Failed { reason } => {
+                    self.eat(b"failed");
+                    self.eat(reason.kind.token().as_bytes());
+                }
+            }
+        }
+    }
+}
+
+/// FNV-1a digest of a run's full result surface: every architecture's
+/// spec, cost, derate, and per-benchmark outcome (exact `f64` bit
+/// patterns), plus the baseline. Two runs of the same job are
+/// bit-identical exactly when their digests match — this is the value
+/// the kill-and-resume recovery test compares.
+#[must_use]
+pub fn result_digest(ex: &Exploration) -> u64 {
+    let mut d = Digest::new();
+    for b in &ex.benches {
+        d.eat(b.letter().as_bytes());
+    }
+    d.eat_arch(&ex.baseline);
+    for arch in &ex.archs {
+        d.eat_arch(arch);
+    }
+    d.0
+}
+
+/// The best architecture of a run by harmonic-mean speedup, skipping
+/// rows poisoned by quarantined units. `None` when nothing measured.
+#[must_use]
+pub fn best_arch(ex: &Exploration) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for a in 0..ex.archs.len() {
+        let su = Exploration::harmonic_mean(&ex.speedup_row(a));
+        if su.is_finite() && best.is_none_or(|(_, b)| su > b) {
+            best = Some((a, su));
+        }
+    }
+    best
+}
+
+/// The terminal result JSON for a completed run: identity, digest,
+/// stats, and the winning architecture. One line; this is both the wire
+/// response and the `.result` file's content.
+#[must_use]
+pub fn result_json(id: &str, ex: &Exploration, attempts: u32, wall_ms: u64) -> String {
+    let digest = result_digest(ex);
+    let mut out = String::from(r#"{"ok":true,"op":"result","state":"done","id":"#);
+    json::write_str(&mut out, id);
+    out.push_str(&format!(
+        r#","digest":"{digest:016x}","attempts":{attempts},"wall_ms":{wall_ms}"#
+    ));
+    let s = &ex.stats;
+    out.push_str(&format!(
+        r#","architectures":{},"compilations":{},"cache_hits":{},"unique_schedules":{},"failed_units":{},"fuel_exhausted":{},"resumed_units":{}"#,
+        s.architectures,
+        s.compilations,
+        s.cache_hits,
+        s.unique_schedules,
+        s.failed_units,
+        s.fuel_exhausted,
+        s.resumed_units
+    ));
+    if let Some((a, su)) = best_arch(ex) {
+        out.push_str(r#","best":{"arch":"#);
+        json::write_str(&mut out, &ex.archs[a].spec.to_string());
+        out.push_str(&format!(r#","su":{su},"cost":{}}}"#, ex.archs[a].cost));
+    }
+    out.push('}');
+    out
+}
+
+/// The terminal result JSON for a failed job. Same envelope as
+/// [`result_json`], `state: "failed"`, with the error's class token and
+/// rendering.
+#[must_use]
+pub fn failure_json(id: &str, err: &crate::error::JobError, attempts: u32) -> String {
+    let mut out = String::from(r#"{"ok":false,"op":"result","state":"failed","id":"#);
+    json::write_str(&mut out, id);
+    out.push_str(&format!(r#","attempts":{attempts},"error":"#));
+    json::write_str(&mut out, err.token());
+    out.push_str(r#","message":"#);
+    json::write_str(&mut out, &err.to_string());
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfp_kernels::Benchmark;
+    use cfp_machine::ArchSpec;
+
+    fn tiny_job() -> JobSpec {
+        JobSpec {
+            benches: vec![Benchmark::D],
+            archs: vec![
+                ArchSpec::baseline(),
+                ArchSpec::new(4, 2, 128, 1, 4, 1).expect("valid"),
+            ],
+            ..JobSpec::default()
+        }
+    }
+
+    #[test]
+    fn digests_are_stable_and_sensitive() {
+        let spec = tiny_job();
+        let dir = std::env::temp_dir().join(format!("cfp-serve-job-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let ck = dir.join("digest.ck");
+        let _ = std::fs::remove_file(&ck);
+        let cfg = explore_config(&spec, &ck);
+        let e1 = Exploration::try_run(&cfg).expect("runs");
+        let _ = std::fs::remove_file(&ck);
+        let e2 = Exploration::try_run(&cfg).expect("runs");
+        assert_eq!(result_digest(&e1), result_digest(&e2));
+        // A different space digests differently.
+        let mut other = spec.clone();
+        other.archs.pop();
+        let ck2 = dir.join("digest2.ck");
+        let _ = std::fs::remove_file(&ck2);
+        let e3 = Exploration::try_run(&explore_config(&other, &ck2)).expect("runs");
+        assert_ne!(result_digest(&e1), result_digest(&e3));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cost_budget_filters_at_admission_and_clears_itself() {
+        let mut spec = tiny_job();
+        spec.max_cost = Some(1.5);
+        let before = spec.archs.len();
+        apply_cost_budget(&mut spec);
+        assert!(spec.archs.len() < before, "the 4-ALU machine costs > 1.5");
+        assert_eq!(spec.archs, vec![ArchSpec::baseline()]);
+        assert_eq!(spec.max_cost, None, "baked in, not re-applied on recovery");
+    }
+
+    #[test]
+    fn result_json_is_parseable_and_complete() {
+        let spec = tiny_job();
+        let dir = std::env::temp_dir().join(format!("cfp-serve-json-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let ck = dir.join("result.ck");
+        let _ = std::fs::remove_file(&ck);
+        let ex = Exploration::try_run(&explore_config(&spec, &ck)).expect("runs");
+        let line = result_json("job-000007", &ex, 1, 42);
+        let v = crate::json::parse(&line).expect("valid JSON");
+        assert_eq!(
+            v.get("id").and_then(crate::json::Json::as_str),
+            Some("job-000007")
+        );
+        assert_eq!(
+            v.get("state").and_then(crate::json::Json::as_str),
+            Some("done")
+        );
+        let digest = v
+            .get("digest")
+            .and_then(crate::json::Json::as_str)
+            .expect("digest");
+        assert_eq!(
+            u64::from_str_radix(digest, 16).expect("hex"),
+            result_digest(&ex)
+        );
+        assert!(v.get("best").is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

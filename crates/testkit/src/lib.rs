@@ -114,8 +114,37 @@ impl Rng {
     }
 }
 
+/// What a tripped [`FaultInjector`] does to the unit it dooms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic with an [`INJECTED_FAULT`]-prefixed message (the classic
+    /// quarantine exercise).
+    Panic,
+    /// Sleep for the given number of milliseconds — a latency stall, for
+    /// proving wall-clock watchdogs kill stalled work. Results are
+    /// unchanged; only time passes.
+    Stall(u64),
+    /// Mark the unit for a connection drop. [`FaultInjector::fire`] is a
+    /// no-op for this kind — transport layers consult
+    /// [`FaultInjector::drops`] and sever the stream themselves.
+    Drop,
+}
+
+impl FaultKind {
+    /// Stable one-word token (journals and fingerprints key on it).
+    #[must_use]
+    pub fn token(self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::Stall(_) => "stall",
+            FaultKind::Drop => "drop",
+        }
+    }
+}
+
 /// Deterministic fault injection for robustness tests: a SplitMix64-keyed
-/// "panic on unit `k`" hook.
+/// "panic on unit `k`" hook, extended with latency stalls and connection
+/// drops (see [`FaultKind`]).
 ///
 /// A sweep that wants to prove it survives worker failures hands each
 /// work unit's index to [`FaultInjector::fire`]; the injector panics on a
@@ -129,6 +158,7 @@ pub struct FaultInjector {
     seed: u64,
     /// Trips on average once per `denominator` units.
     denominator: u64,
+    kind: FaultKind,
 }
 
 /// The panic message prefix used by [`FaultInjector::fire`]; quarantine
@@ -144,7 +174,45 @@ impl FaultInjector {
     #[must_use]
     pub fn one_in(seed: u64, denominator: u64) -> Self {
         assert!(denominator > 0, "denominator must be positive");
-        FaultInjector { seed, denominator }
+        FaultInjector {
+            seed,
+            denominator,
+            kind: FaultKind::Panic,
+        }
+    }
+
+    /// An injector whose doomed units stall for `millis` instead of
+    /// panicking. Same trip set as [`FaultInjector::one_in`] with the
+    /// same seed and denominator.
+    ///
+    /// # Panics
+    /// Panics if `denominator` is zero.
+    #[must_use]
+    pub fn stalling(seed: u64, denominator: u64, millis: u64) -> Self {
+        FaultInjector {
+            kind: FaultKind::Stall(millis),
+            ..Self::one_in(seed, denominator)
+        }
+    }
+
+    /// An injector whose doomed units mark a connection for dropping
+    /// (consult [`FaultInjector::drops`]; [`FaultInjector::fire`] does
+    /// nothing for this kind).
+    ///
+    /// # Panics
+    /// Panics if `denominator` is zero.
+    #[must_use]
+    pub fn dropping(seed: u64, denominator: u64) -> Self {
+        FaultInjector {
+            kind: FaultKind::Drop,
+            ..Self::one_in(seed, denominator)
+        }
+    }
+
+    /// What tripping does.
+    #[must_use]
+    pub fn kind(&self) -> FaultKind {
+        self.kind
     }
 
     /// The injector's seed (for labelling failures).
@@ -175,13 +243,39 @@ impl FaultInjector {
         (0..n).filter(|&k| self.trips(k)).collect()
     }
 
-    /// Panic if unit `k` is doomed; a no-op otherwise.
+    /// Act on unit `k` if it is doomed; a no-op otherwise. What "act"
+    /// means depends on the kind: [`FaultKind::Panic`] panics,
+    /// [`FaultKind::Stall`] sleeps, [`FaultKind::Drop`] does nothing
+    /// here (the transport layer owns the drop).
     ///
     /// # Panics
-    /// On doomed units, with a message starting with [`INJECTED_FAULT`].
+    /// On doomed units of a panicking injector, with a message starting
+    /// with [`INJECTED_FAULT`].
     pub fn fire(&self, unit: u64) {
-        if self.trips(unit) {
-            panic!("{INJECTED_FAULT}: unit {unit} (seed {})", self.seed);
+        if !self.trips(unit) {
+            return;
+        }
+        match self.kind {
+            FaultKind::Panic => panic!("{INJECTED_FAULT}: unit {unit} (seed {})", self.seed),
+            FaultKind::Stall(ms) => std::thread::sleep(std::time::Duration::from_millis(ms)),
+            FaultKind::Drop => {}
+        }
+    }
+
+    /// Whether a transport layer should sever its stream at unit `k`:
+    /// true exactly when this is a dropping injector and `k` trips.
+    #[must_use]
+    pub fn drops(&self, unit: u64) -> bool {
+        matches!(self.kind, FaultKind::Drop) && self.trips(unit)
+    }
+
+    /// The stall duration unit `k` is doomed to, if this is a stalling
+    /// injector and `k` trips.
+    #[must_use]
+    pub fn stalls(&self, unit: u64) -> Option<std::time::Duration> {
+        match self.kind {
+            FaultKind::Stall(ms) if self.trips(unit) => Some(std::time::Duration::from_millis(ms)),
+            _ => None,
         }
     }
 }
@@ -269,6 +363,29 @@ mod tests {
             let fired = std::panic::catch_unwind(|| inj.fire(k)).is_err();
             assert_eq!(fired, inj.trips(k), "unit {k}");
         }
+    }
+
+    #[test]
+    fn stall_and_drop_kinds_share_the_panic_trip_set_but_never_panic() {
+        let panicky = FaultInjector::one_in(99, 5);
+        let staller = FaultInjector::stalling(99, 5, 0);
+        let dropper = FaultInjector::dropping(99, 5);
+        assert_eq!(panicky.tripped_among(100), staller.tripped_among(100));
+        assert_eq!(panicky.tripped_among(100), dropper.tripped_among(100));
+        for k in 0..100 {
+            // A zero-millisecond stall is observable only as "did not
+            // panic"; a drop is observable only through `drops`.
+            assert!(std::panic::catch_unwind(|| staller.fire(k)).is_ok());
+            assert!(std::panic::catch_unwind(|| dropper.fire(k)).is_ok());
+            assert_eq!(dropper.drops(k), dropper.trips(k), "unit {k}");
+            assert!(!panicky.drops(k) && !staller.drops(k));
+            assert_eq!(staller.stalls(k).is_some(), staller.trips(k));
+            assert_eq!(panicky.stalls(k), None);
+        }
+        assert_eq!(staller.kind(), FaultKind::Stall(0));
+        assert_eq!(FaultKind::Stall(7).token(), "stall");
+        assert_eq!(FaultKind::Drop.token(), "drop");
+        assert_eq!(FaultKind::Panic.token(), "panic");
     }
 
     #[test]

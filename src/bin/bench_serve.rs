@@ -1,0 +1,205 @@
+//! Service-level benchmark of the `cfpd` exploration daemon.
+//!
+//! Two phases against in-process servers, all through the real TCP
+//! protocol:
+//!
+//! 1. **Throughput** — a stream of identical jobs against a warm-cache
+//!    daemon: jobs/s, client-observed p50/p99 latency, the cold first
+//!    job vs. the warm rest, and the cross-job cache hit rate (the
+//!    whole point of a daemon holding shared warm state — every job
+//!    after the first should hit the plan and compile caches).
+//! 2. **Shedding** — a burst into a deliberately tiny daemon (1 worker,
+//!    high-water 2): how many submits get the typed `overloaded`
+//!    response instead of queueing without bound.
+//!
+//! Writes `BENCH_serve.json`. Std-only on purpose: it runs under the
+//! tier-1 offline build, like the other `bench_*` binaries.
+//!
+//! Usage: `cargo run --release --bin bench_serve [-- <out.json>]`
+
+use custom_fit::serve::json::Json;
+use custom_fit::serve::{json, ServeConfig, Server};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// One protocol connection: send a line, read a line.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to daemon");
+        stream.set_nodelay(true).expect("nodelay");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Client {
+            reader,
+            writer: stream,
+        }
+    }
+
+    fn request(&mut self, line: &str) -> Json {
+        writeln!(self.writer, "{line}").expect("send request");
+        self.writer.flush().expect("flush request");
+        let mut response = String::new();
+        self.reader.read_line(&mut response).expect("read response");
+        json::parse(response.trim_end()).expect("daemon speaks JSON")
+    }
+}
+
+fn field_u64(v: &Json, name: &str) -> u64 {
+    v.get(name)
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("response field '{name}': {v:?}"))
+}
+
+fn field_str(v: &Json, name: &str) -> String {
+    v.get(name)
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("response field '{name}': {v:?}"))
+        .to_string()
+}
+
+/// The benchmarked job: the smoke-preset design space over two
+/// benchmarks — small enough that a job is milliseconds warm, large
+/// enough that the cold/warm gap and the cache accounting are real.
+const JOB: &str = r#"{"op":"submit","job":{"benches":["D","G"],"preset":"smoke"}}"#;
+
+/// The shedding-phase job: the same space, with a deterministic 20 ms
+/// stall injected into every unit so each job occupies the lone worker
+/// for hundreds of milliseconds whatever the machine speed — the burst
+/// below must outrun the drain for the high-water mark to matter.
+const SLOW_JOB: &str = r#"{"op":"submit","job":{"benches":["D","G"],"preset":"smoke","fault":{"kind":"stall","millis":20,"seed":1,"denominator":1}}}"#;
+
+/// Jobs in the throughput phase.
+const JOBS: usize = 24;
+/// Submits in the shedding burst.
+const BURST: usize = 20;
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    let idx = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
+    sorted_ms[idx]
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let state_root = std::env::temp_dir().join(format!("cfp-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_root);
+
+    // ---- Phase 1: throughput against a warm daemon ------------------
+    let workers = std::thread::available_parallelism()
+        .map_or(2, |n| n.get())
+        .min(4);
+    let mut cfg = ServeConfig::new(state_root.join("throughput"));
+    cfg.workers = workers;
+    cfg.queue_high_water = JOBS + 8; // never shed in this phase
+    let server = Server::start(cfg).expect("start daemon");
+    let addr = server.addr();
+    eprintln!("throughput phase: {JOBS} identical jobs on {workers} workers at {addr}");
+
+    let mut client = Client::connect(addr);
+    let t0 = Instant::now();
+    let mut submits: Vec<(String, Instant)> = Vec::with_capacity(JOBS);
+    for _ in 0..JOBS {
+        let resp = client.request(JOB);
+        assert_eq!(
+            resp.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{resp:?}"
+        );
+        submits.push((field_str(&resp, "id"), Instant::now()));
+    }
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(JOBS);
+    let mut digests: Vec<String> = Vec::with_capacity(JOBS);
+    for (id, submitted) in &submits {
+        let resp = client.request(&format!(r#"{{"op":"result","id":"{id}"}}"#));
+        assert_eq!(
+            resp.get("state").and_then(Json::as_str),
+            Some("done"),
+            "{resp:?}"
+        );
+        latencies_ms.push(submitted.elapsed().as_secs_f64() * 1e3);
+        digests.push(field_str(&resp, "digest"));
+    }
+    let total_s = t0.elapsed().as_secs_f64();
+
+    // Identical jobs must produce identical result surfaces, cold or
+    // warm, whatever the interleaving.
+    assert!(
+        digests.windows(2).all(|w| w[0] == w[1]),
+        "digests diverged across identical jobs: {digests:?}"
+    );
+
+    let stats = client.request(r#"{"op":"stats"}"#);
+    let core_hits = field_u64(&stats, "core_hits");
+    let core_misses = field_u64(&stats, "core_misses");
+    let plan_hits = field_u64(&stats, "plan_hits");
+    let plan_misses = field_u64(&stats, "plan_misses");
+    let hit_rate = core_hits as f64 / (core_hits + core_misses).max(1) as f64;
+    assert!(
+        hit_rate > 0.0,
+        "repeated identical jobs must hit the shared caches"
+    );
+    drop(client);
+    server.shutdown();
+
+    let first_job_ms = latencies_ms[0];
+    let mut sorted = latencies_ms.clone();
+    sorted.sort_by(f64::total_cmp);
+    let p50 = percentile(&sorted, 0.50);
+    let p99 = percentile(&sorted, 0.99);
+    let jobs_per_s = JOBS as f64 / total_s;
+    eprintln!(
+        "  {jobs_per_s:.1} jobs/s, p50 {p50:.1} ms, p99 {p99:.1} ms \
+         (cold first job {first_job_ms:.1} ms), cache hit rate {:.1}%",
+        hit_rate * 1e2
+    );
+
+    // ---- Phase 2: shedding under a burst ----------------------------
+    let mut cfg = ServeConfig::new(state_root.join("shed"));
+    cfg.workers = 1;
+    cfg.queue_high_water = 2;
+    let server = Server::start(cfg).expect("start tiny daemon");
+    eprintln!("shedding phase: burst of {BURST} submits into 1 worker, high-water 2");
+    let mut client = Client::connect(server.addr());
+    let mut shed = 0_usize;
+    for _ in 0..BURST {
+        let resp = client.request(SLOW_JOB);
+        if resp.get("error").and_then(Json::as_str) == Some("overloaded") {
+            shed += 1;
+        }
+    }
+    let shed_rate = shed as f64 / BURST as f64;
+    assert!(shed > 0, "a 20-deep burst over high-water 2 must shed");
+    eprintln!("  shed {shed}/{BURST} ({:.0}%)", shed_rate * 1e2);
+    drop(client);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&state_root);
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"cfpd exploration service ({JOBS} identical smoke-preset jobs)\",\n  \
+           \"workers\": {workers},\n  \
+           \"jobs\": {JOBS},\n  \
+           \"jobs_per_s\": {jobs_per_s:.2},\n  \
+           \"p50_ms\": {p50:.2},\n  \
+           \"p99_ms\": {p99:.2},\n  \
+           \"cold_first_job_ms\": {first_job_ms:.2},\n  \
+           \"cross_job_cache\": {{\"core_hits\": {core_hits}, \"core_misses\": {core_misses}, \
+           \"hit_rate\": {hit_rate:.4}, \"plan_hits\": {plan_hits}, \"plan_misses\": {plan_misses}}},\n  \
+           \"digests_identical\": true,\n  \
+           \"shed\": {{\"burst\": {BURST}, \"workers\": 1, \"high_water\": 2, \
+           \"shed\": {shed}, \"rate\": {shed_rate:.2}}}\n}}\n"
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark report");
+    println!(
+        "{jobs_per_s:.1} jobs/s; p50 {p50:.1} ms, p99 {p99:.1} ms; \
+         cache hit rate {:.1}%; shed rate {:.0}%",
+        hit_rate * 1e2,
+        shed_rate * 1e2
+    );
+    println!("wrote {out_path}");
+}

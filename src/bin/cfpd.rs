@@ -1,0 +1,73 @@
+//! `cfpd` — the exploration daemon.
+//!
+//! Serves design-space exploration jobs over a line-delimited JSON
+//! protocol on TCP, with a bounded worker pool, shared warm plan and
+//! compile caches, per-job deadlines and retries, load shedding, and
+//! crash recovery from its state directory. See `cfp-serve` for the
+//! protocol and DESIGN.md §15 for the architecture.
+//!
+//! Usage:
+//!   cfpd [--state DIR] [--addr HOST:PORT] [--workers N]
+//!        [--high-water N] [--deadline-ms N]
+//!
+//! Defaults: state `./cfpd-state`, addr `127.0.0.1:0` (ephemeral port —
+//! the bound address is printed on stdout), 2 workers, high-water 16,
+//! 60000 ms default deadline. Stop it with the `{"op":"shutdown"}`
+//! request; a SIGKILLed daemon loses nothing — accepted jobs are
+//! journaled and resume on the next start.
+
+use custom_fit::serve::{ServeConfig, Server};
+use std::io::Write;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cfpd [--state DIR] [--addr HOST:PORT] [--workers N] \
+         [--high-water N] [--deadline-ms N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = ServeConfig::new("cfpd-state");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let Some(value) = args.get(i + 1) else {
+            usage()
+        };
+        match args[i].as_str() {
+            "--state" => cfg.state_dir = value.into(),
+            "--addr" => cfg.addr = value.clone(),
+            "--workers" => match value.parse() {
+                Ok(n) => cfg.workers = n,
+                Err(_) => usage(),
+            },
+            "--high-water" => match value.parse() {
+                Ok(n) => cfg.queue_high_water = n,
+                Err(_) => usage(),
+            },
+            "--deadline-ms" => match value.parse() {
+                Ok(n) => cfg.default_deadline_ms = n,
+                Err(_) => usage(),
+            },
+            _ => usage(),
+        }
+        i += 2;
+    }
+
+    let server = match Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cfpd: {e}");
+            std::process::exit(1);
+        }
+    };
+    // The recovery test scrapes this line for the ephemeral port, so it
+    // must be flushed before any job runs.
+    println!("cfpd listening on {}", server.addr());
+    if server.recovered() > 0 {
+        println!("cfpd recovered {} incomplete job(s)", server.recovered());
+    }
+    let _ = std::io::stdout().flush();
+    server.run();
+}

@@ -18,6 +18,7 @@
 //! | [`kernels`] | `cfp-kernels` | the paper's benchmarks (DSL + golden references + data) |
 //! | [`dse`] | `cfp-dse` | the exploration, selection, and reporting layer |
 //! | [`obs`] | `cfp-obs` | structured observability: recorders, spans, trace summaries |
+//! | [`serve`] | `cfp-serve` | the `cfpd` exploration daemon: jobs over TCP, retries, crash recovery |
 //!
 //! ## Quick start
 //!
@@ -50,6 +51,7 @@ pub use cfp_machine as machine;
 pub use cfp_obs as obs;
 pub use cfp_opt as opt;
 pub use cfp_sched as sched;
+pub use cfp_serve as serve;
 
 /// Compile a kernel for an architecture (optimizer defaults, no
 /// unrolling): the facade's one-call version of the back-end pipeline.

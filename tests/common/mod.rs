@@ -7,6 +7,8 @@ use cfp_testkit::Rng;
 use custom_fit::ir::{CarriedInit, KernelBuilder, MemSpace, Operand, Pred, Ty, Vreg};
 use custom_fit::prelude::*;
 
+pub mod serve;
+
 /// A recipe for one random kernel: a list of op codes interpreted
 /// against the values produced so far.
 #[derive(Debug, Clone)]

@@ -1,0 +1,99 @@
+//! Shared client-side plumbing for the `cfp-serve` integration tests:
+//! a one-line-request/one-line-response protocol client and unique
+//! state directories.
+#![allow(dead_code)] // each test binary uses a subset
+
+use custom_fit::serve::json::{self, Json};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A unique, empty state directory for one test.
+pub fn state_dir(tag: &str) -> PathBuf {
+    static SERIAL: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "cfp-serve-{tag}-{}-{}",
+        std::process::id(),
+        SERIAL.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One protocol connection to a daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    pub fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to daemon");
+        stream.set_nodelay(true).expect("nodelay");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Client {
+            reader,
+            writer: stream,
+        }
+    }
+
+    /// Send one request line (without newline).
+    pub fn send(&mut self, line: &str) {
+        writeln!(self.writer, "{line}").expect("send request");
+        self.writer.flush().expect("flush request");
+    }
+
+    /// Read one raw response line.
+    pub fn recv_line(&mut self) -> String {
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response).expect("read response");
+        assert!(n > 0, "daemon closed the connection");
+        response.trim_end().to_string()
+    }
+
+    /// Send a line, read a line, parse it.
+    pub fn request(&mut self, line: &str) -> Json {
+        self.send(line);
+        let response = self.recv_line();
+        json::parse(&response).unwrap_or_else(|e| panic!("bad response {response:?}: {e:?}"))
+    }
+
+    /// Send a line, read a line, return it raw (for exact round-trip
+    /// assertions).
+    pub fn request_raw(&mut self, line: &str) -> String {
+        self.send(line);
+        self.recv_line()
+    }
+}
+
+/// `v[name]` as a string, panicking with the full response on absence.
+pub fn str_field(v: &Json, name: &str) -> String {
+    v.get(name)
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("response field '{name}' missing in {v:?}"))
+        .to_string()
+}
+
+/// `v[name]` as a u64, panicking with the full response on absence.
+pub fn u64_field(v: &Json, name: &str) -> u64 {
+    v.get(name)
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("response field '{name}' missing in {v:?}"))
+}
+
+/// Submit `job_line`, assert acceptance, return the job id.
+pub fn submit(client: &mut Client, job_line: &str) -> String {
+    let resp = client.request(job_line);
+    assert_eq!(
+        resp.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "submit rejected: {resp:?}"
+    );
+    str_field(&resp, "id")
+}
+
+/// Block until `id` is terminal and return its result response.
+pub fn wait_result(client: &mut Client, id: &str) -> Json {
+    client.request(&format!(r#"{{"op":"result","id":"{id}"}}"#))
+}

@@ -1,0 +1,294 @@
+//! Failure injection against a live daemon: the retry ladder retries
+//! exactly the transient set, the wall-clock watchdog kills stalled
+//! jobs without poisoning the worker pool, per-unit panics stay
+//! quarantined inside their job, and client connection drops never
+//! touch admitted work.
+
+mod common;
+
+use cfp_testkit::FaultInjector;
+use common::serve::{state_dir, str_field, submit, u64_field, wait_result, Client};
+use custom_fit::serve::json::Json;
+use custom_fit::serve::{parse_request, Request, RetryPolicy, ServeConfig, Server};
+use std::io::Write;
+use std::net::TcpStream;
+
+const JOB: &str = r#"{"op":"submit","job":{"benches":["D","G"],"preset":"smoke"}}"#;
+
+fn small_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 3,
+        base_ms: 1,
+        cap_ms: 5,
+    }
+}
+
+/// A corrupt checkpoint journal is the transient failure whose retry
+/// needs cleanup: the daemon removes the journal and the next attempt
+/// runs the job cold — `attempts: 2`, state `done`.
+#[test]
+fn a_corrupt_journal_is_retried_once_after_cleanup() {
+    let dir = state_dir("faults-corrupt");
+    let jobs_dir = dir.join("jobs");
+    std::fs::create_dir_all(&jobs_dir).expect("jobs dir");
+
+    // Journal an accepted job by hand (its canonical line), with a
+    // checkpoint journal no parser will accept.
+    let Ok(Request::Submit(spec)) = parse_request(JOB) else {
+        panic!("the test job must parse");
+    };
+    std::fs::write(jobs_dir.join("job-000000.job"), spec.submit_line() + "\n")
+        .expect("write job journal");
+    std::fs::write(jobs_dir.join("job-000000.ck"), "garbage, not a journal\n")
+        .expect("write corrupt checkpoint");
+
+    let mut cfg = ServeConfig::new(&dir);
+    cfg.retry = small_retry();
+    let server = Server::start(cfg).expect("start daemon");
+    assert_eq!(server.recovered(), 1, "the journaled job must be re-queued");
+
+    let mut client = Client::connect(server.addr());
+    let result = wait_result(&mut client, "job-000000");
+    assert_eq!(
+        result.get("state").and_then(Json::as_str),
+        Some("done"),
+        "{result:?}"
+    );
+    assert_eq!(
+        u64_field(&result, "attempts"),
+        2,
+        "exactly one retry: first attempt hits the corrupt journal, \
+         the cleanup retry completes"
+    );
+    let stats = client.request(r#"{"op":"stats"}"#);
+    assert_eq!(u64_field(&stats, "retries"), 1);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Deterministic failures fail fast: a fuel-starved job reproduces its
+/// failure on every attempt, so the ladder must not retry it.
+#[test]
+fn fuel_exhaustion_fails_fast_with_no_retry() {
+    let dir = state_dir("faults-fuel");
+    let mut cfg = ServeConfig::new(&dir);
+    cfg.retry = small_retry();
+    let server = Server::start(cfg).expect("start daemon");
+    let mut client = Client::connect(server.addr());
+
+    let id = submit(
+        &mut client,
+        r#"{"op":"submit","job":{"benches":["D"],"preset":"smoke","fuel":10}}"#,
+    );
+    let result = wait_result(&mut client, &id);
+    assert_eq!(
+        result.get("state").and_then(Json::as_str),
+        Some("failed"),
+        "{result:?}"
+    );
+    assert_eq!(
+        str_field(&result, "error"),
+        "baseline_failed",
+        "10 fuel steps cannot schedule the baseline"
+    );
+    assert_eq!(
+        u64_field(&result, "attempts"),
+        1,
+        "deterministic failures are never retried"
+    );
+    let stats = client.request(r#"{"op":"stats"}"#);
+    assert_eq!(u64_field(&stats, "retries"), 0);
+    assert_eq!(u64_field(&stats, "failed"), 1);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The watchdog kills a stalled job at its deadline — typed `deadline`
+/// failure, no retry (the deadline derives from the job's own budget) —
+/// and the worker that armed it goes straight back to serving jobs.
+#[test]
+fn the_deadline_watchdog_kills_stalls_without_poisoning_the_pool() {
+    let dir = state_dir("faults-deadline");
+    let mut cfg = ServeConfig::new(&dir);
+    cfg.workers = 1; // the one worker must survive the kill
+    cfg.retry = small_retry();
+    let server = Server::start(cfg).expect("start daemon");
+    let mut client = Client::connect(server.addr());
+
+    // Every unit stalls 1 s; the deadline fires long before the first
+    // unit finishes.
+    let stalled = submit(
+        &mut client,
+        r#"{"op":"submit","job":{"benches":["D"],"preset":"smoke","deadline_ms":200,"fault":{"kind":"stall","millis":1000,"seed":1,"denominator":1}}}"#,
+    );
+    let result = wait_result(&mut client, &stalled);
+    assert_eq!(
+        result.get("state").and_then(Json::as_str),
+        Some("failed"),
+        "{result:?}"
+    );
+    assert_eq!(str_field(&result, "error"), "deadline");
+    assert_eq!(
+        u64_field(&result, "attempts"),
+        1,
+        "deadlines are not retried"
+    );
+
+    // The same — only — worker then runs a normal job to completion.
+    let healthy = submit(&mut client, JOB);
+    let result = wait_result(&mut client, &healthy);
+    assert_eq!(
+        result.get("state").and_then(Json::as_str),
+        Some("done"),
+        "the pool must stay healthy after a watchdog kill: {result:?}"
+    );
+    let stats = client.request(r#"{"op":"stats"}"#);
+    assert_eq!(u64_field(&stats, "deadline_kills"), 1);
+    assert_eq!(u64_field(&stats, "retries"), 0);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Latency faults are latency-only: a job whose every unit stalls (but
+/// meets its deadline) returns the bit-identical digest of the
+/// unstalled job.
+#[test]
+fn stalls_within_the_deadline_do_not_change_results() {
+    let dir = state_dir("faults-stall-identity");
+    let server = Server::start(ServeConfig::new(&dir)).expect("start daemon");
+    let mut client = Client::connect(server.addr());
+
+    let plain = submit(&mut client, JOB);
+    let stalled = submit(
+        &mut client,
+        r#"{"op":"submit","job":{"benches":["D","G"],"preset":"smoke","fault":{"kind":"stall","millis":5,"seed":1,"denominator":1}}}"#,
+    );
+    let plain = wait_result(&mut client, &plain);
+    let stalled = wait_result(&mut client, &stalled);
+    assert_eq!(plain.get("state").and_then(Json::as_str), Some("done"));
+    assert_eq!(stalled.get("state").and_then(Json::as_str), Some("done"));
+    assert_eq!(str_field(&plain, "digest"), str_field(&stalled, "digest"));
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A per-unit panic fault stays quarantined inside its job: the job
+/// reports the failed units and completes; the daemon and its pool
+/// never notice.
+#[test]
+fn unit_panics_stay_quarantined_inside_their_job() {
+    let dir = state_dir("faults-panic");
+    let server = Server::start(ServeConfig::new(&dir)).expect("start daemon");
+    let mut client = Client::connect(server.addr());
+
+    // Sweep-unit panics (seed 1, one unit in 3). If the doomed set ever
+    // included the baseline the job would fail `baseline_failed`, which
+    // the assertion below would surface — with this seed it does not.
+    let id = submit(
+        &mut client,
+        r#"{"op":"submit","job":{"benches":["D","G"],"preset":"smoke","fault":{"kind":"panic","seed":1,"denominator":3}}}"#,
+    );
+    let result = wait_result(&mut client, &id);
+    assert_eq!(
+        result.get("state").and_then(Json::as_str),
+        Some("done"),
+        "{result:?}"
+    );
+    assert!(
+        u64_field(&result, "failed_units") > 0,
+        "the injector must actually fire: {result:?}"
+    );
+
+    // The daemon is untouched: a clean job still runs clean.
+    let clean = submit(&mut client, JOB);
+    let clean = wait_result(&mut client, &clean);
+    assert_eq!(clean.get("state").and_then(Json::as_str), Some("done"));
+    assert_eq!(u64_field(&clean, "failed_units"), 0);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Client connections dropping mid-exchange — after the submit line,
+/// before reading the response — never touch the admitted jobs. The
+/// testkit injector picks which connections die.
+#[test]
+fn connection_drops_never_touch_admitted_jobs() {
+    let dir = state_dir("faults-drop");
+    let server = Server::start(ServeConfig::new(&dir)).expect("start daemon");
+    let injector = FaultInjector::dropping(42, 2);
+
+    let mut dropped = 0;
+    for conn in 0..6_u64 {
+        if injector.drops(conn) {
+            // Fire-and-hang-up: send the submit, close the socket
+            // without reading the acknowledgement.
+            let mut stream = TcpStream::connect(server.addr()).expect("connect");
+            stream.set_nodelay(true).expect("nodelay");
+            writeln!(stream, "{JOB}").expect("send");
+            stream.flush().expect("flush");
+            drop(stream);
+            dropped += 1;
+        } else {
+            let mut client = Client::connect(server.addr());
+            submit(&mut client, JOB);
+        }
+    }
+    assert!(dropped > 0, "the injector must actually drop connections");
+
+    // Every submit — acknowledged or orphaned — was admitted, ran, and
+    // agrees with the others.
+    let mut client = Client::connect(server.addr());
+    let mut digests = Vec::new();
+    for i in 0..6 {
+        let result = wait_result(&mut client, &format!("job-{i:06}"));
+        assert_eq!(
+            result.get("state").and_then(Json::as_str),
+            Some("done"),
+            "job {i}: {result:?}"
+        );
+        digests.push(str_field(&result, "digest"));
+    }
+    assert!(digests.windows(2).all(|w| w[0] == w[1]));
+    let stats = client.request(r#"{"op":"stats"}"#);
+    assert_eq!(u64_field(&stats, "submitted"), 6);
+    assert_eq!(u64_field(&stats, "completed"), 6);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A watcher hanging up mid-stream is the watcher's problem: the
+/// watched job completes untouched.
+#[test]
+fn a_dropped_watcher_does_not_touch_the_job() {
+    let dir = state_dir("faults-watch-drop");
+    let mut cfg = ServeConfig::new(&dir);
+    cfg.progress_every = 1;
+    let server = Server::start(cfg).expect("start daemon");
+    let mut client = Client::connect(server.addr());
+
+    let id = submit(
+        &mut client,
+        r#"{"op":"submit","job":{"benches":["D","G"],"preset":"smoke","fault":{"kind":"stall","millis":20,"seed":1,"denominator":1}}}"#,
+    );
+    let mut watcher = Client::connect(server.addr());
+    watcher.send(&format!(r#"{{"op":"watch","id":"{id}"}}"#));
+    let first = watcher.recv_line();
+    assert!(first.contains("\"event\""), "{first}");
+    drop(watcher); // hang up mid-stream
+
+    let result = wait_result(&mut client, &id);
+    assert_eq!(
+        result.get("state").and_then(Json::as_str),
+        Some("done"),
+        "{result:?}"
+    );
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
